@@ -1,0 +1,67 @@
+"""E3 — Theorem 6.26: every trace of VStoTO-system is a trace of
+TO-machine, checked via the executable forward simulation f (§6.2).
+
+The sweep drives randomized executions with partitions and merges,
+checking the simulation across every transition; the benchmark times
+the checked execution (the cost of "proof by simulation checking").
+"""
+
+import pytest
+
+from repro.analysis.stats import format_table
+from repro.core.quorums import MajorityQuorumSystem
+from repro.core.vstoto import (
+    RandomRunConfig,
+    RandomRunDriver,
+    VStoTOSystem,
+)
+
+
+def checked_run(n_procs: int, seed: int, steps: int = 1500, churn: int = 150):
+    processors = tuple(f"p{i}" for i in range(n_procs))
+    system = VStoTOSystem(processors, MajorityQuorumSystem(processors))
+    driver = RandomRunDriver(
+        system,
+        RandomRunConfig(
+            seed=seed,
+            max_steps=steps,
+            max_bcasts=25,
+            view_change_every=churn,
+        ),
+        check_simulation=True,
+    )
+    stats = driver.run()
+    return driver, stats
+
+
+def test_e3_simulation_holds_across_configurations():
+    rows = []
+    for n, churn in ((3, 0), (3, 120), (4, 150), (5, 200)):
+        for seed in range(3):
+            driver, stats = checked_run(n, seed, churn=churn)
+            assert stats.simulation_steps_checked == stats.steps
+        rows.append(
+            [
+                n,
+                churn if churn else "none",
+                stats.steps,
+                stats.count("newview"),
+                stats.count("brcv"),
+            ]
+        )
+    print("\nE3: forward simulation f checked per transition (Theorem 6.26)")
+    print(
+        format_table(
+            ["n", "view-churn", "steps", "newview", "brcv"], rows
+        )
+    )
+
+
+@pytest.mark.benchmark(group="e3-simulation")
+def test_e3_bench_checked_execution(benchmark):
+    def run():
+        _driver, stats = checked_run(3, seed=7, steps=800, churn=120)
+        return stats.steps
+
+    steps = benchmark(run)
+    assert steps > 0

@@ -1,0 +1,59 @@
+"""E2 — VS-machine satisfies the Lemma 4.1/4.2 trace properties
+(message integrity, no duplication, no reordering, no losses, per-view
+prefix order) on random schedules with random view creation.
+"""
+
+import pytest
+
+from repro.analysis.stats import format_table
+from repro.core.vs_spec import VSMachine, check_vs_trace
+from repro.ioa.actions import act
+from repro.ioa.execution import RandomScheduler, run_automaton
+
+
+def run_vs_machine(n_procs: int, seed: int, steps: int = 700):
+    processors = tuple(f"p{i}" for i in range(n_procs))
+    machine = VSMachine(processors)
+    counter = iter(range(10**6))
+
+    def inputs(step):
+        if step > 0 and step % 60 == 0:
+            machine.offer_view(processors[: 1 + step % n_procs])
+        if step % 4 == 0:
+            return act(
+                "gpsnd", f"m{next(counter)}", processors[step % n_procs]
+            )
+        return None
+
+    execution = run_automaton(
+        machine, RandomScheduler(seed), max_steps=steps, input_source=inputs
+    )
+    return processors, machine, execution
+
+
+def test_e2_conformance_across_sizes():
+    rows = []
+    for n in (2, 3, 5):
+        views = deliveries = 0
+        for seed in range(3):
+            processors, machine, execution = run_vs_machine(n, seed)
+            trace = execution.trace({"gpsnd", "gprcv", "safe", "newview"})
+            report = check_vs_trace(trace, processors, machine.initial_view)
+            assert report.ok, f"n={n} seed={seed}: {report.reason}"
+            views = len(report.views_seen)
+            deliveries = sum(
+                1 for a in trace if a.name == "gprcv"
+            )
+        rows.append([n, views, deliveries])
+    print("\nE2: VS-machine random schedules vs the Lemma 4.2 predicate")
+    print(format_table(["n", "views(last seed)", "gprcv(last seed)"], rows))
+
+
+@pytest.mark.benchmark(group="e2-vs-machine")
+def test_e2_bench_spec_machine_throughput(benchmark):
+    def run():
+        _processors, _machine, execution = run_vs_machine(4, seed=2)
+        return len(execution)
+
+    steps = benchmark(run)
+    assert steps > 0

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one experiment from DESIGN.md's index:
+it runs the workload sweep, prints the paper-style result rows (visible
+with ``pytest benchmarks/ --benchmark-only -s``), asserts the *shape* of
+the paper's claim (who wins, scaling direction, bound satisfaction), and
+times a representative configuration with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.core.quorums import MajorityQuorumSystem
+from repro.core.vstoto.runtime import VStoTORuntime
+from repro.membership.ring import RingConfig
+from repro.membership.service import TokenRingVS
+
+
+def build_stack(
+    processors,
+    seed=0,
+    delta=1.0,
+    pi=10.0,
+    mu=30.0,
+    work_conserving=False,
+    quorums=None,
+):
+    """A full VStoTO-over-token-ring stack, not yet started."""
+    config = RingConfig(
+        delta=delta, pi=pi, mu=mu, work_conserving=work_conserving
+    )
+    service = TokenRingVS(processors, config, seed=seed)
+    if quorums is None:
+        quorums = MajorityQuorumSystem(processors)
+    runtime = VStoTORuntime(service, quorums)
+    return service, runtime

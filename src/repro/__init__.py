@@ -1,0 +1,48 @@
+"""repro — reproduction of *Specifying and Using a Partitionable Group
+Communication Service* (Fekete, Lynch, Shvartsman; PODC 1997).
+
+The package is organised as the paper is:
+
+- :mod:`repro.ioa` — the I/O automaton framework (untimed and timed) in
+  which every specification and algorithm in the paper is expressed.
+- :mod:`repro.sim` — a discrete-event simulator providing the virtual
+  time base for the timed model and for the network substrate.
+- :mod:`repro.net` — point-to-point channels and processors with the
+  paper's *good/bad/ugly* failure statuses, plus partition scenarios.
+- :mod:`repro.core` — the paper's formal content: the TO specification
+  (Section 3), the VS specification (Section 4), the VStoTO algorithm
+  (Section 5), its invariants and forward simulation (Section 6), and the
+  timed wrappers of Section 7.
+- :mod:`repro.membership` — the Section 8 implementation of VS:
+  Cristian–Schmuck membership plus a logical token ring, together with
+  the closed-form performance bounds.
+- :mod:`repro.apps` — applications built on TO, most importantly the
+  sequentially consistent replicated memory of footnote 3.
+- :mod:`repro.analysis` — measurement helpers used by the benchmark
+  harness to compare measured behaviour against the paper's bounds.
+"""
+
+from repro.core.to_spec import TOMachine
+from repro.core.vs_spec import VSMachine, WeakVSMachine
+from repro.core.vstoto import VStoTOProcess, VStoTOSystem
+from repro.core.quorums import (
+    ExplicitQuorumSystem,
+    MajorityQuorumSystem,
+    WeightedQuorumSystem,
+)
+from repro.membership import TokenRingVS, VSBounds
+
+__all__ = [
+    "TOMachine",
+    "VSMachine",
+    "WeakVSMachine",
+    "VStoTOProcess",
+    "VStoTOSystem",
+    "ExplicitQuorumSystem",
+    "MajorityQuorumSystem",
+    "WeightedQuorumSystem",
+    "TokenRingVS",
+    "VSBounds",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,211 @@
+"""Reusable experiment sweeps — the measured content behind
+EXPERIMENTS.md, callable outside pytest (see :mod:`repro.report`).
+
+Each function returns ``(headers, rows)`` ready for
+:func:`repro.analysis.stats.format_table`.  The pytest benches under
+``benchmarks/`` run richer versions of the same sweeps with assertions;
+these are the compact, user-runnable forms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.measure import (
+    all_members_delivery_latencies,
+    safe_latencies_in_final_view,
+    stabilization_interval,
+)
+from repro.analysis.stats import summarize
+from repro.analysis.timeline import decompose_timeline
+from repro.apps.baselines import StableStorageBroadcast
+from repro.apps.totalorder import TotalOrderBroadcast
+from repro.core.quorums import MajorityQuorumSystem
+from repro.core.vstoto.process import is_summary
+from repro.core.vstoto.runtime import VStoTORuntime
+from repro.membership.bounds import VSBounds
+from repro.membership.ring import RingConfig
+from repro.membership.service import TokenRingVS
+from repro.net.scenarios import PartitionScenario
+
+Row = Sequence[object]
+Table = tuple[Sequence[str], list[Row]]
+
+
+def stabilization_table(seeds: Sequence[int] = (0, 1, 2)) -> Table:
+    """E5: split stabilisation l' vs b across (n, δ, π, μ)."""
+    headers = ["n", "delta", "pi", "mu", "b(paper)", "measured", "ratio"]
+    rows: list[Row] = []
+    for n, delta, pi, mu in (
+        (2, 1.0, 10.0, 30.0),
+        (3, 1.0, 10.0, 30.0),
+        (5, 1.0, 10.0, 30.0),
+        (3, 1.0, 20.0, 30.0),
+    ):
+        bound = VSBounds(delta, pi, mu).b(n)
+        worst = 0.0
+        for seed in seeds:
+            processors = tuple(range(1, n + 3))
+            group = processors[:n]
+            vs = TokenRingVS(
+                processors, RingConfig(delta=delta, pi=pi, mu=mu), seed=seed
+            )
+            vs.install_scenario(
+                PartitionScenario().add(
+                    60.0, [list(group), list(processors[n:])]
+                )
+            )
+            vs.run_until(60.0 + 30 * max(pi, mu))
+            result = stabilization_interval(
+                vs.merged_trace(), group, 60.0, vs.initial_view
+            )
+            if result.stabilized:
+                worst = max(worst, result.l_prime)
+        rows.append([n, delta, pi, mu, bound, worst, worst / bound])
+    return headers, rows
+
+
+def latency_table(work_conserving: bool = False) -> Table:
+    """E6: safe latency vs d = 2π + nδ."""
+    headers = ["n", "delta", "pi", "d(paper)", "d(impl)", "mean", "max"]
+    rows: list[Row] = []
+    for n, delta, pi in (
+        (3, 1.0, 10.0),
+        (5, 1.0, 10.0),
+        (5, 1.0, 20.0),
+        (8, 1.0, 10.0),
+    ):
+        processors = tuple(range(1, n + 1))
+        vs = TokenRingVS(
+            processors,
+            RingConfig(
+                delta=delta, pi=pi, mu=1000.0, work_conserving=work_conserving
+            ),
+            seed=0,
+        )
+        spacing = (2 * pi + n * delta) / 3.0
+        sends = 20
+        for i in range(sends):
+            vs.schedule_send(5.0 + spacing * i, processors[i % n], f"m{i}")
+        vs.run_until(5.0 + spacing * sends + 20 * pi)
+        samples = safe_latencies_in_final_view(
+            vs.merged_trace(), processors, vs.initial_view, vs.initial_view
+        )
+        summary = summarize(s.latency for s in samples)
+        bounds = VSBounds(delta, pi, 1000.0)
+        rows.append(
+            [
+                n,
+                delta,
+                pi,
+                bounds.d(n),
+                bounds.d_impl(n, work_conserving),
+                summary.mean,
+                summary.max,
+            ]
+        )
+    return headers, rows
+
+
+def _full_stack(n: int, seed: int):
+    processors = tuple(range(1, n + 1))
+    service = TokenRingVS(
+        processors,
+        RingConfig(delta=1.0, pi=10.0, mu=30.0, work_conserving=True),
+        seed=seed,
+    )
+    runtime = VStoTORuntime(service, MajorityQuorumSystem(processors))
+    return processors, service, runtime
+
+
+def end_to_end_table(seeds: Sequence[int] = (0, 1)) -> Table:
+    """E7: steady-state bcast→all-delivered latency on the full stack."""
+    headers = ["n", "seed", "mean", "p95", "max"]
+    rows: list[Row] = []
+    for n in (3, 5):
+        for seed in seeds:
+            processors, service, runtime = _full_stack(n, seed)
+            for i in range(15):
+                runtime.schedule_broadcast(
+                    20.0 + 18.0 * i, processors[i % n], f"e{i}"
+                )
+            runtime.start()
+            runtime.run_until(600.0)
+            samples = all_members_delivery_latencies(
+                runtime.merged_trace(), processors
+            )
+            summary = summarize(s.latency for s in samples)
+            rows.append([n, seed, summary.mean, summary.p95, summary.max])
+    return headers, rows
+
+
+def baseline_table(sigmas: Sequence[float] = (2.0, 5.0, 10.0)) -> Table:
+    """E8: VStoTO vs the stable-storage-first baseline."""
+    headers = ["sigma", "vstoto mean", "baseline mean", "gap"]
+    processors = (1, 2, 3, 4, 5)
+    config = RingConfig(delta=1.0, pi=10.0, mu=30.0, work_conserving=True)
+
+    tob = TotalOrderBroadcast(processors, config=config, seed=3)
+    for i in range(12):
+        tob.schedule_broadcast(10.0 + 15 * i, processors[i % 5], f"v{i}")
+    tob.run_until(600.0)
+    plain = summarize(
+        s.latency
+        for s in all_members_delivery_latencies(tob.to_trace(), processors)
+    )
+
+    rows: list[Row] = []
+    for sigma in sigmas:
+        ssb = StableStorageBroadcast(
+            processors, storage_latency=sigma, config=config, seed=3
+        )
+        submit = {}
+        for i in range(12):
+            submit[f"v{i}"] = 10.0 + 15 * i
+            ssb.schedule_broadcast(submit[f"v{i}"], processors[i % 5], f"v{i}")
+        ssb.run_until(800.0)
+        per_value: dict = {}
+        for delivery in ssb.logged_deliveries:
+            per_value.setdefault(delivery.value, []).append(delivery.time)
+        latencies = [
+            max(times) - submit[value] for value, times in per_value.items()
+        ]
+        logged = summarize(latencies)
+        rows.append([sigma, plain.mean, logged.mean, logged.mean - plain.mean])
+    return headers, rows
+
+
+def timeline_table(seeds: Sequence[int] = (0, 1, 2)) -> Table:
+    """E12: the Figure 12 decomposition."""
+    headers = ["seed", "alpha1", "b", "alpha3", "total", "b+d"]
+    bounds = VSBounds(1.0, 10.0, 30.0)
+    rows: list[Row] = []
+    for seed in seeds:
+        processors, service, runtime = _full_stack(5, seed)
+        service.install_scenario(
+            PartitionScenario()
+            .add(40.0, [[1, 2, 3], [4, 5]])
+            .add(300.0, [[1, 2, 3, 4, 5]])
+        )
+        for i in range(10):
+            runtime.schedule_broadcast(10.0 + 23.0 * i, processors[i % 5], i)
+        runtime.start()
+        runtime.run_until(800.0)
+        timeline = decompose_timeline(
+            service.merged_trace(),
+            processors,
+            300.0,
+            is_summary,
+            service.initial_view,
+        )
+        rows.append(
+            [
+                seed,
+                timeline.alpha1_length,
+                bounds.b(5),
+                timeline.alpha3_length,
+                timeline.total_stabilization,
+                bounds.b(5) + bounds.d_impl(5, True),
+            ]
+        )
+    return headers, rows

@@ -1,0 +1,170 @@
+"""Extract the paper's measured quantities from timed traces.
+
+Three measurements back the benchmark tables:
+
+- ``stabilization_interval``: the l' of VS-property clause 2 — how long
+  after the failure pattern stabilises until the last ``newview`` at the
+  target group (compare against b = 9δ + max{π+(n+3)δ, μ});
+- ``safe_latencies_in_final_view``: per-message send→all-members-safe
+  latency within the stable view (compare against d = 2π + nδ);
+- ``all_members_delivery_latencies``: TO-level bcast→delivered-at-all
+  latency (compare against Theorem 7.2's b + d / d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.core.types import View
+from repro.ioa.timed import TimedTrace
+
+ProcId = Hashable
+
+
+@dataclass(frozen=True)
+class StabilizationResult:
+    """Outcome of a stabilisation measurement."""
+
+    stabilized: bool
+    #: time of the final failure-status change (the premise point l)
+    l: float
+    #: measured l' — last newview at the group after l, minus l
+    l_prime: float
+    #: the common final view, when stabilised
+    final_view: Optional[View]
+
+
+def stabilization_interval(
+    trace: TimedTrace,
+    group: Iterable[ProcId],
+    scenario_stable_at: float,
+    initial_view: Optional[View] = None,
+) -> StabilizationResult:
+    """Measure l' for ``group`` given that the failure pattern is known
+    (from the scenario) to be stable from ``scenario_stable_at`` on."""
+    group = frozenset(group)
+    latest_view: dict[ProcId, Optional[View]] = {
+        p: (initial_view if initial_view and p in initial_view.set else None)
+        for p in group
+    }
+    last_newview = scenario_stable_at
+    for event in trace.events:
+        if event.action.name != "newview":
+            continue
+        view, p = event.action.args
+        if p in group:
+            latest_view[p] = view
+            if event.time > scenario_stable_at:
+                last_newview = max(last_newview, event.time)
+    views = set(latest_view.values())
+    if len(views) != 1:
+        return StabilizationResult(False, scenario_stable_at, inf, None)
+    final = views.pop()
+    if final is None or final.set != group:
+        return StabilizationResult(False, scenario_stable_at, inf, final)
+    return StabilizationResult(
+        True, scenario_stable_at, last_newview - scenario_stable_at, final
+    )
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One message's latency measurement."""
+
+    sent_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.sent_at
+
+
+def safe_latencies_in_final_view(
+    trace: TimedTrace,
+    group: Sequence[ProcId],
+    final_view: View,
+    initial_view: Optional[View] = None,
+) -> list[LatencySample]:
+    """Per-message latency from ``gpsnd`` (while in the final view) to
+    the last corresponding ``safe`` event across the group.
+
+    Matching uses per-sender sequence positions within the view, which
+    is exact because VS guarantees per-sender FIFO within a view.
+    """
+    current: dict[ProcId, Optional[View]] = {}
+    send_times: dict[ProcId, list[float]] = {}
+    safe_times: dict[tuple[ProcId, ProcId], list[float]] = {}
+    for event in trace.events:
+        name = event.action.name
+        if name == "newview":
+            view, p = event.action.args
+            current[p] = view
+        elif name == "gpsnd":
+            payload, p = event.action.args
+            view = current.get(p, initial_view)
+            if view is not None and view.id == final_view.id:
+                send_times.setdefault(p, []).append(event.time)
+        elif name == "safe":
+            payload, src, dst = event.action.args
+            view = current.get(dst, initial_view)
+            if view is not None and view.id == final_view.id:
+                safe_times.setdefault((src, dst), []).append(event.time)
+    samples: list[LatencySample] = []
+    for p, times in send_times.items():
+        for j, sent_at in enumerate(times):
+            completion = -inf
+            complete = True
+            for q in group:
+                q_safes = safe_times.get((p, q), [])
+                if len(q_safes) <= j:
+                    complete = False
+                    break
+                completion = max(completion, q_safes[j])
+            if complete:
+                samples.append(LatencySample(sent_at, completion))
+    return samples
+
+
+def all_members_delivery_latencies(
+    trace: TimedTrace,
+    group: Sequence[ProcId],
+    after: float = 0.0,
+) -> list[LatencySample]:
+    """TO-level latency from ``bcast`` (at or after ``after``) to the
+    value's delivery at every group member.
+
+    Matching is by (value, origin) occurrence count, as in the
+    TO-property checker.
+    """
+    sends: list[tuple[float, object, ProcId, int]] = []
+    sends_seen: dict[tuple[object, ProcId], int] = {}
+    deliveries: dict[tuple[object, ProcId, int, ProcId], float] = {}
+    recv_seen: dict[tuple[object, ProcId, ProcId], int] = {}
+    for event in trace.events:
+        name = event.action.name
+        if name == "bcast":
+            value, p = event.action.args
+            occurrence = sends_seen.get((value, p), 0)
+            sends_seen[(value, p)] = occurrence + 1
+            if event.time >= after:
+                sends.append((event.time, value, p, occurrence))
+        elif name == "brcv":
+            value, p, q = event.action.args
+            occurrence = recv_seen.get((value, p, q), 0)
+            recv_seen[(value, p, q)] = occurrence + 1
+            deliveries.setdefault((value, p, occurrence, q), event.time)
+    samples: list[LatencySample] = []
+    for sent_at, value, p, occurrence in sends:
+        completion = -inf
+        complete = True
+        for q in group:
+            t = deliveries.get((value, p, occurrence, q))
+            if t is None:
+                complete = False
+                break
+            completion = max(completion, t)
+        if complete:
+            samples.append(LatencySample(sent_at, completion))
+    return samples

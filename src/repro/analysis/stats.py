@@ -1,0 +1,68 @@
+"""Summary statistics and plain-text tables for the bench harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a latency sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3g} p50={self.p50:.3g} "
+            f"p95={self.p95:.3g} max={self.max:.3g}"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return math.nan
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` (NaNs for an empty sample)."""
+    data = sorted(values)
+    if not data:
+        return Summary(0, math.nan, math.nan, math.nan, math.nan)
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        p50=_percentile(data, 0.50),
+        p95=_percentile(data, 0.95),
+        max=data[-1],
+    )
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (the benches print these as the
+    paper-style result rows)."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

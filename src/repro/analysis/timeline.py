@@ -1,0 +1,120 @@
+"""The Figure 12 performance-argument decomposition.
+
+Theorem 7.1's proof splits a stabilising execution α into
+α₀ α₁ α₃ α₄:
+
+- α₀ ends at the premise point l (failure pattern stabilises);
+- α₁ ends when the VS layer has settled — the last ``newview`` at the
+  group (length ≤ b by VS-property);
+- α₃ ends when every state-exchange message of the final view is safe
+  at every member (length ≤ d by the VStoTO-property argument);
+- α₄ is the steady state in which every remaining delivery obligation is
+  met within d.
+
+:func:`decompose_timeline` reconstructs these boundaries from a merged
+timed trace, which ``benchmarks/bench_timeline.py`` prints against the
+bound decomposition b + d.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from typing import Hashable, Iterable, Optional
+
+from repro.core.types import View
+from repro.ioa.timed import TimedTrace
+
+ProcId = Hashable
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Boundary times of the Figure 12 decomposition (absolute virtual
+    times; ``inf`` when the phase never completed)."""
+
+    #: end of α₀: failure pattern stabilises (premise point l)
+    l: float
+    #: end of α₁: last newview at the group (VS settled)
+    vs_settled_at: float
+    #: end of α₃: all state-exchange summaries of the final view safe
+    exchange_safe_at: float
+    final_view: Optional[View]
+
+    @property
+    def alpha1_length(self) -> float:
+        """Measured l' — compare against b."""
+        return self.vs_settled_at - self.l
+
+    @property
+    def alpha3_length(self) -> float:
+        """Measured exchange-completion interval — compare against d."""
+        return self.exchange_safe_at - self.vs_settled_at
+
+    @property
+    def total_stabilization(self) -> float:
+        """Measured l' + exchange interval — compare against b + d."""
+        return self.exchange_safe_at - self.l
+
+
+def decompose_timeline(
+    trace: TimedTrace,
+    group: Iterable[ProcId],
+    scenario_stable_at: float,
+    summary_predicate,
+    initial_view: Optional[View] = None,
+) -> Timeline:
+    """Reconstruct the Figure 12 boundaries.
+
+    ``summary_predicate(payload)`` distinguishes state-exchange payloads
+    from ordinary messages at the VS interface (the full stack passes
+    :func:`repro.core.vstoto.process.is_summary`).
+    """
+    group = frozenset(group)
+    latest_view: dict[ProcId, Optional[View]] = {
+        p: (initial_view if initial_view and p in initial_view.set else None)
+        for p in group
+    }
+    vs_settled_at = scenario_stable_at
+    for event in trace.events:
+        if event.action.name != "newview":
+            continue
+        view, p = event.action.args
+        if p in group:
+            latest_view[p] = view
+            if event.time > scenario_stable_at:
+                vs_settled_at = max(vs_settled_at, event.time)
+    views = set(latest_view.values())
+    final_view = views.pop() if len(views) == 1 else None
+    if final_view is None or final_view.set != group:
+        return Timeline(scenario_stable_at, inf, inf, final_view)
+
+    # α₃: every member must see a safe event for every member's summary
+    # in the final view.
+    needed = {(src, dst) for src in group for dst in group}
+    exchange_safe_at = -inf
+    current: dict[ProcId, Optional[View]] = {}
+    for event in trace.events:
+        name = event.action.name
+        if name == "newview":
+            view, p = event.action.args
+            current[p] = view
+        elif name == "safe" and needed:
+            payload, src, dst = event.action.args
+            view = current.get(dst, initial_view)
+            if (
+                view is not None
+                and view.id == final_view.id
+                and summary_predicate(payload)
+                and (src, dst) in needed
+            ):
+                needed.discard((src, dst))
+                exchange_safe_at = max(exchange_safe_at, event.time)
+    if needed:
+        return Timeline(scenario_stable_at, vs_settled_at, inf, final_view)
+    return Timeline(
+        scenario_stable_at,
+        vs_settled_at,
+        max(exchange_safe_at, vs_settled_at),
+        final_view,
+    )

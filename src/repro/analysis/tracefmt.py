@@ -1,0 +1,141 @@
+"""Human-readable rendering of timed traces.
+
+Debugging a partitionable group service means reading interleaved
+per-processor event streams.  :func:`format_timeline` renders a timed
+trace as one aligned column per processor, with view changes and
+failure events called out — the textual equivalent of the paper's
+Figure 12 style timeline diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.ioa.timed import TimedTrace
+
+ProcId = Hashable
+
+#: action name -> (glyph, index of the location argument)
+_LOCATION_OF = {
+    "bcast": ("B", 1),
+    "brcv": ("R", 2),
+    "gpsnd": ("s", 1),
+    "gprcv": ("r", 2),
+    "safe": ("✓", 2),
+    "newview": ("V", 1),
+    "good": ("g", 0),
+    "bad": ("x", 0),
+    "ugly": ("u", 0),
+}
+
+
+def describe_event(action) -> str:
+    """One-line description of a single action."""
+    name = action.name
+    if name == "newview":
+        view, p = action.args
+        return f"newview {view} at {p}"
+    if name in ("good", "bad", "ugly"):
+        if len(action.args) == 1:
+            return f"{name}({action.args[0]})"
+        return f"{name}({action.args[0]}→{action.args[1]})"
+    if name in ("gprcv", "safe", "brcv"):
+        payload, src, dst = action.args
+        return f"{name} {payload!r} {src}→{dst}"
+    if name in ("gpsnd", "bcast"):
+        payload, p = action.args
+        return f"{name} {payload!r} at {p}"
+    return str(action)
+
+
+def format_timeline(
+    trace: TimedTrace,
+    processors: Sequence[ProcId],
+    names: Optional[Iterable[str]] = None,
+    limit: int = 200,
+) -> str:
+    """Render the trace as a per-processor event grid.
+
+    Each row is one event: its time, a glyph in the column of the
+    processor it occurred at, and a description.  ``names`` restricts
+    the action names shown; ``limit`` caps the number of rows (a
+    truncation marker is appended when exceeded).
+    """
+    keep = frozenset(names) if names is not None else None
+    columns = {p: index for index, p in enumerate(processors)}
+    width = 3
+    header = "time".rjust(9) + " " + "".join(
+        str(p)[:width].center(width) for p in processors
+    ) + "  event"
+    lines = [header, "-" * len(header)]
+    shown = 0
+    for event in trace.events:
+        name = event.action.name
+        if keep is not None and name not in keep:
+            continue
+        if shown >= limit:
+            lines.append(f"... truncated at {limit} rows ...")
+            break
+        glyph_spec = _LOCATION_OF.get(name)
+        cells = [" " * width] * len(processors)
+        if glyph_spec is not None:
+            glyph, arg_index = glyph_spec
+            if arg_index < len(event.action.args):
+                location = event.action.args[arg_index]
+                if location in columns:
+                    cells[columns[location]] = glyph.center(width)
+        lines.append(
+            f"{event.time:9.2f} "
+            + "".join(cells)
+            + "  "
+            + describe_event(event.action)
+        )
+        shown += 1
+    return "\n".join(lines)
+
+
+def summarize_trace(trace: TimedTrace) -> dict[str, int]:
+    """Event counts per action name."""
+    counts: dict[str, int] = {}
+    for event in trace.events:
+        counts[event.action.name] = counts.get(event.action.name, 0) + 1
+    return counts
+
+
+def format_view_history(
+    trace: TimedTrace,
+    processors: Sequence[ProcId],
+    initial_view=None,
+) -> str:
+    """Render each processor's sequence of views as intervals.
+
+    One line per processor: ``p: [0.0..47.2) ⟨(0,1),{...}⟩ | [47.2..) …``
+    — a textual Gantt of the membership history, built from ``newview``
+    events (plus the optional initial view)."""
+    history: dict[ProcId, list[tuple[float, object]]] = {
+        p: [] for p in processors
+    }
+    if initial_view is not None:
+        for p in processors:
+            if p in initial_view.set:
+                history[p].append((0.0, initial_view))
+    for event in trace.events:
+        if event.action.name != "newview":
+            continue
+        view, p = event.action.args
+        if p in history:
+            history[p].append((event.time, view))
+    lines = []
+    for p in processors:
+        intervals = history[p]
+        parts = []
+        for index, (start, view) in enumerate(intervals):
+            end = (
+                f"{intervals[index + 1][0]:.4g}"
+                if index + 1 < len(intervals)
+                else "∞"
+            )
+            members = ",".join(str(m) for m in sorted(view.set, key=str))
+            parts.append(f"[{start:.4g}..{end}) id={view.id} {{{members}}}")
+        lines.append(f"{p}: " + (" | ".join(parts) if parts else "(no view)"))
+    return "\n".join(lines)

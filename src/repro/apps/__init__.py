@@ -1,0 +1,39 @@
+"""Applications built on the TO service.
+
+- :mod:`repro.apps.totalorder` — :class:`TotalOrderBroadcast`, the
+  user-facing façade assembling the full stack (token-ring VS +
+  VStoTO);
+- :mod:`repro.apps.seqmem` — the sequentially consistent replicated
+  memory of the paper's footnote 3 (replicated state machine), plus an
+  executable sequential-consistency checker;
+- :mod:`repro.apps.atomicmem` — the atomic-memory variant (all
+  operations through TO);
+- :mod:`repro.apps.baselines` — a Keidar–Dolev-style baseline that logs
+  to (simulated) stable storage before acknowledging, for the latency
+  trade-off discussion of Section 1;
+- :mod:`repro.apps.loadbalance` — view-aware work sharing in the style
+  of the load-balancing service the paper cites as built on this VS
+  specification (reference [27]).
+"""
+
+from repro.apps.totalorder import TotalOrderBroadcast
+from repro.apps.seqmem import (
+    MemoryOp,
+    SequentiallyConsistentMemory,
+    check_sequential_consistency,
+)
+from repro.apps.atomicmem import AtomicMemory, check_linearizability
+from repro.apps.baselines import StableStorageBroadcast
+from repro.apps.loadbalance import LoadBalancedWorkers, owner_of
+
+__all__ = [
+    "TotalOrderBroadcast",
+    "SequentiallyConsistentMemory",
+    "MemoryOp",
+    "check_sequential_consistency",
+    "AtomicMemory",
+    "check_linearizability",
+    "StableStorageBroadcast",
+    "LoadBalancedWorkers",
+    "owner_of",
+]

@@ -1,0 +1,205 @@
+"""Atomic (linearisable) replicated memory.
+
+Footnote 3's alternative construction: *all* operations — reads as well
+as writes — go through the totally ordered broadcast service.  A read
+completes only when its own marker is delivered back at the reader,
+which serialises it against every write, giving atomicity at the price
+of read latency (reads are no longer local).
+
+Because every replica applies the same delivery sequence, the position
+of an operation in that sequence is a global *serialisation index*; the
+executable checker :func:`check_linearizability` uses it to verify both
+legality (every read returns the latest preceding write) and real-time
+order (an operation that completed before another was invoked is
+serialised first) — the two halves of linearisability.
+
+The latency difference against
+:class:`~repro.apps.seqmem.SequentiallyConsistentMemory` is measured by
+``benchmarks/bench_seqmem.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+from repro.apps.totalorder import TotalOrderBroadcast
+
+ProcId = Hashable
+
+
+@dataclass
+class PendingOp:
+    """An operation awaiting its own delivery at its origin."""
+
+    op_id: int
+    proc: ProcId
+    kind: str  # "read" | "write"
+    key: Any
+    value: Any
+    issued_at: float
+    callback: Optional[Callable[[Any], None]]
+
+
+@dataclass(frozen=True)
+class CompletedOp:
+    """An operation with its global serialisation index."""
+
+    op_id: int
+    proc: ProcId
+    kind: str
+    key: Any
+    value: Any  # written value, or the value a read returned
+    issued_at: float
+    completed_at: float
+    index: int  # position in the global total order
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.issued_at
+
+
+class AtomicMemory:
+    """Linearisable key→value memory: every operation is broadcast."""
+
+    def __init__(self, tob: TotalOrderBroadcast) -> None:
+        self.tob = tob
+        tob.runtime.on_deliver = self._apply
+        self.replicas: dict[ProcId, dict[Any, Any]] = {
+            p: {} for p in tob.processors
+        }
+        self._op_ids = itertools.count()
+        self._pending: dict[int, PendingOp] = {}
+        #: completed operations, in completion order
+        self.ops: list[CompletedOp] = []
+        self.writes_applied: dict[ProcId, int] = {p: 0 for p in tob.processors}
+        #: per-replica count of applied payloads (the serialisation index)
+        self._applied_count: dict[ProcId, int] = {
+            p: 0 for p in tob.processors
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def completed_reads(self) -> list[CompletedOp]:
+        return [op for op in self.ops if op.kind == "read"]
+
+    @property
+    def completed_writes(self) -> list[CompletedOp]:
+        return [op for op in self.ops if op.kind == "write"]
+
+    # ------------------------------------------------------------------
+    def write(self, p: ProcId, key: Any, value: Any) -> int:
+        op_id = next(self._op_ids)
+        self._pending[op_id] = PendingOp(
+            op_id=op_id,
+            proc=p,
+            kind="write",
+            key=key,
+            value=value,
+            issued_at=self.tob.now,
+            callback=None,
+        )
+        self.tob.broadcast(p, ("write", key, value, op_id))
+        return op_id
+
+    def read(
+        self,
+        p: ProcId,
+        key: Any,
+        callback: Optional[Callable[[Any], None]] = None,
+    ) -> int:
+        """Issue an atomic read; returns the operation id.  The value is
+        reported through ``callback`` (and :attr:`ops`) when the read's
+        marker is delivered back at p."""
+        op_id = next(self._op_ids)
+        self._pending[op_id] = PendingOp(
+            op_id=op_id,
+            proc=p,
+            kind="read",
+            key=key,
+            value=None,
+            issued_at=self.tob.now,
+            callback=callback,
+        )
+        self.tob.broadcast(p, ("read", key, None, op_id))
+        return op_id
+
+    def schedule_write(self, time: float, p: ProcId, key: Any, value: Any) -> None:
+        self.tob.vs.simulator.schedule_at(time, lambda: self.write(p, key, value))
+
+    def schedule_read(self, time: float, p: ProcId, key: Any) -> None:
+        self.tob.vs.simulator.schedule_at(time, lambda: self.read(p, key))
+
+    def run_until(self, time: float) -> None:
+        self.tob.run_until(time)
+
+    # ------------------------------------------------------------------
+    def _apply(self, payload: Any, origin: ProcId, dst: ProcId) -> None:
+        kind, key, value, op_id = payload
+        self._applied_count[dst] += 1
+        index = self._applied_count[dst]
+        if kind == "write":
+            self.replicas[dst][key] = value
+            self.writes_applied[dst] += 1
+        if dst != origin:
+            return
+        pending = self._pending.pop(op_id, None)
+        if pending is None:
+            return
+        result = value if kind == "write" else self.replicas[dst].get(key)
+        completed = CompletedOp(
+            op_id=op_id,
+            proc=dst,
+            kind=kind,
+            key=key,
+            value=result,
+            issued_at=pending.issued_at,
+            completed_at=self.tob.now,
+            index=index,
+        )
+        self.ops.append(completed)
+        if pending.callback is not None:
+            pending.callback(result)
+
+
+def check_linearizability(memory: AtomicMemory) -> tuple[bool, str]:
+    """Verify the completed-operation history is linearisable.
+
+    The serialisation is the global total order (each op's ``index``).
+    Checks:
+
+    1. *legality*: every read returns the value of the latest write to
+       its key with a smaller index (or None when there is none);
+    2. *real-time order*: if op A completed before op B was issued, then
+       A's index precedes B's;
+    3. indices are distinct (the order is a sequence).
+    """
+    ops = sorted(memory.ops, key=lambda op: op.index)
+    indices = [op.index for op in ops]
+    if len(set(indices)) != len(indices):
+        return False, "duplicate serialisation indices"
+
+    last_value: dict[Any, Any] = {}
+    for op in ops:
+        if op.kind == "write":
+            last_value[op.key] = op.value
+        else:
+            expected = last_value.get(op.key)
+            if op.value != expected:
+                return (
+                    False,
+                    f"read {op.op_id} of {op.key!r} returned {op.value!r}; "
+                    f"serialisation implies {expected!r}",
+                )
+
+    for a in memory.ops:
+        for b in memory.ops:
+            if a.completed_at < b.issued_at and a.index >= b.index:
+                return (
+                    False,
+                    f"real-time order violated: op {a.op_id} completed at "
+                    f"{a.completed_at:.6g} before op {b.op_id} was issued "
+                    f"at {b.issued_at:.6g}, but is serialised later",
+                )
+    return True, ""

@@ -1,0 +1,106 @@
+"""Baseline: stable-storage-first ordered broadcast (Keidar–Dolev style).
+
+Section 1 discusses the design space: "In the work of Dolev and Keidar
+the message is written to stable storage before it is ordered or
+acknowledged, thus their solution trades latency for fault-tolerance."
+This module implements that discipline over the same substrate so the
+trade-off can be measured (experiment E8):
+
+- a submitted value is first written to simulated stable storage
+  (latency ``storage_latency``) at its origin before entering the TO
+  pipeline;
+- each replica likewise logs a delivered value for ``storage_latency``
+  before passing it to the client.
+
+Against this baseline, the paper's VStoTO (which keeps state in memory
+across view changes, modelling crashes as delays without state loss)
+saves two storage writes per message on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.apps.totalorder import TotalOrderBroadcast
+from repro.core.quorums import QuorumSystem
+from repro.membership.ring import RingConfig
+
+ProcId = Hashable
+
+
+@dataclass(frozen=True)
+class LoggedDelivery:
+    """A client delivery after the replica's stable-storage write."""
+
+    time: float
+    value: Any
+    origin: ProcId
+    dst: ProcId
+
+
+class StableStorageBroadcast:
+    """Totally ordered broadcast with write-ahead stable storage.
+
+    The API mirrors :class:`TotalOrderBroadcast`; ``delivered`` reports
+    values only after the post-delivery log write completes, and
+    ``broadcast`` inserts the pre-submission log write.
+    """
+
+    def __init__(
+        self,
+        processors: Iterable[ProcId],
+        storage_latency: float = 5.0,
+        config: Optional[RingConfig] = None,
+        quorums: Optional[QuorumSystem] = None,
+        seed: int = 0,
+    ) -> None:
+        if storage_latency < 0:
+            raise ValueError("storage latency must be nonnegative")
+        self.storage_latency = storage_latency
+        self.tob = TotalOrderBroadcast(
+            processors, config=config, quorums=quorums, seed=seed
+        )
+        self.tob.runtime.on_deliver = self._on_deliver
+        self.logged_deliveries: list[LoggedDelivery] = []
+        self.storage_writes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def processors(self) -> tuple[ProcId, ...]:
+        return self.tob.processors
+
+    @property
+    def now(self) -> float:
+        return self.tob.now
+
+    def broadcast(self, p: ProcId, value: Any) -> None:
+        """Log to stable storage, then submit to the TO pipeline."""
+        self.storage_writes += 1
+        self.tob.vs.simulator.schedule(
+            self.storage_latency, lambda: self.tob.broadcast(p, value)
+        )
+
+    def schedule_broadcast(self, time: float, p: ProcId, value: Any) -> None:
+        self.tob.vs.simulator.schedule_at(
+            time, lambda: self.broadcast(p, value)
+        )
+
+    def run_until(self, time: float) -> None:
+        self.tob.run_until(time)
+
+    # ------------------------------------------------------------------
+    def _on_deliver(self, value: Any, origin: ProcId, dst: ProcId) -> None:
+        self.storage_writes += 1
+        self.tob.vs.simulator.schedule(
+            self.storage_latency,
+            lambda: self.logged_deliveries.append(
+                LoggedDelivery(
+                    time=self.now, value=value, origin=origin, dst=dst
+                )
+            ),
+        )
+
+    def delivered(self, p: ProcId) -> list[Any]:
+        """Values whose post-delivery log write has completed at p."""
+        return [d.value for d in self.logged_deliveries if d.dst == p]

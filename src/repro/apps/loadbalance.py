@@ -1,0 +1,187 @@
+"""View-aware load balancing — the style of application the paper cites
+as built on this VS specification (Fekete–Khazan–Lynch, "Group
+Communication as a base for a Load-Balancing, Replicated Data Service",
+DISC 1998; reference [27]).
+
+Tasks are announced through the group service; ownership is a pure
+function of (task, current view): the member at position
+``hash(task) mod |view|`` of the sorted membership owns it.  An owner
+*executes* a task only once the announcement is **safe** — every member
+of the view has seen it, so no two members of one view can disagree
+about the assignment — and then announces the completion.
+
+On a view change, ownership is recomputed over the new membership, so
+tasks owned by departed members are automatically re-owned by survivors
+(at-least-once execution: concurrent partition sides may both execute a
+task; a stable group executes each task exactly once, which the tests
+assert).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from repro.core.types import View
+from repro.membership.service import TokenRingVS
+
+ProcId = Hashable
+
+
+def owner_of(task_id: str, view: View) -> ProcId:
+    """The deterministic owner of ``task_id`` in ``view``."""
+    members = sorted(view.set)
+    digest = hashlib.sha256(task_id.encode()).digest()
+    return members[int.from_bytes(digest[:4], "big") % len(members)]
+
+
+@dataclass
+class TaskRecord:
+    """Per-member knowledge about one task."""
+
+    task_id: str
+    payload: Any
+    safe: bool = False
+    completed_by: list = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return bool(self.completed_by)
+
+
+class LoadBalancedWorkers:
+    """A work-sharing group over a VS service.
+
+    Parameters
+    ----------
+    service:
+        A token-ring VS instance; this class installs itself as the
+        service's callback sink.
+    on_execute:
+        Optional callback ``(task_id, payload, executor)`` invoked when
+        a member executes a task.
+    """
+
+    def __init__(
+        self,
+        service: TokenRingVS,
+        on_execute=None,
+    ) -> None:
+        self.service = service
+        self.on_execute = on_execute
+        self.processors = service.processors
+        #: per-member task tables
+        self.tasks: dict[ProcId, dict[str, TaskRecord]] = {
+            p: {} for p in self.processors
+        }
+        #: per-member current view (as reported by VS)
+        self.views: dict[ProcId, Optional[View]] = {
+            p: (service.initial_view if p in service.initial_view.set else None)
+            for p in self.processors
+        }
+        #: executions performed: (task_id, executor, time)
+        self.executions: list[tuple[str, ProcId, float]] = []
+        service.on_gprcv = self._on_gprcv
+        service.on_safe = self._on_safe
+        service.on_newview = self._on_newview
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.service.start()
+
+    def run_until(self, time: float) -> None:
+        self.start()
+        self.service.run_until(time)
+
+    def submit(self, p: ProcId, task_id: str, payload: Any = None) -> None:
+        """Announce a task to the group from member p.
+
+        The submitter records the task locally at once: announcements
+        in flight when a view changes are lost with the view, and the
+        re-announcement on ``newview`` can only cover tasks the member
+        knows about.
+        """
+        self.tasks[p].setdefault(
+            task_id, TaskRecord(task_id=task_id, payload=payload)
+        )
+        self.service.gpsnd(p, ("task", task_id, payload))
+
+    def schedule_submit(
+        self, time: float, p: ProcId, task_id: str, payload: Any = None
+    ) -> None:
+        self.service.simulator.schedule_at(
+            time, lambda: self.submit(p, task_id, payload)
+        )
+
+    # ------------------------------------------------------------------
+    def _on_gprcv(self, message: Any, src: ProcId, dst: ProcId) -> None:
+        kind = message[0]
+        if kind == "task":
+            _kind, task_id, payload = message
+            self.tasks[dst].setdefault(
+                task_id, TaskRecord(task_id=task_id, payload=payload)
+            )
+        elif kind == "done":
+            _kind, task_id, executor = message
+            record = self.tasks[dst].setdefault(
+                task_id, TaskRecord(task_id=task_id, payload=None)
+            )
+            record.completed_by.append(executor)
+
+    def _on_safe(self, message: Any, src: ProcId, dst: ProcId) -> None:
+        if message[0] != "task":
+            return
+        _kind, task_id, _payload = message
+        record = self.tasks[dst].get(task_id)
+        if record is None:
+            return
+        record.safe = True
+        self._maybe_execute(dst, record)
+
+    def _on_newview(self, view: View, p: ProcId) -> None:
+        self.views[p] = view
+        # Re-evaluate ownership of everything known and not completed.
+        # Tasks must be re-announced in the new view before execution
+        # (safety is per view); the cheapest correct policy is for every
+        # member to re-announce its incomplete tasks.
+        for record in self.tasks[p].values():
+            record.safe = False
+            if not record.completed:
+                self.service.gpsnd(p, ("task", record.task_id, record.payload))
+
+    # ------------------------------------------------------------------
+    def _maybe_execute(self, member: ProcId, record: TaskRecord) -> None:
+        view = self.views[member]
+        if view is None or record.completed or not record.safe:
+            return
+        if owner_of(record.task_id, view) != member:
+            return
+        now = self.service.simulator.now
+        self.executions.append((record.task_id, member, now))
+        record.completed_by.append(member)
+        if self.on_execute is not None:
+            self.on_execute(record.task_id, record.payload, member)
+        self.service.gpsnd(member, ("done", record.task_id, member))
+
+    # ------------------------------------------------------------------
+    def completed_tasks(self, p: ProcId) -> set[str]:
+        """Tasks member p knows to be completed."""
+        return {
+            task_id
+            for task_id, record in self.tasks[p].items()
+            if record.completed
+        }
+
+    def execution_counts(self) -> dict[str, int]:
+        """How many times each task was executed (across all members)."""
+        counts: dict[str, int] = {}
+        for task_id, _member, _time in self.executions:
+            counts[task_id] = counts.get(task_id, 0) + 1
+        return counts
+
+    def load_by_member(self) -> dict[ProcId, int]:
+        counts = {p: 0 for p in self.processors}
+        for _task, member, _time in self.executions:
+            counts[member] += 1
+        return counts

@@ -1,0 +1,23 @@
+"""The paper's formal content.
+
+- :mod:`repro.core.types` — views, view identifiers, labels (Fig. 8 types);
+- :mod:`repro.core.to_spec` — the TO specification (Section 3);
+- :mod:`repro.core.vs_spec` — the VS specification (Section 4);
+- :mod:`repro.core.quorums` — quorum systems used to define primary views;
+- :mod:`repro.core.vstoto` — the VStoTO algorithm (Section 5), its
+  invariants and forward simulation (Section 6), and timed wrappers
+  (Section 7).
+"""
+
+from repro.core.monitor import OnlineVSMonitor, VSConformanceError
+from repro.core.types import BOTTOM, Bottom, Label, View, view_id_less
+
+__all__ = [
+    "BOTTOM",
+    "Bottom",
+    "Label",
+    "View",
+    "view_id_less",
+    "OnlineVSMonitor",
+    "VSConformanceError",
+]

@@ -1,0 +1,96 @@
+"""Quorum systems (Section 5).
+
+The paper fixes a set Q of quorums, subsets of P with pairwise nonempty
+intersection, and calls a view *primary* when its membership contains a
+quorum.  Majorities are the canonical instance; weighted and explicit
+systems are provided for the ablation benchmarks (quorum choice affects
+how often a partition side is primary, hence confirm latency).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+from typing import FrozenSet, Hashable, Iterable, Sequence
+
+ProcId = Hashable
+
+
+class QuorumSystem(ABC):
+    """A set Q of quorums over a fixed processor set P."""
+
+    @abstractmethod
+    def is_quorum(self, members: Iterable[ProcId]) -> bool:
+        """Is ``members`` a superset of some quorum?"""
+
+    def is_primary(self, members: Iterable[ProcId]) -> bool:
+        """A view membership is primary iff it contains a quorum
+        (the derived variable *primary* of Fig. 9)."""
+        return self.is_quorum(members)
+
+
+class MajorityQuorumSystem(QuorumSystem):
+    """Q = all majorities of P: any set of more than |P|/2 processors."""
+
+    def __init__(self, processors: Iterable[ProcId]) -> None:
+        self.processors: FrozenSet[ProcId] = frozenset(processors)
+        if not self.processors:
+            raise ValueError("empty processor set")
+        self.threshold = len(self.processors) // 2 + 1
+
+    def is_quorum(self, members: Iterable[ProcId]) -> bool:
+        members = frozenset(members) & self.processors
+        return len(members) >= self.threshold
+
+
+class ExplicitQuorumSystem(QuorumSystem):
+    """Q given as an explicit list of quorums; validates the pairwise
+    intersection requirement the paper assumes."""
+
+    def __init__(self, quorums: Sequence[Iterable[ProcId]]) -> None:
+        self.quorums: tuple[FrozenSet[ProcId], ...] = tuple(
+            frozenset(q) for q in quorums
+        )
+        if not self.quorums:
+            raise ValueError("at least one quorum is required")
+        if any(not q for q in self.quorums):
+            raise ValueError("quorums must be nonempty")
+        for q1, q2 in combinations(self.quorums, 2):
+            if not (q1 & q2):
+                raise ValueError(
+                    f"quorums {sorted(map(str, q1))} and {sorted(map(str, q2))} "
+                    f"do not intersect"
+                )
+
+    def is_quorum(self, members: Iterable[ProcId]) -> bool:
+        members = frozenset(members)
+        return any(q <= members for q in self.quorums)
+
+
+class WeightedQuorumSystem(QuorumSystem):
+    """Weighted majority: a quorum is any set whose total weight exceeds
+    half the total.  Pairwise intersection holds by the weight argument."""
+
+    def __init__(self, weights: dict[ProcId, float]) -> None:
+        if not weights:
+            raise ValueError("empty weight map")
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("weights must be nonnegative")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        self.weights = dict(weights)
+        self.half_total = total / 2.0
+
+    def is_quorum(self, members: Iterable[ProcId]) -> bool:
+        members = frozenset(members)
+        weight = sum(self.weights.get(p, 0.0) for p in members)
+        return weight > self.half_total
+
+
+class NoQuorumSystem(QuorumSystem):
+    """A degenerate system in which no view is ever primary — used in
+    tests to exercise the non-primary code paths of VStoTO."""
+
+    def is_quorum(self, members: Iterable[ProcId]) -> bool:
+        return False

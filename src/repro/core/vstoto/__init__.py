@@ -1,0 +1,43 @@
+"""The VStoTO algorithm (Section 5) and its verification apparatus
+(Section 6–7).
+
+- :mod:`repro.core.vstoto.summary` — the label/summary types and the
+  operations of Fig. 8 (knowncontent, maxprimary, chosenrep, shortorder,
+  fullorder, maxnextconfirm);
+- :mod:`repro.core.vstoto.process` — the per-processor automaton
+  ``VStoTO_p`` of Figs. 9–10, plus the Section 7 timed wrapper
+  ``VStoTO'_p`` with failure statuses;
+- :mod:`repro.core.vstoto.system` — *VStoTO-system*: the composition
+  with VS-machine, and the derived variables (allstate, allcontent,
+  allconfirm) of Section 6;
+- :mod:`repro.core.vstoto.invariants` — executable transcriptions of the
+  Section 6.1 lemmas;
+- :mod:`repro.core.vstoto.simulation` — the forward simulation ``f`` of
+  Section 6.2, checked step by step (Theorem 6.26);
+- :mod:`repro.core.vstoto.harness` — randomized run driver used by the
+  tests and benchmarks (workload injection, partition/merge scripting).
+"""
+
+from repro.core.vstoto.summary import Summary, summary_confirm
+from repro.core.vstoto.process import (
+    Status,
+    TimedVStoTOProcess,
+    VStoTOProcess,
+)
+from repro.core.vstoto.system import VStoTOSystem
+from repro.core.vstoto.invariants import vstoto_invariant_suite
+from repro.core.vstoto.simulation import VStoTOSimulation
+from repro.core.vstoto.harness import RandomRunConfig, RandomRunDriver
+
+__all__ = [
+    "Summary",
+    "summary_confirm",
+    "Status",
+    "VStoTOProcess",
+    "TimedVStoTOProcess",
+    "VStoTOSystem",
+    "vstoto_invariant_suite",
+    "VStoTOSimulation",
+    "RandomRunConfig",
+    "RandomRunDriver",
+]

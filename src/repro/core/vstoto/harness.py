@@ -1,0 +1,186 @@
+"""Randomized run driver for *VStoTO-system*.
+
+This is the model-checking-by-simulation workhorse behind experiments
+E3, E4 and E11: it drives the composed system with a seeded random
+scheduler, injects client ``bcast`` inputs, and offers random view
+changes (splits, merges, reshuffles) to the VS layer, while optionally
+checking the Section 6 invariant suite on every reachable state and the
+Section 6.2 forward simulation across every transition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from repro.core.vstoto.invariants import vstoto_invariant_suite
+from repro.core.vstoto.simulation import VStoTOSimulation
+from repro.core.vstoto.system import VStoTOSystem
+from repro.ioa.actions import Action, act
+from repro.ioa.execution import Execution
+from repro.ioa.invariants import InvariantSuite
+
+ProcId = Hashable
+
+
+@dataclass
+class RandomRunConfig:
+    """Parameters of one randomized run.
+
+    - ``max_steps``: transition budget;
+    - ``bcast_probability``: chance per step of injecting a client
+      ``bcast`` instead of letting the scheduler pick;
+    - ``max_bcasts``: cap on injected values;
+    - ``view_change_every``: mean number of steps between offered view
+      changes (0 disables view changes);
+    - ``merge_probability``: when offering a view, chance it is the full
+      group rather than a random split fragment;
+    - ``invariant_check_every``: evaluate the invariant suite on every
+      k-th state (1 = every state).
+    """
+
+    seed: int = 0
+    max_steps: int = 2000
+    bcast_probability: float = 0.15
+    max_bcasts: int = 40
+    view_change_every: int = 250
+    merge_probability: float = 0.5
+    invariant_check_every: int = 1
+
+
+@dataclass
+class RunStats:
+    """Aggregates reported by :meth:`RandomRunDriver.run`."""
+
+    steps: int = 0
+    bcasts_injected: int = 0
+    views_offered: int = 0
+    action_counts: dict[str, int] = field(default_factory=dict)
+    invariant_states_checked: int = 0
+    simulation_steps_checked: int = 0
+
+    def count(self, name: str) -> int:
+        return self.action_counts.get(name, 0)
+
+
+class RandomRunDriver:
+    """Drives a system; see module docstring."""
+
+    def __init__(
+        self,
+        system: VStoTOSystem,
+        config: RandomRunConfig,
+        check_invariants: bool = False,
+        check_simulation: bool = False,
+        invariant_suite: Optional[InvariantSuite] = None,
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.stats = RunStats()
+        self.execution = Execution(automaton_name=system.name)
+        self.suite = (
+            invariant_suite
+            if invariant_suite is not None
+            else (vstoto_invariant_suite() if check_invariants else None)
+        )
+        self.simulation = VStoTOSimulation(system) if check_simulation else None
+        self._next_value = 0
+
+    # ------------------------------------------------------------------
+    def _random_view_members(self) -> tuple[ProcId, ...]:
+        processors = list(self.system.processors)
+        if self.rng.random() < self.config.merge_probability:
+            return tuple(processors)
+        size = self.rng.randint(1, len(processors))
+        return tuple(self.rng.sample(processors, size))
+
+    def _maybe_offer_view(self, step: int) -> None:
+        every = self.config.view_change_every
+        if every <= 0:
+            return
+        if self.rng.random() < 1.0 / every:
+            self.system.offer_view(self._random_view_members())
+            self.stats.views_offered += 1
+
+    def _maybe_bcast(self) -> Optional[Action]:
+        if self.stats.bcasts_injected >= self.config.max_bcasts:
+            return None
+        if self.rng.random() >= self.config.bcast_probability:
+            return None
+        value = f"v{self._next_value}"
+        self._next_value += 1
+        origin = self.rng.choice(list(self.system.processors))
+        self.stats.bcasts_injected += 1
+        return act("bcast", value, origin)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunStats:
+        for step in range(self.config.max_steps):
+            self._maybe_offer_view(step)
+            action = self._maybe_bcast()
+            if action is None:
+                enabled = list(self.system.enabled_actions())
+                if not enabled:
+                    injected = self._force_bcast()
+                    if injected is None:
+                        break
+                    action = injected
+                else:
+                    action = enabled[self.rng.randrange(len(enabled))]
+            self._apply(action, step)
+        return self.stats
+
+    def _force_bcast(self) -> Optional[Action]:
+        """When the system quiesces, inject one more value if the budget
+        allows, otherwise signal completion."""
+        if self.stats.bcasts_injected >= self.config.max_bcasts:
+            return None
+        value = f"v{self._next_value}"
+        self._next_value += 1
+        origin = self.rng.choice(list(self.system.processors))
+        self.stats.bcasts_injected += 1
+        return act("bcast", value, origin)
+
+    def _apply(self, action: Action, step: int) -> None:
+        if self.simulation is not None:
+            self.simulation.before_step()
+        self.system.step(action)
+        self.execution.actions.append(action)
+        self.stats.steps += 1
+        self.stats.action_counts[action.name] = (
+            self.stats.action_counts.get(action.name, 0) + 1
+        )
+        if self.simulation is not None:
+            self.simulation.after_step(action)
+            self.stats.simulation_steps_checked = self.simulation.steps_checked
+        if (
+            self.suite is not None
+            and step % max(self.config.invariant_check_every, 1) == 0
+        ):
+            self.suite.check_state(self.system, step)
+            self.stats.invariant_states_checked = self.suite.checked_states
+
+    # ------------------------------------------------------------------
+    def delivered_values(self) -> dict[ProcId, list[Any]]:
+        """Values delivered to each client so far (from brcv actions)."""
+        delivered: dict[ProcId, list[Any]] = {
+            p: [] for p in self.system.processors
+        }
+        for action in self.execution.actions:
+            if action.name == "brcv":
+                a, _q, p = action.args
+                delivered[p].append(a)
+        return delivered
+
+    def external_trace(self) -> list[Action]:
+        """The TO-level external trace (bcast/brcv) of the run, with the
+        brcv parameters reordered to TO-machine's (a, origin, dest)."""
+        result: list[Action] = []
+        for action in self.execution.actions:
+            if action.name == "bcast":
+                result.append(action)
+            elif action.name == "brcv":
+                result.append(action)
+        return result

@@ -1,0 +1,603 @@
+"""Executable transcriptions of the Section 6.1 invariants.
+
+Each invariant is a predicate over a live :class:`VStoTOSystem` (the
+suite is evaluated on the system object itself rather than on snapshots,
+since the derived variables are computed on demand).  References give
+the paper lemma each transcribes.  Together with randomized runs these
+form the runtime analogue of the paper's mechanically checked proofs.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.types import BOTTOM, Label, view_id_less
+from repro.core.vstoto.process import Status, is_summary
+from repro.core.vstoto.system import VStoTOSystem
+from repro.ioa.invariants import Invariant, InvariantSuite
+
+
+def _le(a, b) -> bool:
+    """a <= b over G_bot."""
+    return a == b or (a is BOTTOM and b is BOTTOM) or view_id_less(a, b)
+
+
+def _lt(a, b) -> bool:
+    return view_id_less(a, b)
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.1 — consistency between process and VS view variables
+# ----------------------------------------------------------------------
+def inv_current_consistency(system: VStoTOSystem) -> bool:
+    for p, proc in system.procs.items():
+        vs_id = system.vs.current_viewid[p]
+        if (proc.current is BOTTOM) != (vs_id is BOTTOM):
+            return False
+        if proc.current is not BOTTOM:
+            if proc.current.id != vs_id:
+                return False
+            created = system.vs.created.get(proc.current.id)
+            if created != proc.current:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.2 — no state exchange before a view is known
+# ----------------------------------------------------------------------
+def inv_bottom_implies_normal(system: VStoTOSystem) -> bool:
+    return all(
+        proc.status is Status.NORMAL
+        for proc in system.procs.values()
+        if proc.current is BOTTOM
+    )
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.3 — labels in buffers, pendings and queues match their origin
+# and view
+# ----------------------------------------------------------------------
+def inv_label_locations(system: VStoTOSystem) -> bool:
+    for p, proc in system.procs.items():
+        for label in proc.buffer:
+            if proc.current is BOTTOM:
+                return False
+            if label.origin != p or label.id != proc.current.id:
+                return False
+    for (p, g), items in system.vs.pending.items():
+        for item in items:
+            if not is_summary(item):
+                label, _value = item
+                if label.origin != p or label.id != g:
+                    return False
+    for g, queue in system.vs.queue.items():
+        for item, sender in queue:
+            if not is_summary(item):
+                label, _value = item
+                if label.origin != sender or label.id != g:
+                    return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.4 — every known label of origin p is below p's next label
+# ----------------------------------------------------------------------
+def inv_label_bound(system: VStoTOSystem) -> bool:
+    try:
+        allcontent = system.allcontent()
+    except ValueError:
+        return False
+    for label in allcontent:
+        proc = system.procs.get(label.origin)
+        if proc is None:
+            return False
+        if proc.current is BOTTOM:
+            return False
+        bound = Label(proc.current.id, proc.nextseqno, label.origin)
+        if not label < bound:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.5 — allcontent is a function
+# ----------------------------------------------------------------------
+def inv_allcontent_function(system: VStoTOSystem) -> bool:
+    try:
+        system.allcontent()
+    except ValueError:
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.6 — buffered labels have content entries
+# ----------------------------------------------------------------------
+def inv_buffer_has_content(system: VStoTOSystem) -> bool:
+    for proc in system.procs.values():
+        labels_with_content = {label for (label, _value) in proc.content}
+        if not set(proc.buffer) <= labels_with_content:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.7 (part 4) — no allstate for views beyond a process's current
+# ----------------------------------------------------------------------
+def inv_no_future_allstate(system: VStoTOSystem) -> bool:
+    for p, _g, _summary in system.allstate_all():
+        proc = system.procs[p]
+        if proc.current is BOTTOM:
+            return False
+    for p, g, _summary in system.allstate_all():
+        proc = system.procs[p]
+        if _lt(proc.current.id, g):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.10 — facts about "established"
+# ----------------------------------------------------------------------
+def inv_established_monotone(system: VStoTOSystem) -> bool:
+    for _p, proc in system.procs.items():
+        for g, flag in proc.established.items():
+            if not flag:
+                continue
+            if proc.current is BOTTOM:
+                return False
+            if _lt(proc.current.id, g):
+                return False
+    return True
+
+
+def inv_established_iff_normal(system: VStoTOSystem) -> bool:
+    for proc in system.procs.values():
+        if proc.current is BOTTOM:
+            continue
+        established = proc.established.get(proc.current.id, False)
+        if established != (proc.status is Status.NORMAL):
+            return False
+    for proc in system.procs.values():
+        if proc.current is BOTTOM and any(proc.established.values()):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.11 — upper bounds on highprimary
+# ----------------------------------------------------------------------
+def inv_highprimary_bounds(system: VStoTOSystem) -> bool:
+    g0 = system.vs.initial_view.id
+    for proc in system.procs.values():
+        if proc.current is BOTTOM:
+            continue
+        current_id = proc.current.id
+        established = proc.established.get(current_id, False)
+        if established and proc.primary:
+            if proc.highprimary != current_id:
+                return False
+        elif established and not proc.primary:
+            # Base-case exception: Fig. 9 initialises highprimary to g0
+            # for members of P0 whether or not v0 contains a quorum, so
+            # under a quorum system that makes v0 non-primary the strict
+            # inequality of Lemma 6.11(2) starts as equality at g0 (the
+            # paper implicitly assumes a primary initial view).
+            if current_id == g0 and proc.highprimary == g0:
+                continue
+            if not _lt(proc.highprimary, current_id):
+                return False
+        elif not established:
+            if not _lt(proc.highprimary, current_id):
+                return False
+    return True
+
+
+def inv_gotstate_high_below_current(system: VStoTOSystem) -> bool:
+    """Lemma 6.11 part 4: summaries in gotstate have high < current.id."""
+    for proc in system.procs.values():
+        if proc.current is BOTTOM:
+            if proc.gotstate:
+                return False
+            continue
+        for summary in proc.gotstate.values():
+            if not _lt(summary.high, proc.current.id):
+                return False
+    return True
+
+
+def inv_inflight_high_below_view(system: VStoTOSystem) -> bool:
+    """Lemma 6.11 parts 5-6: in-flight summaries have high < their view."""
+    for g, queue in system.vs.queue.items():
+        for item, _sender in queue:
+            if is_summary(item) and not _lt(item.high, g):
+                return False
+    for (_p, g), items in system.vs.pending.items():
+        for item in items:
+            if is_summary(item) and not _lt(item.high, g):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.8 — before a processor sends its state-exchange summary,
+# nothing from it exists in its current view
+# ----------------------------------------------------------------------
+def inv_send_status_nothing_sent(system: VStoTOSystem) -> bool:
+    for p, proc in system.procs.items():
+        if proc.status is not Status.SEND or proc.current is BOTTOM:
+            continue
+        g = proc.current.id
+        if system.vs.pending.get((p, g)):
+            return False
+        for _item, sender in system.vs.queue.get(g, []):
+            if sender == p:
+                return False
+        for q_proc in system.procs.values():
+            if (
+                q_proc.current is not BOTTOM
+                and q_proc.current.id == g
+                and p in q_proc.gotstate
+            ):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.9 (part 4) — while collecting, every summary of p's in its
+# current view carries p's own highprimary
+# ----------------------------------------------------------------------
+def inv_collect_summaries_match_high(system: VStoTOSystem) -> bool:
+    for p, proc in system.procs.items():
+        if proc.status is not Status.COLLECT or proc.current is BOTTOM:
+            continue
+        for summary in system.allstate(p, proc.current.id):
+            if summary.high != proc.highprimary:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.14 — summaries sent into later views carry knowledge of every
+# established primary view
+# ----------------------------------------------------------------------
+def inv_later_summaries_know_primaries(system: VStoTOSystem) -> bool:
+    for p, proc in system.procs.items():
+        for g, flag in proc.established.items():
+            if not flag:
+                continue
+            view = system.vs.created.get(g)
+            if view is None or not system.quorums.is_primary(view.set):
+                continue
+            for q, w_id, summary in system.allstate_all():
+                if q == p and _lt(g, w_id):
+                    if _lt(summary.high, g):
+                        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.15 — before establishing its current view, none of p's
+# summaries for that view can carry it as highprimary
+# ----------------------------------------------------------------------
+def inv_unestablished_view_not_high(system: VStoTOSystem) -> bool:
+    for p, proc in system.procs.items():
+        if proc.current is BOTTOM:
+            continue
+        g = proc.current.id
+        if proc.established.get(g, False):
+            continue
+        for summary in system.allstate(p, g):
+            if summary.high == g:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.16 — every summary's (high, ord) pair is traceable to an
+# establishment: some member q established x.high with that buildorder
+# ----------------------------------------------------------------------
+def inv_summary_order_has_witness(system: VStoTOSystem) -> bool:
+    initial_id = system.vs.initial_view.id
+    for _p, _g, summary in system.allstate_all():
+        if summary.high is BOTTOM:
+            # Processor never saw a primary: its order must be the one
+            # adopted from a chosen representative chain rooted at an
+            # all-bottom exchange; the paper's lemma does not constrain
+            # this case beyond what Lemma 6.12 already does.
+            continue
+        if summary.high == initial_id and summary.ord == ():
+            continue  # the initial establishment with the empty order
+        found = False
+        for q, q_proc in system.procs.items():
+            if not q_proc.established.get(summary.high, False):
+                continue
+            build = q_proc.buildorder.get(summary.high)
+            if build is not None and build[: len(summary.ord)] == summary.ord:
+                # x.ord equals buildorder at the witness *at the time p
+                # left the view*; since buildorder only grows, prefix
+                # containment is the checkable residue.
+                found = True
+                break
+            if build == summary.ord:
+                found = True
+                break
+        if not found:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.20 — a safe label implies the whole prefix reached every
+# member's order for the current view
+# ----------------------------------------------------------------------
+def inv_safe_labels_prefix_everywhere(system: VStoTOSystem) -> bool:
+    for p, proc in system.procs.items():
+        if not proc.safe_labels:
+            continue
+        if proc.current is BOTTOM:
+            return False
+        if not proc.primary:
+            return False
+        g = proc.current.id
+        for index, label in enumerate(proc.order):
+            if label not in proc.safe_labels:
+                continue
+            prefix = tuple(proc.order[: index + 1])
+            for q in proc.current.set:
+                build = system.procs[q].buildorder.get(g, ())
+                if build[: len(prefix)] != prefix:
+                    return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Corollary 6.19 — once every member of an established primary view
+# shares an order prefix, every summary with high >= that view carries it
+# ----------------------------------------------------------------------
+def inv_established_prefix_propagates(system: VStoTOSystem) -> bool:
+    for g, view in system.vs.created.items():
+        if not system.quorums.is_primary(view.set):
+            continue
+        if not all(
+            system.procs[q].established.get(g, False) for q in view.set
+        ):
+            continue
+        # the common established prefix sigma: the longest common prefix
+        # of the members' buildorders for g
+        orders = [system.procs[q].buildorder.get(g, ()) for q in view.set]
+        sigma: list = []
+        for entries in zip(*orders):
+            if all(entry == entries[0] for entry in entries):
+                sigma.append(entries[0])
+            else:
+                break
+        sigma_t = tuple(sigma)
+        if not sigma_t:
+            continue
+        for _p, _w, summary in system.allstate_all():
+            if summary.high == g or _lt(g, summary.high):
+                if summary.ord[: len(sigma_t)] != sigma_t:
+                    return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.12 — allstate summaries bounded by their view
+# ----------------------------------------------------------------------
+def inv_allstate_high_bound(system: VStoTOSystem) -> bool:
+    for p, g, summary in system.allstate_all():
+        if not _le(summary.high, g):
+            return False
+        proc = system.procs[p]
+        if proc.current is BOTTOM or not _le(summary.high, proc.current.id):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.13 — lower bound on highprimary after leaving an established
+# primary view
+# ----------------------------------------------------------------------
+def inv_highprimary_lower_bound(system: VStoTOSystem) -> bool:
+    for p, proc in system.procs.items():
+        for g, flag in proc.established.items():
+            if not flag:
+                continue
+            view = system.vs.created.get(g)
+            if view is None:
+                return False
+            if not system.quorums.is_primary(view.set):
+                continue
+            if proc.current is BOTTOM:
+                return False
+            if _lt(g, proc.current.id):  # current.id > g
+                if _lt(proc.highprimary, g):
+                    return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.17 — establishment implies all members reached the view
+# ----------------------------------------------------------------------
+def inv_establish_implies_members_reached(system: VStoTOSystem) -> bool:
+    for _p, proc in system.procs.items():
+        for g, flag in proc.established.items():
+            if not flag:
+                continue
+            view = system.vs.created.get(g)
+            if view is None:
+                return False
+            for q in view.set:
+                q_proc = system.procs[q]
+                if q_proc.current is BOTTOM:
+                    return False
+                if _lt(q_proc.current.id, g):
+                    return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.21 — per-origin label closure of orders
+# ----------------------------------------------------------------------
+def inv_order_origin_closed(system: VStoTOSystem) -> bool:
+    try:
+        allcontent = system.allcontent()
+    except ValueError:
+        return False
+    labels_by_origin: dict = {}
+    for label in allcontent:
+        labels_by_origin.setdefault(label.origin, []).append(label)
+    for summary in system.allsummaries():
+        positions = {label: i for i, label in enumerate(summary.ord)}
+        for label, position in positions.items():
+            for other in labels_by_origin.get(label.origin, ()):
+                if other < label:
+                    other_pos = positions.get(other)
+                    if other_pos is None or other_pos >= position:
+                        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.22 part 2 — next within bounds
+# ----------------------------------------------------------------------
+def inv_next_within_order(system: VStoTOSystem) -> bool:
+    return all(
+        summary.next <= len(summary.ord) + 1
+        for summary in system.allsummaries()
+    )
+
+
+# ----------------------------------------------------------------------
+# Corollary 6.23/6.24 — confirm prefixes are consistent; moreover every
+# confirm is a prefix of every order with >= high
+# ----------------------------------------------------------------------
+def inv_confirm_consistent(system: VStoTOSystem) -> bool:
+    try:
+        system.allconfirm()
+    except AssertionError:
+        return False
+    return True
+
+
+def inv_confirm_prefix_of_higher_orders(system: VStoTOSystem) -> bool:
+    summaries = list(system.allsummaries())
+    for x1 in summaries:
+        for x2 in summaries:
+            if _le(x1.high, x2.high):
+                confirm = x1.confirm
+                if x2.ord[: len(confirm)] != confirm:
+                    return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Extra structural sanity (implied by Lemma 4.1 + the composition)
+# ----------------------------------------------------------------------
+def inv_nextreport_within_confirm(system: VStoTOSystem) -> bool:
+    """nextreport never overtakes nextconfirm (brcv precondition)."""
+    return all(
+        proc.nextreport <= proc.nextconfirm for proc in system.procs.values()
+    )
+
+
+def inv_order_no_duplicates(system: VStoTOSystem) -> bool:
+    """Every order sequence in the system is duplicate-free."""
+    for summary in system.allsummaries():
+        if len(set(summary.ord)) != len(summary.ord):
+            return False
+    return True
+
+
+def inv_safe_labels_ordered(system: VStoTOSystem) -> bool:
+    """Safe labels at an established primary member appear in its order
+    or in content (they were delivered or exchanged)."""
+    for proc in system.procs.values():
+        known = {label for (label, _value) in proc.content}
+        if not proc.safe_labels <= known:
+            return False
+    return True
+
+
+def vstoto_invariant_suite() -> InvariantSuite:
+    """The full executable invariant suite for VStoTO-system."""
+    specs = [
+        ("current-consistency", inv_current_consistency, "Lemma 6.1"),
+        ("bottom-implies-normal", inv_bottom_implies_normal, "Lemma 6.2"),
+        ("label-locations", inv_label_locations, "Lemma 6.3"),
+        ("label-bound", inv_label_bound, "Lemma 6.4"),
+        ("allcontent-function", inv_allcontent_function, "Lemma 6.5"),
+        ("buffer-has-content", inv_buffer_has_content, "Lemma 6.6"),
+        ("no-future-allstate", inv_no_future_allstate, "Lemma 6.7(4)"),
+        ("established-monotone", inv_established_monotone, "Lemma 6.10(1)"),
+        ("established-iff-normal", inv_established_iff_normal, "Lemma 6.10(2)"),
+        ("highprimary-bounds", inv_highprimary_bounds, "Lemma 6.11(1-3)"),
+        (
+            "gotstate-high-below-current",
+            inv_gotstate_high_below_current,
+            "Lemma 6.11(4)",
+        ),
+        (
+            "inflight-high-below-view",
+            inv_inflight_high_below_view,
+            "Lemma 6.11(5-6)",
+        ),
+        ("allstate-high-bound", inv_allstate_high_bound, "Lemma 6.12"),
+        ("send-status-nothing-sent", inv_send_status_nothing_sent, "Lemma 6.8"),
+        (
+            "collect-summaries-match-high",
+            inv_collect_summaries_match_high,
+            "Lemma 6.9(4)",
+        ),
+        ("highprimary-lower-bound", inv_highprimary_lower_bound, "Lemma 6.13"),
+        (
+            "later-summaries-know-primaries",
+            inv_later_summaries_know_primaries,
+            "Lemma 6.14",
+        ),
+        (
+            "unestablished-view-not-high",
+            inv_unestablished_view_not_high,
+            "Lemma 6.15",
+        ),
+        (
+            "summary-order-has-witness",
+            inv_summary_order_has_witness,
+            "Lemma 6.16",
+        ),
+        (
+            "established-prefix-propagates",
+            inv_established_prefix_propagates,
+            "Corollary 6.19",
+        ),
+        (
+            "safe-labels-prefix-everywhere",
+            inv_safe_labels_prefix_everywhere,
+            "Lemma 6.20",
+        ),
+        (
+            "establish-implies-members-reached",
+            inv_establish_implies_members_reached,
+            "Lemma 6.17",
+        ),
+        ("order-origin-closed", inv_order_origin_closed, "Lemma 6.21"),
+        ("next-within-order", inv_next_within_order, "Lemma 6.22(2)"),
+        ("confirm-consistent", inv_confirm_consistent, "Corollary 6.24"),
+        (
+            "confirm-prefix-of-higher-orders",
+            inv_confirm_prefix_of_higher_orders,
+            "Corollary 6.23",
+        ),
+        (
+            "nextreport-within-confirm",
+            inv_nextreport_within_confirm,
+            "structural",
+        ),
+        ("order-no-duplicates", inv_order_no_duplicates, "structural"),
+        ("safe-labels-known", inv_safe_labels_ordered, "structural"),
+    ]
+    return InvariantSuite(
+        Invariant(name=name, check=check, reference=ref)
+        for name, check, ref in specs
+    )

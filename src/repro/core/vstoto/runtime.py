@@ -1,0 +1,203 @@
+"""Event-driven hosting of ``VStoTO_p`` automata over a live VS service.
+
+Section 7 composes the timed processes ``VStoTO'_p`` with any automaton
+satisfying VS(b, d, Q).  This module is that composition made runnable:
+each processor's automaton is driven by the VS callbacks (gprcv, safe,
+newview) and by client ``bcast`` calls; after each input the adapter
+fires the processor's enabled locally controlled actions to quiescence —
+the "good processors take enabled steps immediately" rule — forwarding
+``gpsnd`` outputs to the VS service and ``brcv`` outputs to the client.
+
+A *bad* processor (per the network's failure oracle) takes no locally
+controlled steps: its inputs still update state (VS won't actually
+deliver to it while bad, since the network gates arrivals), but draining
+is deferred until it is next driven while good.
+
+The adapter records a timed trace of the TO-level external actions
+(``bcast``/``brcv``), which :class:`~repro.core.to_spec.TOPropertyChecker`
+consumes for the Theorem 7.1/7.2 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+from repro.core.quorums import QuorumSystem
+from repro.core.types import View
+from repro.core.vstoto.process import VStoTOProcess
+from repro.ioa.actions import Action, act
+from repro.ioa.timed import TimedTrace
+from repro.membership.service import TokenRingVS
+
+ProcId = Hashable
+
+#: callback signature: (value, origin, destination)
+DeliverCallback = Callable[[Any, ProcId, ProcId], None]
+
+_DRAIN_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One client delivery: value from origin delivered at dst at time."""
+
+    time: float
+    value: Any
+    origin: ProcId
+    dst: ProcId
+
+
+class VStoTORuntime:
+    """The full stack: VStoTO processes over a :class:`TokenRingVS`.
+
+    Parameters
+    ----------
+    service:
+        A (not yet started) token-ring VS instance; the runtime installs
+        itself as the service's callback sink.
+    quorums:
+        Quorum system defining primary views.
+    on_deliver:
+        Optional client callback for ``brcv`` outputs.
+    """
+
+    def __init__(
+        self,
+        service: TokenRingVS,
+        quorums: QuorumSystem,
+        on_deliver: Optional[DeliverCallback] = None,
+    ) -> None:
+        self.service = service
+        self.quorums = quorums
+        self.on_deliver = on_deliver
+        self.processors = service.processors
+        self.procs: dict[ProcId, VStoTOProcess] = {
+            p: VStoTOProcess(p, quorums, service.initial_view)
+            for p in self.processors
+        }
+        service.on_gprcv = self._on_gprcv
+        service.on_safe = self._on_safe
+        service.on_newview = self._on_newview
+        self.trace = TimedTrace()
+        self.deliveries: list[Delivery] = []
+        self._draining: set[ProcId] = set()
+        # Drain deferred work as soon as a processor stops being bad.
+        service.network.oracle.add_listener(self._on_status_change)
+
+    def _on_status_change(self, event) -> None:
+        target = event.target
+        if isinstance(target, tuple) or target not in self.procs:
+            return
+        if event.status.value != "bad":
+            self.service.simulator.call_soon(lambda: self._drain(target))
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.service.start()
+
+    def run_until(self, time: float) -> None:
+        self.service.run_until(time)
+        # Drain any processor that recovered from a bad period and has
+        # pending enabled work.
+        for p in self.processors:
+            self._drain(p)
+
+    def broadcast(self, p: ProcId, value: Any) -> None:
+        """Client at p submits a value (the TO ``bcast`` input)."""
+        self._record("bcast", value, p)
+        self.procs[p].step(act("bcast", value, p))
+        self._drain(p)
+
+    def schedule_broadcast(self, time: float, p: ProcId, value: Any) -> None:
+        self.service.simulator.schedule_at(
+            time, lambda: self.broadcast(p, value)
+        )
+
+    def delivered_values(self, p: ProcId) -> list[Any]:
+        return [d.value for d in self.deliveries if d.dst == p]
+
+    # ------------------------------------------------------------------
+    # VS callbacks
+    # ------------------------------------------------------------------
+    def _on_gprcv(self, payload: Any, src: ProcId, dst: ProcId) -> None:
+        self.procs[dst].step(act("gprcv", payload, src, dst))
+        self._drain(dst)
+
+    def _on_safe(self, payload: Any, src: ProcId, dst: ProcId) -> None:
+        self.procs[dst].step(act("safe", payload, src, dst))
+        self._drain(dst)
+
+    def _on_newview(self, view: View, p: ProcId) -> None:
+        self.procs[p].step(act("newview", view, p))
+        self._drain(p)
+
+    # ------------------------------------------------------------------
+    def _drain(self, p: ProcId) -> None:
+        """Fire enabled locally controlled actions at p to quiescence."""
+        if p in self._draining:
+            return  # re-entrant call via service.gpsnd -> ... -> _drain
+        if self.service.network.oracle.processor_bad(p):
+            return
+        proc = self.procs[p]
+        self._draining.add(p)
+        try:
+            for _ in range(_DRAIN_LIMIT):
+                action = next(iter(proc.enabled_actions()), None)
+                if action is None:
+                    return
+                proc.step(action)
+                self._after_local_action(p, action)
+            raise RuntimeError(f"drain limit exceeded at {p!r}")
+        finally:
+            self._draining.discard(p)
+
+    def _after_local_action(self, p: ProcId, action: Action) -> None:
+        if action.name == "gpsnd":
+            payload, _p = action.args
+            self.service.gpsnd(p, payload)
+        elif action.name == "brcv":
+            value, origin, dst = action.args
+            self._record("brcv", value, origin, dst)
+            self.deliveries.append(
+                Delivery(
+                    time=self.service.simulator.now,
+                    value=value,
+                    origin=origin,
+                    dst=dst,
+                )
+            )
+            if self.on_deliver is not None:
+                self.on_deliver(value, origin, dst)
+
+    def _record(self, name: str, *args: Any) -> None:
+        self.trace.append(self.service.simulator.now, act(name, *args))
+
+    # ------------------------------------------------------------------
+    def merged_trace(self) -> TimedTrace:
+        """TO external events merged with failure-status history (the
+        input shape for TOPropertyChecker)."""
+        events: list[tuple[float, int, Action]] = [
+            (event.time, index, event.action)
+            for index, event in enumerate(self.trace.events)
+        ]
+        base = len(events)
+        for index, status_event in enumerate(
+            self.service.network.oracle.history
+        ):
+            target = status_event.target
+            args = target if isinstance(target, tuple) else (target,)
+            events.append(
+                (
+                    status_event.time,
+                    base + index,
+                    act(status_event.status.value, *args),
+                )
+            )
+        events.sort(key=lambda item: (item[0], item[1]))
+        merged = TimedTrace()
+        for time, _index, action in events:
+            merged.append(time, action)
+        return merged

@@ -1,0 +1,109 @@
+"""The forward simulation ``f`` from *VStoTO-system* to *TO-machine*
+(Section 6.2, Lemma 6.25, Theorem 6.26), made executable.
+
+``f(x) = y`` where:
+
+1. ``y.queue = applyall(⟨x.allcontent, origin⟩, x.allconfirm)`` — the
+   globally confirmed labels, mapped to (value, origin) pairs;
+2. ``y.next[p] = x.nextreport_p``;
+3. ``y.pending[p]`` = the values of p-originated labels known anywhere
+   but not yet confirmed, in label order, followed by ``x.delay_p``.
+
+The step correspondence (Lemma 6.25's case analysis) reduces to:
+
+- a concrete ``bcast``/``brcv`` maps to the same abstract action;
+- a concrete step that extends ``allconfirm`` by a label l maps to
+  ``to-order(allcontent(l), l.origin)`` (only ``confirm_p`` does this);
+- every other step maps to no abstract action and must leave f
+  unchanged.
+
+:class:`VStoTOSimulation` packages this for the harness: call
+:meth:`before_step` / :meth:`after_step` around every transition of the
+system and any violation of the relation raises
+:class:`~repro.ioa.simulation.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.to_spec import TOMachine
+from repro.core.vstoto.system import VStoTOSystem
+from repro.ioa.actions import Action, act
+from repro.ioa.simulation import ForwardSimulation, SimulationError
+
+
+def f_state(system: VStoTOSystem) -> dict[str, Any]:
+    """Compute f of the current global state, shaped exactly like a
+    TO-machine snapshot ({queue, pending, next})."""
+    allcontent = system.allcontent()
+    allconfirm = system.allconfirm()
+    confirmed = set(allconfirm)
+    queue = [(allcontent[label], label.origin) for label in allconfirm]
+    pending: dict[Any, list[Any]] = {}
+    next_index: dict[Any, int] = {}
+    for p in system.processors:
+        proc = system.procs[p]
+        unconfirmed = sorted(
+            label
+            for label in allcontent
+            if label.origin == p and label not in confirmed
+        )
+        pending[p] = [allcontent[label] for label in unconfirmed] + list(proc.delay)
+        next_index[p] = proc.nextreport
+    return {"queue": queue, "pending": pending, "next": next_index}
+
+
+def corresponding_actions(
+    pre: dict[str, Any], action: Action, post: dict[str, Any]
+) -> list[Action]:
+    """The abstract action sequence simulating one concrete step."""
+    result: list[Action] = []
+    pre_queue, post_queue = pre["queue"], post["queue"]
+    if post_queue[: len(pre_queue)] != pre_queue:
+        raise SimulationError(
+            f"allconfirm shrank or changed across step {action}"
+        )
+    for a, p in post_queue[len(pre_queue) :]:
+        result.append(act("to-order", a, p))
+    if action.name in ("bcast", "brcv"):
+        result.append(action)
+    return result
+
+
+class VStoTOSimulation:
+    """Step-wise checker of Theorem 6.26 for a live VStoTO-system.
+
+    Usage::
+
+        sim = VStoTOSimulation(system)
+        ...
+        sim.before_step()
+        system.step(action)
+        sim.after_step(action)
+    """
+
+    def __init__(self, system: VStoTOSystem) -> None:
+        self.system = system
+        self.to_machine = TOMachine(system.processors)
+        self._checker = ForwardSimulation(
+            abstract=self.to_machine,
+            abstraction=lambda state: state,  # states are precomputed f values
+            corresponding_actions=corresponding_actions,
+        )
+        self._pre: dict[str, Any] | None = None
+        self._checker.check_initial(f_state(system))
+
+    @property
+    def steps_checked(self) -> int:
+        return self._checker.steps_checked
+
+    def before_step(self) -> None:
+        self._pre = f_state(self.system)
+
+    def after_step(self, action: Action) -> None:
+        if self._pre is None:
+            raise RuntimeError("after_step without matching before_step")
+        post = f_state(self.system)
+        self._checker.step(self._pre, action, post)
+        self._pre = None

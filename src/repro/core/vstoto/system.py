@@ -1,0 +1,198 @@
+"""*VStoTO-system* (Section 6): the composition of VS-machine with
+``VStoTO_p`` for all p, with the inter-layer actions hidden, plus the
+derived variables used by the invariants and the simulation relation.
+
+Derived variables (Section 6):
+
+- ``allstate[p, g]`` — every summary originating from p's participation
+  in view g that is still present anywhere in the system state:
+
+  1. p's own state summary, when p's current view id is g;
+  2. summaries in VS's ``pending[p, g]``;
+  3. summaries ``(x, p)`` in VS's ``queue[g]``;
+  4. summaries recorded as ``gotstate(p)_q`` at any q whose current view
+     id is g;
+
+- ``allstate`` — the union over p and g;
+- ``allcontent`` — the union of ``x.con`` over all of allstate **plus**
+  the content present in ordinary messages anywhere in the system (the
+  paper's allcontent is used as "all the information available anywhere
+  that links a label with a value"; for the executable simulation we take
+  the union of process ``content`` sets and in-flight pairs, which
+  coincides with the paper's intent and is a function by Lemma 6.5);
+- ``allconfirm`` — the least upper bound of ``x.confirm`` over allstate
+  (well defined by Corollary 6.24).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.core.quorums import QuorumSystem
+from repro.core.types import BOTTOM, Label, View, ViewId
+from repro.core.vs_spec import VSMachine
+from repro.core.vstoto.process import (
+    TimedVStoTOProcess,
+    VStoTOProcess,
+    is_summary,
+)
+from repro.core.vstoto.summary import Summary, content_as_function
+from repro.ioa.composition import Composition
+
+ProcId = Hashable
+
+HIDDEN_ACTIONS = ("gpsnd", "gprcv", "safe", "newview")
+
+
+class VStoTOSystem(Composition):
+    """The composed system, with helpers computing the derived variables
+    directly from the live component states.
+
+    Parameters
+    ----------
+    processors:
+        The set P (iteration order fixes the total order on P).
+    quorums:
+        The quorum system defining primary views.
+    initial_members:
+        P0; defaults to all of P.
+    g0:
+        The minimal view identifier.
+    """
+
+    def __init__(
+        self,
+        processors: Iterable[ProcId],
+        quorums: QuorumSystem,
+        initial_members: Optional[Iterable[ProcId]] = None,
+        g0: ViewId = 0,
+        timed: bool = False,
+    ) -> None:
+        processors = tuple(processors)
+        self.vs = VSMachine(processors, initial_members=initial_members, g0=g0)
+        process_class = TimedVStoTOProcess if timed else VStoTOProcess
+        self.procs: dict[ProcId, VStoTOProcess] = {
+            p: process_class(p, quorums, self.vs.initial_view)
+            for p in processors
+        }
+        super().__init__(
+            components=[self.vs, *self.procs.values()],
+            name="VStoTO-system",
+            hidden=HIDDEN_ACTIONS,
+            allow_shared_outputs=True,
+            allow_shared_internals=True,
+        )
+        self.processors = processors
+        self.quorums = quorums
+
+    # ------------------------------------------------------------------
+    # Derived variables (Section 6)
+    # ------------------------------------------------------------------
+    def allstate(self, p: ProcId, g: ViewId) -> set[Summary]:
+        """``allstate[p, g]`` per the Section 6 definition."""
+        result: set[Summary] = set()
+        proc = self.procs[p]
+        if proc.current is not BOTTOM and proc.current.id == g:
+            result.add(proc.state_summary())
+        for item in self.vs.pending.get((p, g), []):
+            if is_summary(item):
+                result.add(item)
+        for item, sender in self.vs.queue.get(g, []):
+            if sender == p and is_summary(item):
+                result.add(item)
+        for q_proc in self.procs.values():
+            if (
+                q_proc.current is not BOTTOM
+                and q_proc.current.id == g
+                and p in q_proc.gotstate
+            ):
+                result.add(q_proc.gotstate[p])
+        return result
+
+    def allstate_all(self) -> list[tuple[ProcId, ViewId, Summary]]:
+        """Every (p, g, summary) triple with summary in allstate[p, g]."""
+        view_ids = self._relevant_view_ids()
+        triples: list[tuple[ProcId, ViewId, Summary]] = []
+        for p in self.processors:
+            for g in view_ids:
+                for summary in self.allstate(p, g):
+                    triples.append((p, g, summary))
+        return triples
+
+    def _relevant_view_ids(self) -> set[ViewId]:
+        ids: set[ViewId] = set(self.vs.created)
+        ids |= {g for (_p, g) in self.vs.pending}
+        ids |= set(self.vs.queue)
+        for proc in self.procs.values():
+            if proc.current is not BOTTOM:
+                ids.add(proc.current.id)
+        return ids
+
+    def allsummaries(self) -> set[Summary]:
+        """The summaries in allstate (union over p, g)."""
+        return {summary for (_p, _g, summary) in self.allstate_all()}
+
+    def allcontent(self) -> dict[Label, Any]:
+        """``allcontent`` as a function (raises if Lemma 6.5 fails).
+
+        Includes summary con-sets from allstate, every process's local
+        content, and (label, value) pairs of ordinary messages in flight
+        inside VS.
+        """
+        pairs: set[tuple[Label, Any]] = set()
+        for summary in self.allsummaries():
+            pairs |= set(summary.con)
+        for proc in self.procs.values():
+            pairs |= proc.content
+        for items in self.vs.pending.values():
+            for item in items:
+                if not is_summary(item):
+                    pairs.add(item)
+        for queue in self.vs.queue.values():
+            for item, _sender in queue:
+                if not is_summary(item):
+                    pairs.add(item)
+        return content_as_function(frozenset(pairs))
+
+    def allconfirm(self) -> tuple[Label, ...]:
+        """``allconfirm``: the lub of the summaries' confirm prefixes.
+
+        Raises if the prefixes are not pairwise consistent (that would
+        falsify Corollary 6.24).
+        """
+        best: tuple[Label, ...] = ()
+        for summary in self.allsummaries():
+            confirm = summary.confirm
+            limit = min(len(confirm), len(best))
+            if confirm[:limit] != best[:limit]:
+                raise AssertionError(
+                    "Corollary 6.24 violated: inconsistent confirm prefixes"
+                )
+            if len(confirm) > len(best):
+                best = confirm
+        return best
+
+    # ------------------------------------------------------------------
+    # Drive helpers
+    # ------------------------------------------------------------------
+    def offer_view(self, members: Iterable[ProcId]) -> View:
+        """Queue a candidate view for VS's internal createview action."""
+        return self.vs.offer_view(members)
+
+    def process(self, p: ProcId) -> VStoTOProcess:
+        return self.procs[p]
+
+
+def restore_vstoto_system(system: VStoTOSystem, snapshot: dict) -> None:
+    """Restore hook for :func:`repro.ioa.explore.explore` over a
+    VStoTO-system: loads each component's snapshot back, converting the
+    process ``status`` field from its serialised string form."""
+    from repro.core.vstoto.process import Status
+    from repro.ioa.explore import restore_snapshot
+
+    for component in system.components:
+        comp_snapshot = dict(snapshot[component.name])
+        status_value = comp_snapshot.pop("status", None)
+        restore_snapshot(component, comp_snapshot)
+        if status_value is not None:
+            component.status = Status(status_value)

@@ -1,0 +1,64 @@
+"""I/O automaton framework (Lynch–Tuttle untimed model, Lynch–Vaandrager
+timed model).
+
+The paper expresses every specification and algorithm as an I/O automaton
+in precondition/effect style.  This package provides:
+
+- :mod:`repro.ioa.actions` — actions, action kinds and signatures;
+- :mod:`repro.ioa.automaton` — the :class:`Automaton` base class with
+  precondition/effect transitions and state snapshotting;
+- :mod:`repro.ioa.composition` — parallel composition with action
+  synchronisation and hiding;
+- :mod:`repro.ioa.execution` — executions, traces and pluggable
+  nondeterminism schedulers (the "adversary");
+- :mod:`repro.ioa.timed` — timed automata with ``nu(t)`` time passage and
+  timed traces;
+- :mod:`repro.ioa.invariants` — named invariants and suites, evaluated on
+  every reachable state of a run;
+- :mod:`repro.ioa.simulation` — executable forward-simulation checking
+  (Lynch–Vaandrager, used for Theorem 6.26).
+"""
+
+from repro.ioa.actions import Action, ActionKind, Signature, act
+from repro.ioa.automaton import Automaton, TransitionError
+from repro.ioa.composition import CompatibilityError, Composition
+from repro.ioa.explore import ExplorationResult, explore, freeze
+from repro.ioa.execution import (
+    Execution,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    WeightedScheduler,
+    run_automaton,
+)
+from repro.ioa.invariants import Invariant, InvariantSuite, InvariantViolation
+from repro.ioa.simulation import ForwardSimulation, SimulationError
+from repro.ioa.timed import TimedAutomaton, TimedEvent, TimedTrace
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Signature",
+    "act",
+    "Automaton",
+    "TransitionError",
+    "Composition",
+    "CompatibilityError",
+    "Execution",
+    "Scheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "WeightedScheduler",
+    "run_automaton",
+    "ExplorationResult",
+    "explore",
+    "freeze",
+    "Invariant",
+    "InvariantSuite",
+    "InvariantViolation",
+    "ForwardSimulation",
+    "SimulationError",
+    "TimedAutomaton",
+    "TimedEvent",
+    "TimedTrace",
+]

@@ -1,0 +1,188 @@
+"""Parallel composition of I/O automata.
+
+Composition follows Lynch–Tuttle: components synchronise on shared action
+names.  An action is an output of the composite if it is an output of
+some component; it is an input if it is an input of some component and an
+output of none; internal actions are not shared.  When the composite
+takes an action, every component whose signature contains the action's
+name takes it simultaneously.
+
+Compatibility requirements enforced here:
+
+- output action names are disjoint across components (at the *instance*
+  level — the paper's per-location subscripts are parameters here, so we
+  instead allow shared output names only when the components' outputs are
+  distinguished by their parameters; the framework enforces the stronger
+  name-level rule by default and callers with parameter-distinguished
+  outputs compose through :class:`MultiOwnerComposition` semantics via
+  ``allow_shared_outputs``);
+- internal action names of one component do not appear in any other
+  component's signature.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.ioa.actions import Action, ActionKind, Signature
+from repro.ioa.automaton import Automaton, TransitionError
+
+
+class CompatibilityError(Exception):
+    """Raised when components cannot legally be composed."""
+
+
+def _composite_signature(
+    components: Sequence[Automaton],
+    allow_shared_outputs: bool,
+    allow_shared_internals: bool,
+) -> Signature:
+    outputs: set[str] = set()
+    inputs: set[str] = set()
+    internals: set[str] = set()
+    for comp in components:
+        sig = comp.signature
+        if not allow_shared_internals:
+            shared_internal = internals & sig.all_names
+            if shared_internal:
+                raise CompatibilityError(
+                    f"internal actions shared with {comp.name}: "
+                    f"{sorted(shared_internal)}"
+                )
+            for other in components:
+                if other is comp:
+                    continue
+                leak = sig.internals & other.signature.all_names
+                if leak:
+                    raise CompatibilityError(
+                        f"internal actions of {comp.name} appear in {other.name}: "
+                        f"{sorted(leak)}"
+                    )
+        if not allow_shared_outputs:
+            clash = outputs & sig.outputs
+            if clash:
+                raise CompatibilityError(
+                    f"output actions owned by two components: {sorted(clash)}"
+                )
+        outputs |= sig.outputs
+        inputs |= sig.inputs
+        internals |= sig.internals
+    inputs -= outputs
+    return Signature(inputs=inputs, outputs=outputs, internals=internals)
+
+
+class Composition(Automaton):
+    """The parallel composition of a sequence of component automata.
+
+    Parameters
+    ----------
+    components:
+        The component automata.  Each must have a distinct ``name``.
+    hidden:
+        Output action names to reclassify as internal after composition
+        (the paper hides ``gpsnd``/``gprcv``/``safe``/``newview`` when
+        forming *VStoTO-system*).
+    allow_shared_outputs:
+        Permit two components to declare the same output action *name*.
+        This is needed because the paper's per-location automata (e.g.
+        ``VStoTO_p`` for each p) all declare ``gpsnd`` as an output and
+        are distinguished by the location parameter.  When enabled, an
+        output action is applied at every component that declares it and
+        currently enables it as an output, and as input everywhere else
+        it appears; at most one component may enable it as an output at
+        a time for the composite step to be well defined, and this is
+        checked at apply time.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[Automaton],
+        name: str = "composition",
+        hidden: Iterable[str] = (),
+        allow_shared_outputs: bool = False,
+        allow_shared_internals: bool = False,
+    ) -> None:
+        names = [c.name for c in components]
+        if len(set(names)) != len(names):
+            raise CompatibilityError(f"duplicate component names: {names}")
+        self.components: tuple[Automaton, ...] = tuple(components)
+        self.name = name
+        self._allow_shared_outputs = allow_shared_outputs
+        sig = _composite_signature(
+            self.components, allow_shared_outputs, allow_shared_internals
+        )
+        hidden = tuple(hidden)
+        if hidden:
+            sig = sig.hide(hidden)
+        self.signature = sig
+        self._by_action: dict[str, list[Automaton]] = {}
+        for comp in self.components:
+            for action_name in comp.signature.all_names:
+                self._by_action.setdefault(action_name, []).append(comp)
+
+    # ------------------------------------------------------------------
+    def component(self, name: str) -> Automaton:
+        """Look up a component by name."""
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(name)
+
+    def participants(self, action: Action) -> list[Automaton]:
+        """Components whose signature contains the action's name."""
+        return self._by_action.get(action.name, [])
+
+    # ------------------------------------------------------------------
+    def is_enabled(self, action: Action) -> bool:
+        participants = self.participants(action)
+        if not participants:
+            return False
+        kind = self.signature.kind_of(action.name)
+        if kind is ActionKind.INPUT:
+            return True
+        owners = [
+            comp
+            for comp in participants
+            if comp.signature.kind_of(action.name)
+            in (ActionKind.OUTPUT, ActionKind.INTERNAL)
+        ]
+        return any(comp.is_enabled(action) for comp in owners)
+
+    def apply(self, action: Action) -> None:
+        participants = self.participants(action)
+        if not participants:
+            raise TransitionError(f"{self.name}: no component for {action}")
+        owners = [
+            comp
+            for comp in participants
+            if comp.signature.kind_of(action.name)
+            in (ActionKind.OUTPUT, ActionKind.INTERNAL)
+            and comp.is_enabled(action)
+        ]
+        composite_kind = self.signature.kind_of(action.name)
+        if composite_kind is not ActionKind.INPUT:
+            if not owners:
+                raise TransitionError(f"{self.name}: {action} enabled at no owner")
+            if len(owners) > 1:
+                raise TransitionError(
+                    f"{self.name}: {action} enabled at several owners: "
+                    f"{[c.name for c in owners]}"
+                )
+        for comp in participants:
+            comp_kind = comp.signature.kind_of(action.name)
+            if comp_kind is ActionKind.INPUT or comp in owners:
+                comp.apply(action)
+
+    def enabled_actions(self) -> Iterator[Action]:
+        seen: set[Action] = set()
+        for comp in self.components:
+            for action in comp.enabled_actions():
+                if action in seen:
+                    continue
+                seen.add(action)
+                yield action
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Snapshot maps component name to that component's snapshot."""
+        return {comp.name: comp.snapshot() for comp in self.components}

@@ -1,0 +1,163 @@
+"""Executions, traces and nondeterminism schedulers.
+
+An execution of an I/O automaton alternates states and actions.  The
+framework records the action sequence plus (optionally) state snapshots,
+and resolves nondeterminism with a pluggable :class:`Scheduler` — the
+"adversary" that picks which enabled action fires next.  All schedulers
+are seeded, so every run in the test and benchmark suites is
+reproducible.
+
+Environment inputs (e.g. clients submitting ``bcast`` values) are modelled
+either by composing a client automaton in, or by passing an
+``input_source`` callable to :func:`run_automaton` that may inject an
+input action before each step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Protocol, Sequence
+
+from repro.ioa.actions import Action, ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class Scheduler(Protocol):
+    """Chooses the next action among the enabled ones."""
+
+    def choose(self, actions: Sequence[Action]) -> Action:  # pragma: no cover
+        ...
+
+
+class RandomScheduler:
+    """Uniformly random choice with a private seeded RNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, actions: Sequence[Action]) -> Action:
+        return actions[self._rng.randrange(len(actions))]
+
+
+class RoundRobinScheduler:
+    """Cycles through action names to guarantee a weakly fair schedule.
+
+    Among the enabled actions, prefers the name least recently fired;
+    ties within a name are broken by a seeded RNG.  This approximates the
+    fairness that the paper's liveness arguments assume of *good*
+    processors (enabled steps happen promptly).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._last_fired: dict[str, int] = {}
+        self._clock = 0
+
+    def choose(self, actions: Sequence[Action]) -> Action:
+        self._clock += 1
+        by_staleness = sorted(
+            actions, key=lambda a: self._last_fired.get(a.name, -1)
+        )
+        stalest = by_staleness[0]
+        candidates = [
+            a
+            for a in actions
+            if self._last_fired.get(a.name, -1)
+            == self._last_fired.get(stalest.name, -1)
+        ]
+        choice = candidates[self._rng.randrange(len(candidates))]
+        self._last_fired[choice.name] = self._clock
+        return choice
+
+
+class WeightedScheduler:
+    """Random choice with per-action-name weights.
+
+    Useful for biasing runs, e.g. making ``createview`` rare relative to
+    message traffic so executions exercise long stable periods, the
+    regime the paper's conditional properties describe.
+    """
+
+    def __init__(
+        self,
+        weight_of: Callable[[Action], float],
+        seed: int = 0,
+    ) -> None:
+        self._weight_of = weight_of
+        self._rng = random.Random(seed)
+
+    def choose(self, actions: Sequence[Action]) -> Action:
+        weights = [max(self._weight_of(a), 0.0) for a in actions]
+        total = sum(weights)
+        if total <= 0.0:
+            return actions[self._rng.randrange(len(actions))]
+        return self._rng.choices(actions, weights=weights, k=1)[0]
+
+
+@dataclass
+class Execution:
+    """A recorded execution: the action sequence, and optional snapshots.
+
+    ``snapshots[i]`` is the state *after* ``actions[i]`` was applied;
+    ``initial_snapshot`` is the start state.  Snapshots are recorded only
+    when requested, since deep-copying large compositions is costly.
+    """
+
+    automaton_name: str
+    actions: list[Action] = field(default_factory=list)
+    initial_snapshot: Optional[Any] = None
+    snapshots: list[Any] = field(default_factory=list)
+
+    def trace(self, external_names: Iterable[str]) -> list[Action]:
+        """Project the execution onto the given external action names."""
+        external = frozenset(external_names)
+        return [a for a in self.actions if a.name in external]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+def run_automaton(
+    automaton: Automaton,
+    scheduler: Scheduler,
+    max_steps: int,
+    input_source: Optional[Callable[[int], Optional[Action]]] = None,
+    record_snapshots: bool = False,
+    on_step: Optional[Callable[[int, Action], None]] = None,
+) -> Execution:
+    """Drive ``automaton`` for up to ``max_steps`` transitions.
+
+    Before each step, ``input_source(step_index)`` (if given) may return
+    an input action to inject; otherwise the scheduler picks among the
+    enabled locally controlled actions.  The run stops early when
+    nothing is enabled and the input source yields nothing.
+
+    ``on_step(step_index, action)`` is invoked after each applied action;
+    invariant suites hook in here.
+    """
+    execution = Execution(automaton_name=automaton.name)
+    if record_snapshots:
+        execution.initial_snapshot = automaton.snapshot()
+    for step_index in range(max_steps):
+        action: Optional[Action] = None
+        if input_source is not None:
+            action = input_source(step_index)
+            if action is not None:
+                kind = automaton.signature.kind_of(action.name)
+                if kind is not ActionKind.INPUT:
+                    raise ValueError(
+                        f"input_source produced non-input action {action}"
+                    )
+        if action is None:
+            enabled = list(automaton.enabled_actions())
+            if not enabled:
+                break
+            action = scheduler.choose(enabled)
+        automaton.step(action)
+        execution.actions.append(action)
+        if record_snapshots:
+            execution.snapshots.append(automaton.snapshot())
+        if on_step is not None:
+            on_step(step_index, action)
+    return execution

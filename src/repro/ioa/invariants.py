@@ -1,0 +1,97 @@
+"""Named invariants and invariant suites.
+
+The paper proves roughly two dozen invariants of *VStoTO-system*
+(Lemmas 6.1–6.24) by induction on executions.  Here each invariant is an
+executable predicate over a state snapshot; a suite evaluates all of them
+on every reachable state visited during a run and reports the first
+violation with enough context to debug it.  This is the runtime analogue
+of the paper's PVS mechanical checking (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+Predicate = Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named predicate over a state snapshot.
+
+    ``check`` returns True when the invariant holds.  ``reference`` cites
+    the paper lemma the invariant transcribes.
+    """
+
+    name: str
+    check: Predicate
+    reference: str = ""
+
+    def holds(self, state: Any) -> bool:
+        return bool(self.check(state))
+
+
+class InvariantViolation(AssertionError):
+    """Raised when an invariant fails on a reachable state."""
+
+    def __init__(self, invariant: Invariant, step_index: int, detail: str = "") -> None:
+        self.invariant = invariant
+        self.step_index = step_index
+        message = (
+            f"invariant {invariant.name!r} ({invariant.reference}) violated "
+            f"at step {step_index}"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class InvariantSuite:
+    """A collection of invariants evaluated together.
+
+    Use :meth:`check_state` inside an ``on_step`` hook of
+    :func:`repro.ioa.execution.run_automaton`, or :meth:`violations` to
+    collect all failures without raising.
+    """
+
+    def __init__(self, invariants: Iterable[Invariant]) -> None:
+        self.invariants: tuple[Invariant, ...] = tuple(invariants)
+        names = [inv.name for inv in self.invariants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate invariant names: {names}")
+        self.checked_states = 0
+
+    def check_state(self, state: Any, step_index: int = -1) -> None:
+        """Evaluate every invariant; raise on the first failure."""
+        self.checked_states += 1
+        for invariant in self.invariants:
+            if not invariant.holds(state):
+                raise InvariantViolation(invariant, step_index)
+
+    def violations(self, state: Any) -> list[Invariant]:
+        """Return all invariants that fail on ``state`` (never raises)."""
+        self.checked_states += 1
+        return [inv for inv in self.invariants if not inv.holds(state)]
+
+    def named(self, name: str) -> Invariant:
+        for invariant in self.invariants:
+            if invariant.name == name:
+                return invariant
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return len(self.invariants)
+
+    def __iter__(self):
+        return iter(self.invariants)
+
+
+def all_hold(suite: InvariantSuite, states: Iterable[Any]) -> Optional[tuple[int, Invariant]]:
+    """Check a suite over many states; return (index, invariant) of the
+    first violation, or None when all hold."""
+    for index, state in enumerate(states):
+        for invariant in suite:
+            if not invariant.holds(state):
+                return index, invariant
+    return None

@@ -1,0 +1,102 @@
+"""Executable forward-simulation checking.
+
+Theorem 6.26 of the paper is proved with a forward simulation ``f`` from
+*VStoTO-system* to *TO-machine* (Lemma 6.25): every concrete step
+corresponds to zero or one abstract steps, and the abstract state tracks
+``f`` of the concrete state.
+
+This module makes that proof structure executable.  A
+:class:`ForwardSimulation` is given:
+
+- the abstract automaton (a fresh instance in its start state);
+- ``abstraction(concrete_state) -> abstract_state_dict`` computing f;
+- ``corresponding_actions(pre, action, post) -> list[Action]`` giving the
+  abstract action sequence matching one concrete step (usually empty or a
+  single action — exactly the shape of the Lemma 6.25 case analysis).
+
+During a run, :meth:`step` is called per concrete transition; the checker
+applies the corresponding abstract actions (verifying each is enabled)
+and then verifies the abstract automaton's state equals ``f(post)``.
+A mismatch raises :class:`SimulationError` with a state diff.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.ioa.actions import Action, ActionKind
+from repro.ioa.automaton import Automaton
+
+
+class SimulationError(AssertionError):
+    """The simulation relation failed to hold across a step."""
+
+
+def diff_states(expected: dict[str, Any], actual: dict[str, Any]) -> str:
+    """Produce a human-readable diff of two state dicts."""
+    lines: list[str] = []
+    for key in sorted(set(expected) | set(actual)):
+        exp, act_ = expected.get(key, "<absent>"), actual.get(key, "<absent>")
+        if exp != act_:
+            lines.append(f"  {key}: expected {exp!r}, actual {act_!r}")
+    return "\n".join(lines) if lines else "  (states equal?)"
+
+
+class ForwardSimulation:
+    """Step-wise checker for a forward simulation relation.
+
+    Parameters
+    ----------
+    abstract:
+        The specification automaton, in its start state.
+    abstraction:
+        Computes the abstract state (as a comparable dict) from the
+        concrete state snapshot.
+    corresponding_actions:
+        Maps a concrete step to the abstract action sequence it
+        simulates.  Receives (pre_snapshot, action, post_snapshot).
+    """
+
+    def __init__(
+        self,
+        abstract: Automaton,
+        abstraction: Callable[[Any], dict[str, Any]],
+        corresponding_actions: Callable[[Any, Action, Any], Sequence[Action]],
+    ) -> None:
+        self.abstract = abstract
+        self.abstraction = abstraction
+        self.corresponding_actions = corresponding_actions
+        self.steps_checked = 0
+
+    def check_initial(self, concrete_snapshot: Any) -> None:
+        """Verify f(start state) equals the abstract start state."""
+        expected = self.abstraction(concrete_snapshot)
+        actual = self.abstract.snapshot()
+        if expected != actual:
+            raise SimulationError(
+                "initial states do not correspond:\n"
+                + diff_states(expected, actual)
+            )
+
+    def step(self, pre: Any, action: Action, post: Any) -> None:
+        """Check one concrete transition against the abstract machine."""
+        abstract_actions = self.corresponding_actions(pre, action, post)
+        for abstract_action in abstract_actions:
+            kind = self.abstract.signature.kind_of(abstract_action.name)
+            if kind is not ActionKind.INPUT and not self.abstract.is_enabled(
+                abstract_action
+            ):
+                raise SimulationError(
+                    f"abstract action {abstract_action} not enabled "
+                    f"(simulating concrete {action})"
+                )
+            self.abstract.apply(abstract_action)
+        expected = self.abstraction(post)
+        actual = self.abstract.snapshot()
+        if expected != actual:
+            raise SimulationError(
+                f"simulation relation broken after concrete {action} "
+                f"(abstract steps {[str(a) for a in abstract_actions]}):\n"
+                + diff_states(expected, actual)
+            )
+        self.steps_checked += 1

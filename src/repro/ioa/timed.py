@@ -1,0 +1,115 @@
+"""Timed automata (Lynch–Vaandrager) and timed traces.
+
+A timed automaton extends an untimed one with time-passage actions
+``nu(t)`` for t > 0.  The paper uses the timed model only for the
+performance/fault-tolerance layer (Section 7): processors gain a
+``failure-status`` variable, outputs/internal actions are disabled while
+*bad*, and time may not pass while a *good* processor has an enabled
+locally controlled action (its steps happen "immediately").
+
+The framework keeps timed behaviour simple and explicit:
+
+- :class:`TimedAutomaton` adds :meth:`can_advance`/:meth:`advance`;
+- :class:`TimedEvent` pairs an action with its occurrence time;
+- :class:`TimedTrace` is a sequence of timed events plus an ``ltime``.
+
+Timed executions in this reproduction are produced by the discrete-event
+simulator in :mod:`repro.sim` (which interleaves ``nu(t)`` steps with
+discrete actions), or by the direct drivers in :mod:`repro.net`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf
+from typing import Iterable, Iterator, Optional
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import Automaton
+
+
+class TimedAutomaton(Automaton):
+    """Base class for timed automata.
+
+    Subclasses override :meth:`can_advance` to veto time passage (the
+    "urgent action" rule) and :meth:`advance` to update any state that
+    depends on time (deadlines, timers).  The base implementation allows
+    arbitrary time passage and tracks :attr:`now`.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+
+    def can_advance(self, delta: float) -> bool:
+        """May time advance by ``delta`` from the current state?"""
+        return delta > 0.0
+
+    def advance(self, delta: float) -> None:
+        """Apply the time-passage action ``nu(delta)``."""
+        if delta <= 0.0:
+            raise ValueError("time passage must be positive")
+        self.now += delta
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """An action paired with its occurrence time."""
+
+    time: float
+    action: Action
+
+    def __str__(self) -> str:
+        return f"{self.time:.6g}:{self.action}"
+
+
+@dataclass
+class TimedTrace:
+    """A timed trace: timed events in non-decreasing time order, plus the
+    limit time ``ltime`` (``inf`` for admissible traces)."""
+
+    events: list[TimedEvent] = field(default_factory=list)
+    ltime: float = inf
+
+    def append(self, time: float, action: Action) -> None:
+        if self.events and time < self.events[-1].time - 1e-12:
+            raise ValueError(
+                f"non-monotonic timed trace: {time} after {self.events[-1].time}"
+            )
+        self.events.append(TimedEvent(time, action))
+
+    def project(self, names: Iterable[str]) -> "TimedTrace":
+        """Restrict to events whose action name is in ``names``."""
+        keep = frozenset(names)
+        return TimedTrace(
+            events=[e for e in self.events if e.action.name in keep],
+            ltime=self.ltime,
+        )
+
+    def untimed(self) -> list[Action]:
+        """Drop timing information (clause 1 of both TO- and VS-property)."""
+        return [e.action for e in self.events]
+
+    def events_in(self, start: float, end: float = inf) -> Iterator[TimedEvent]:
+        """Events with start <= time < end."""
+        for event in self.events:
+            if start <= event.time < end:
+                yield event
+
+    def last_event_named(
+        self, name: str, before: float = inf
+    ) -> Optional[TimedEvent]:
+        """The latest event with the given action name strictly before
+        ``before`` (used to evaluate failure status 'after' a prefix)."""
+        result: Optional[TimedEvent] = None
+        for event in self.events:
+            if event.time >= before:
+                break
+            if event.action.name == name:
+                result = event
+        return result
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TimedEvent]:
+        return iter(self.events)

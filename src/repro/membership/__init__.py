@@ -1,0 +1,38 @@
+"""The Section 8 implementation of VS: Cristian–Schmuck membership with
+a logical token ring.
+
+- :mod:`repro.membership.bounds` — the paper's closed-form performance
+  bounds b = 9δ + max{π + (n+3)δ, μ} and d = 2π + nδ;
+- :mod:`repro.membership.messages` — wire-format records;
+- :mod:`repro.membership.ring` — the per-processor protocol state
+  machine (view formation, token circulation, merge probing);
+- :mod:`repro.membership.service` — :class:`TokenRingVS`, the façade
+  that wires ring members to a simulated network and exposes the VS
+  interface (gpsnd in; gprcv/safe/newview callbacks out) together with a
+  timed trace for conformance checking.
+"""
+
+from repro.membership.bounds import VSBounds
+from repro.membership.messages import (
+    Accept,
+    Join,
+    NewGroup,
+    Probe,
+    Token,
+)
+from repro.membership.ring import RingConfig, RingMember
+from repro.membership.service import TokenRingVS
+from repro.membership.shadow import WeakVSShadow
+
+__all__ = [
+    "WeakVSShadow",
+    "VSBounds",
+    "NewGroup",
+    "Accept",
+    "Join",
+    "Token",
+    "Probe",
+    "RingConfig",
+    "RingMember",
+    "TokenRingVS",
+]

@@ -1,0 +1,101 @@
+"""Wire-format records for the membership/token protocol.
+
+View identifiers are ``(epoch, initiator)`` pairs, ordered
+lexicographically; epochs only grow, and an initiator never reuses an
+epoch, so identifiers are globally unique — exactly what the paper's
+Section 8 sketch requires ("viewids have a procid as low-order part and
+an epoch as high-order part").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Tuple
+
+ProcId = Hashable
+RingViewId = Tuple[int, Any]  # (epoch, initiator); compared lexicographically
+
+
+@dataclass(frozen=True)
+class NewGroup:
+    """Round 1: a call-for-participation in a new view."""
+
+    viewid: RingViewId
+    initiator: ProcId
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Round 2: a reply agreeing to join the proposed view."""
+
+    viewid: RingViewId
+    member: ProcId
+
+
+@dataclass(frozen=True)
+class Join:
+    """Round 3: the initiator announces the final membership."""
+
+    viewid: RingViewId
+    members: Tuple[ProcId, ...]
+
+
+@dataclass
+class Token:
+    """The circulating token that holds a view together and carries the
+    view's total message order.
+
+    - ``members``: the view membership (lets a processor that missed the
+      Join install the view from the token, tolerating reordering);
+    - ``order``: the view's message sequence, entries are
+      (payload, origin) pairs — this is ``queue[g]`` made concrete;
+    - ``delivered``: per-member count of order entries that member had
+      passed to its client when the token last left it (the basis for
+      the safe indication);
+    - ``hop``: position in the circulation (diagnostics).
+    """
+
+    viewid: RingViewId
+    members: Tuple[ProcId, ...] = ()
+    order: list = field(default_factory=list)
+    delivered: dict = field(default_factory=dict)
+    safed: dict = field(default_factory=dict)
+    seen: dict = field(default_factory=dict)
+    #: members visited since the leader last launched the token — fresh
+    #: liveness evidence for the one-round connectivity estimate
+    trail: list = field(default_factory=list)
+    hop: int = 0
+
+    def copy(self) -> "Token":
+        """Per-hop copy so in-flight tokens never alias member state."""
+        return Token(
+            viewid=self.viewid,
+            members=self.members,
+            order=list(self.order),
+            delivered=dict(self.delivered),
+            safed=dict(self.safed),
+            seen=dict(self.seen),
+            trail=list(self.trail),
+            hop=self.hop,
+        )
+
+    def seen_prefix_length(self, members: Tuple[ProcId, ...]) -> int:
+        """Entries every member has *seen* (had on its token pass) —
+        the Totem-style gating condition for safe-before-deliver."""
+        if not members:
+            return 0
+        return min(self.seen.get(m, 0) for m in members)
+
+    def safe_prefix_length(self, members: Tuple[ProcId, ...]) -> int:
+        """Entries delivered at *every* member per the token's counts."""
+        if not members:
+            return 0
+        return min(self.delivered.get(m, 0) for m in members)
+
+
+@dataclass(frozen=True)
+class Probe:
+    """A merge probe sent to processors outside the current view."""
+
+    sender: ProcId
+    viewid: RingViewId

@@ -1,0 +1,535 @@
+"""The per-processor membership/token protocol (Section 8).
+
+Each processor runs a :class:`RingMember`.  A view is held together by a
+token circulating a logical ring (members in sorted order); the token
+carries the view's message order and per-member delivery counts.  View
+formation is the 3-round Cristian–Schmuck exchange:
+
+1. an initiator broadcasts a call-for-participation (:class:`NewGroup`)
+   carrying a fresh view identifier larger than any it has seen;
+2. processors reply with :class:`Accept` unless already committed to a
+   higher identifier;
+3. after ``2δ`` the initiator fixes the membership as the responders and
+   announces it with :class:`Join`; members install the view unless
+   committed higher.
+
+Formation triggers: token loss (watchdog timeout), a missing
+:class:`Join` after accepting (join watchdog), and contact from outside
+the current membership (merge probes, sent every ``μ``).
+
+Failure-status interaction: the network refuses sends from and deliveries
+to *bad* processors; every timer callback here additionally checks the
+oracle, so a bad processor takes no locally controlled steps — state is
+preserved across the bad period exactly as the paper models crashes.
+
+Token install: to tolerate channel reordering (the model bounds delay
+but does not order packets), the token carries the view membership, and
+a processor that accepted a view but missed the Join installs the view
+directly from the first token it sees for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Protocol
+
+from repro.core.types import View
+from repro.membership.messages import (
+    Accept,
+    Join,
+    NewGroup,
+    Probe,
+    RingViewId,
+    Token,
+)
+from repro.net.network import Network, NetworkNode
+from repro.sim.timers import PeriodicTimer, WatchdogTimer
+
+ProcId = Hashable
+
+
+class RingConfig:
+    """Timing parameters of the protocol.
+
+    ``delta`` must match the network's good-link bound; ``pi`` is the
+    token launch spacing (must exceed n·δ); ``mu`` the merge-probe
+    spacing.  Derived waits follow the Section 8 sketch: the initiator
+    collects accepts for 2δ; a processor that accepted expects the Join
+    within 4δ more; the token watchdog allows a launch interval plus a
+    full circulation plus slack.
+    """
+
+    def __init__(
+        self,
+        delta: float = 1.0,
+        pi: float = 10.0,
+        mu: float = 30.0,
+        work_conserving: bool = False,
+        deliver_when_safe: bool = False,
+        one_round: bool = False,
+    ) -> None:
+        if delta <= 0 or pi <= 0 or mu <= 0:
+            raise ValueError("delta, pi and mu must be positive")
+        self.delta = delta
+        self.pi = pi
+        self.mu = mu
+        #: When True, the leader keeps the token circulating while any
+        #: entry is not yet safe at every member, instead of holding it
+        #: until the next π tick.  Trades token traffic for latency; the
+        #: periodic mode is the literal Section 8 protocol.
+        self.work_conserving = work_conserving
+        #: Totem/Transis-style "safe delivery" (§1 discussion point 5):
+        #: delay gprcv until every member's lower layer has the message
+        #: (has seen it on a token pass).  The paper's design (False)
+        #: delivers immediately and raises a separate safe notification
+        #: later; the ablation benchmark measures the delivery-latency
+        #: cost of the alternative.
+        self.deliver_when_safe = deliver_when_safe
+        #: Footnote 7 of Section 8: the one-round membership protocol.
+        #: The initiator skips the call-for-participation round and
+        #: announces a view made of the processors it has *recently
+        #: heard from* — cheaper, but membership is a guess from stale
+        #: connectivity information, so stabilisation after a partition
+        #: takes longer (the paper: "this would stabilize less
+        #: quickly"), which the ablation benchmark measures.
+        self.one_round = one_round
+
+    @property
+    def alive_window(self) -> float:
+        """How recently a processor must have been heard from to count
+        as connected in a one-round view announcement."""
+        return 1.5 * self.mu
+
+    @property
+    def accept_wait(self) -> float:
+        return 2 * self.delta
+
+    @property
+    def join_wait(self) -> float:
+        return 4 * self.delta
+
+    def token_timeout(self, n: int) -> float:
+        return self.pi + (n + 3) * self.delta
+
+
+class RingService(Protocol):
+    """What a :class:`RingMember` needs from its host service."""
+
+    network: Network
+
+    def emit_newview(self, view: View, p: ProcId) -> None: ...
+
+    def emit_gprcv(self, payload: Any, src: ProcId, dst: ProcId) -> None: ...
+
+    def emit_safe(self, payload: Any, src: ProcId, dst: ProcId) -> None: ...
+
+
+class RingMember(NetworkNode):
+    """The protocol endpoint for one processor."""
+
+    def __init__(
+        self,
+        proc_id: ProcId,
+        service: RingService,
+        config: RingConfig,
+        initial_view: Optional[View],
+    ) -> None:
+        super().__init__(proc_id)
+        self.service = service
+        self.config = config
+        self._sim = service.network.simulator
+        self._oracle = service.network.oracle
+
+        # Membership state.
+        self.view: Optional[View] = initial_view
+        self.max_epoch: int = initial_view.id[0] if initial_view else 0
+        self.committed: Optional[RingViewId] = (
+            initial_view.id if initial_view else None
+        )
+        self._forming_viewid: Optional[RingViewId] = None
+        self._forming_accepts: set[ProcId] = set()
+        self._forming_deadline = None  # EventHandle
+
+        # Per-view message state.
+        self.buffered: list[tuple[RingViewId, Any]] = []
+        self.delivered_idx: int = 0
+        self.safe_idx: int = 0
+        self.held_token: Optional[Token] = None
+
+        # Connectivity estimate for the one-round protocol.
+        self.last_heard: dict[ProcId, float] = {}
+
+        # Statistics.
+        self.formations_initiated = 0
+        self.tokens_processed = 0
+
+        # Timers.
+        self._watchdog = WatchdogTimer(self._sim, self._on_token_timeout)
+        self._join_watchdog = WatchdogTimer(self._sim, self._on_join_timeout)
+        self._launch_timer = PeriodicTimer(self._sim, config.pi, self._on_launch_tick)
+        self._probe_timer = PeriodicTimer(self._sim, config.mu, self._on_probe_tick)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm timers; the initial leader creates the first token."""
+        self._probe_timer.start()
+        if self.view is None:
+            return
+        if self.is_leader:
+            self.held_token = Token(
+                viewid=self.view.id,
+                members=self._ring_order(),
+            )
+            self._launch_timer.start()
+            self._sim.call_soon(self._on_launch_tick)
+        else:
+            self._arm_watchdog()
+
+    @property
+    def is_leader(self) -> bool:
+        return self.view is not None and self._ring_order()[0] == self.proc_id
+
+    def _ring_order(self) -> tuple[ProcId, ...]:
+        assert self.view is not None
+        return tuple(sorted(self.view.set))
+
+    def _successor(self) -> ProcId:
+        ring = self._ring_order()
+        index = ring.index(self.proc_id)
+        return ring[(index + 1) % len(ring)]
+
+    def _alive(self) -> bool:
+        """Bad processors take no locally controlled steps."""
+        return not self._oracle.processor_bad(self.proc_id)
+
+    # ------------------------------------------------------------------
+    # Optional instrumentation (the WeakVS shadow machine listens here;
+    # see repro.membership.shadow)
+    # ------------------------------------------------------------------
+    def _notify_createview(
+        self, viewid: RingViewId, members: tuple[ProcId, ...]
+    ) -> None:
+        hook = getattr(self.service, "notify_createview", None)
+        if hook is not None:
+            hook(View(viewid, frozenset(members)))
+
+    def _notify_order(self, payload: Any, viewid: RingViewId) -> None:
+        hook = getattr(self.service, "notify_order", None)
+        if hook is not None:
+            hook(payload, self.proc_id, viewid)
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+    def gpsnd(self, payload: Any) -> None:
+        """Submit a client message; associated with the current view.
+        Messages sent with no current view are ignored (never delivered),
+        exactly as in VS-machine."""
+        if self.view is None:
+            return
+        self.buffered.append((self.view.id, payload))
+        if (
+            self.config.work_conserving
+            and self.held_token is not None
+            and self._alive()
+        ):
+            # Wake the circulation immediately instead of waiting for
+            # the next π tick.
+            self._sim.call_soon(self._on_launch_tick)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, src: ProcId, message: Any) -> None:
+        self.last_heard[src] = self._sim.now
+        if isinstance(message, NewGroup):
+            self._on_newgroup(message)
+        elif isinstance(message, Accept):
+            self._on_accept(message)
+        elif isinstance(message, Join):
+            self._on_join(message)
+        elif isinstance(message, Token):
+            self._on_token(message)
+        elif isinstance(message, Probe):
+            self._on_probe(message)
+
+    # ------------------------------------------------------------------
+    # View formation
+    # ------------------------------------------------------------------
+    def initiate_formation(self) -> None:
+        """Start formation: round 1 of the 3-round protocol, or the
+        direct announcement of the one-round variant (footnote 7)."""
+        if not self._alive():
+            return
+        if self._forming_viewid is not None:
+            return
+        self.max_epoch += 1
+        viewid: RingViewId = (self.max_epoch, self.proc_id)
+        self.committed = viewid
+        self.formations_initiated += 1
+        self._join_watchdog.disarm()
+        if self.config.one_round:
+            members = self._connectivity_estimate()
+            self._notify_createview(viewid, members)
+            join = Join(viewid=viewid, members=members)
+            for member in members:
+                if member != self.proc_id:
+                    self.service.network.send(self.proc_id, member, join)
+            self._install(viewid, members)
+            return
+        self._forming_viewid = viewid
+        self._forming_accepts = {self.proc_id}
+        self.service.network.broadcast(
+            self.proc_id, NewGroup(viewid=viewid, initiator=self.proc_id)
+        )
+        self._forming_deadline = self._sim.schedule(
+            self.config.accept_wait, self._on_formation_deadline
+        )
+
+    def _connectivity_estimate(self) -> tuple[ProcId, ...]:
+        """Who the one-round initiator believes is connected: everyone
+        heard from within the alive window (stale by construction)."""
+        now = self._sim.now
+        alive = {
+            p
+            for p, heard_at in self.last_heard.items()
+            if now - heard_at <= self.config.alive_window
+        }
+        alive.add(self.proc_id)
+        return tuple(sorted(alive))
+
+    def _on_newgroup(self, message: NewGroup) -> None:
+        self.max_epoch = max(self.max_epoch, message.viewid[0])
+        if self.committed is not None and message.viewid <= self.committed:
+            return
+        self.committed = message.viewid
+        # A higher call supersedes our own in-progress formation.
+        if (
+            self._forming_viewid is not None
+            and self._forming_viewid < message.viewid
+        ):
+            self._cancel_formation()
+        if message.initiator == self.proc_id:
+            return
+        self.service.network.send(
+            self.proc_id,
+            message.initiator,
+            Accept(viewid=message.viewid, member=self.proc_id),
+        )
+        self._join_watchdog.arm(self.config.join_wait)
+
+    def _on_accept(self, message: Accept) -> None:
+        if self._forming_viewid == message.viewid:
+            self._forming_accepts.add(message.member)
+
+    def _on_formation_deadline(self) -> None:
+        if not self._alive():
+            self._cancel_formation()
+            return
+        viewid = self._forming_viewid
+        if viewid is None:
+            return
+        members = tuple(sorted(self._forming_accepts))
+        self._cancel_formation()
+        if self.committed is not None and self.committed > viewid:
+            return  # superseded while collecting
+        self._notify_createview(viewid, members)
+        join = Join(viewid=viewid, members=members)
+        for member in members:
+            if member != self.proc_id:
+                self.service.network.send(self.proc_id, member, join)
+        self._install(viewid, members)
+
+    def _cancel_formation(self) -> None:
+        self._forming_viewid = None
+        self._forming_accepts = set()
+        if self._forming_deadline is not None:
+            self._forming_deadline.cancel()
+            self._forming_deadline = None
+
+    def _on_join(self, message: Join) -> None:
+        self.max_epoch = max(self.max_epoch, message.viewid[0])
+        if self.proc_id not in message.members:
+            return
+        if self.committed is not None and message.viewid < self.committed:
+            return
+        if self.view is not None and message.viewid <= self.view.id:
+            return
+        self._install(message.viewid, message.members)
+
+    def _install(self, viewid: RingViewId, members: tuple[ProcId, ...]) -> None:
+        """Install a new view: reset per-view state, announce newview,
+        and (as leader) launch the first token."""
+        if self.view is not None and viewid <= self.view.id:
+            return  # local monotonicity: never go backwards
+        # Every install is epoch knowledge — without this, a member that
+        # learned a view only from the token (missed Join) could later
+        # initiate with a stale epoch and announce a *lower* view id.
+        self.max_epoch = max(self.max_epoch, viewid[0])
+        self._join_watchdog.disarm()
+        self.view = View(viewid, frozenset(members))
+        self.committed = max(self.committed, viewid) if self.committed else viewid
+        self.buffered = [
+            entry for entry in self.buffered if entry[0] == viewid
+        ]
+        self.delivered_idx = 0
+        self.safe_idx = 0
+        self.held_token = None
+        self.service.emit_newview(self.view, self.proc_id)
+        self._launch_timer.stop()
+        if self.is_leader:
+            self.held_token = Token(viewid=viewid, members=self._ring_order())
+            self._launch_timer.start()
+            self._sim.call_soon(self._on_launch_tick)
+        else:
+            self._arm_watchdog()
+
+    # ------------------------------------------------------------------
+    # Token circulation
+    # ------------------------------------------------------------------
+    def _arm_watchdog(self) -> None:
+        if self.view is not None:
+            self._watchdog.arm(self.config.token_timeout(len(self.view.set)))
+
+    def _on_token(self, token: Token) -> None:
+        if self.view is None or token.viewid != self.view.id:
+            # Maybe the Join was lost/overtaken: install from the token.
+            if (
+                self.proc_id in token.members
+                and (self.view is None or token.viewid > self.view.id)
+                and (self.committed is None or token.viewid >= self.committed)
+            ):
+                self._install(token.viewid, token.members)
+            else:
+                return  # stale token dies here
+        if self.view is None or token.viewid != self.view.id:
+            return
+        self._arm_watchdog()
+        self._process_token(token)
+        if self.is_leader:
+            if self.config.work_conserving and self._token_has_work(token):
+                self._forward(token)
+            else:
+                # The token is home; hold it until the next launch tick.
+                self.held_token = token
+        else:
+            self._forward(token)
+
+    def _on_launch_tick(self) -> None:
+        if not self._alive():
+            return
+        if self.held_token is None or self.view is None:
+            return
+        if self.held_token.viewid != self.view.id:
+            self.held_token = None
+            return
+        token = self.held_token
+        self.held_token = None
+        token.trail = []  # fresh liveness trail for this circulation
+        self._arm_watchdog()
+        self._process_token(token)
+        if len(token.members) == 1:
+            self.held_token = token  # singleton ring: token never leaves
+        else:
+            self._forward(token)
+
+    def _process_token(self, token: Token) -> None:
+        """Deliver new entries, append buffered sends, update counts and
+        emit safe notifications."""
+        self.tokens_processed += 1
+        assert self.view is not None
+        viewid = self.view.id
+        # The trail is fresh liveness evidence for everyone it names.
+        now = self._sim.now
+        for member in token.trail:
+            if member != self.proc_id:
+                self.last_heard[member] = now
+        token.trail.append(self.proc_id)
+        # Append this member's buffered messages for the current view —
+        # the concrete counterpart of VS-machine's internal vs-order.
+        for entry_viewid, payload in self.buffered:
+            if entry_viewid == viewid:
+                token.order.append((payload, self.proc_id))
+                self._notify_order(payload, viewid)
+        self.buffered = [e for e in self.buffered if e[0] != viewid]
+        token.seen[self.proc_id] = len(token.order)
+        if self.config.deliver_when_safe:
+            # Totem-style: deliver only entries every member has seen.
+            deliverable = token.seen_prefix_length(token.members)
+        else:
+            deliverable = len(token.order)
+        for payload, origin in token.order[self.delivered_idx : deliverable]:
+            self.service.emit_gprcv(payload, origin, self.proc_id)
+        self.delivered_idx = max(self.delivered_idx, deliverable)
+        token.delivered[self.proc_id] = self.delivered_idx
+        # Safe notifications for the prefix every member has delivered.
+        safe_upto = token.safe_prefix_length(token.members)
+        for payload, origin in token.order[self.safe_idx : safe_upto]:
+            self.service.emit_safe(payload, origin, self.proc_id)
+        self.safe_idx = max(self.safe_idx, safe_upto)
+        token.safed[self.proc_id] = self.safe_idx
+        token.hop += 1
+
+    def _token_has_work(self, token: Token) -> bool:
+        """Work-conserving mode: is any entry not yet known safe at
+        every member?  While true the leader relaunches immediately."""
+        total = len(token.order)
+        if total == 0:
+            return False
+        if token.safe_prefix_length(token.members) < total:
+            return True
+        return any(token.safed.get(m, 0) < total for m in token.members)
+
+    def _forward(self, token: Token) -> None:
+        successor = self._successor()
+        if successor == self.proc_id:
+            self.held_token = token
+            return
+        self.service.network.send(self.proc_id, successor, token.copy())
+
+    def _on_token_timeout(self) -> None:
+        if not self._alive():
+            # Stay vigilant: check again after recovery instead of
+            # silently never noticing the lost token.
+            self._arm_watchdog()
+            return
+        if self.view is None:
+            return
+        self.initiate_formation()
+
+    def _on_join_timeout(self) -> None:
+        if not self._alive():
+            self._join_watchdog.arm(self.config.join_wait)
+            return
+        self.initiate_formation()
+
+    # ------------------------------------------------------------------
+    # Merge probing
+    # ------------------------------------------------------------------
+    def _on_probe_tick(self) -> None:
+        if not self._alive():
+            return
+        members = self.view.set if self.view is not None else frozenset()
+        viewid = self.view.id if self.view is not None else (0, self.proc_id)
+        for target in self.service.network.processors:
+            if target == self.proc_id or target in members:
+                continue
+            self.service.network.send(
+                self.proc_id, target, Probe(sender=self.proc_id, viewid=viewid)
+            )
+
+    def _on_probe(self, message: Probe) -> None:
+        # Outside contact: the prober is not in our view, or it is a
+        # nominal member running a *different* view (a stale survivor
+        # that missed our reconfigurations, or vice versa).
+        same_view = (
+            self.view is not None
+            and message.sender in self.view.set
+            and message.viewid == self.view.id
+        )
+        if same_view:
+            return
+        if self._forming_viewid is not None or self._join_watchdog.armed:
+            return  # a formation that can include the prober is in flight
+        self.initiate_formation()

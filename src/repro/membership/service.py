@@ -1,0 +1,184 @@
+""":class:`TokenRingVS` — the VS service façade over the simulated
+network.
+
+Wires one :class:`~repro.membership.ring.RingMember` per processor to a
+:class:`~repro.net.network.Network`, exposes the VS interface
+(``gpsnd`` in; ``gprcv``/``safe``/``newview`` callbacks out), records a
+:class:`~repro.ioa.timed.TimedTrace` of every VS external event, and can
+merge in the failure-status history for the property checkers.
+
+This is the implementation whose traces are checked against VS-machine
+(safety) and against VS-property with the Section 8 bounds
+(performance): experiments E2, E5, E6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+from repro.core.types import View
+from repro.ioa.actions import Action, act
+from repro.ioa.timed import TimedTrace
+from repro.membership.ring import RingConfig, RingMember
+from repro.net.channel import ChannelConfig
+from repro.net.network import Network
+from repro.net.scenarios import PartitionScenario
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+ProcId = Hashable
+
+#: callback signatures: (payload, src, dst) for gprcv/safe; (view, p)
+#: for newview.
+DeliveryCallback = Callable[[Any, ProcId, ProcId], None]
+ViewCallback = Callable[[View, ProcId], None]
+
+
+class TokenRingVS:
+    """A runnable VS service instance.
+
+    Parameters
+    ----------
+    processors:
+        The processor set P.
+    config:
+        Protocol timing parameters (δ, π, μ).
+    seed:
+        Master seed for all randomness (channel delays etc.).
+    initial_members:
+        P0 for the hybrid initial view; defaults to all processors.
+        Processors outside P0 start with no view and join via probes.
+    """
+
+    def __init__(
+        self,
+        processors: Iterable[ProcId],
+        config: Optional[RingConfig] = None,
+        seed: int = 0,
+        initial_members: Optional[Iterable[ProcId]] = None,
+    ) -> None:
+        self.processors: tuple[ProcId, ...] = tuple(processors)
+        self.config = config if config is not None else RingConfig()
+        self.simulator = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.network = Network(
+            self.processors,
+            self.simulator,
+            rngs=self.rngs,
+            config=ChannelConfig(delta=self.config.delta),
+        )
+        members = (
+            frozenset(initial_members)
+            if initial_members is not None
+            else frozenset(self.processors)
+        )
+        g0 = (0, min(members)) if members else (0, min(self.processors))
+        self.initial_view = View(g0, members)
+        self.members: dict[ProcId, RingMember] = {}
+        for p in self.processors:
+            member = RingMember(
+                p,
+                self,
+                self.config,
+                self.initial_view if p in members else None,
+            )
+            self.members[p] = member
+            self.network.register(member)
+        self.trace = TimedTrace()
+        self.on_gprcv: Optional[DeliveryCallback] = None
+        self.on_safe: Optional[DeliveryCallback] = None
+        self.on_newview: Optional[ViewCallback] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm every member's timers (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for member in self.members.values():
+            member.start()
+
+    def run_until(self, time: float) -> None:
+        self.start()
+        self.simulator.run_until(time)
+
+    def install_scenario(self, scenario: PartitionScenario) -> None:
+        scenario.install(self.network)
+
+    # ------------------------------------------------------------------
+    # VS client interface
+    # ------------------------------------------------------------------
+    def gpsnd(self, p: ProcId, payload: Any) -> None:
+        """Client at p sends payload (associated with p's current view)."""
+        self._record("gpsnd", payload, p)
+        self.members[p].gpsnd(payload)
+
+    def current_view(self, p: ProcId) -> Optional[View]:
+        return self.members[p].view
+
+    def schedule_send(self, time: float, p: ProcId, payload: Any) -> None:
+        """Schedule a client send at an absolute virtual time."""
+        self.simulator.schedule_at(time, lambda: self.gpsnd(p, payload))
+
+    # ------------------------------------------------------------------
+    # Emission (called by ring members)
+    # ------------------------------------------------------------------
+    def emit_newview(self, view: View, p: ProcId) -> None:
+        self._record("newview", view, p)
+        if self.on_newview is not None:
+            self.on_newview(view, p)
+
+    def emit_gprcv(self, payload: Any, src: ProcId, dst: ProcId) -> None:
+        self._record("gprcv", payload, src, dst)
+        if self.on_gprcv is not None:
+            self.on_gprcv(payload, src, dst)
+
+    def emit_safe(self, payload: Any, src: ProcId, dst: ProcId) -> None:
+        self._record("safe", payload, src, dst)
+        if self.on_safe is not None:
+            self.on_safe(payload, src, dst)
+
+    def _record(self, name: str, *args: Any) -> None:
+        self.trace.append(self.simulator.now, act(name, *args))
+
+    # ------------------------------------------------------------------
+    # Trace assembly for the checkers
+    # ------------------------------------------------------------------
+    def merged_trace(self) -> TimedTrace:
+        """The VS event trace merged with failure-status events from the
+        oracle history, in time order — the shape both property checkers
+        consume."""
+        events: list[tuple[float, int, Action]] = []
+        for index, event in enumerate(self.trace.events):
+            events.append((event.time, index, event.action))
+        base = len(events)
+        for index, status_event in enumerate(self.network.oracle.history):
+            target = status_event.target
+            args = target if isinstance(target, tuple) else (target,)
+            events.append(
+                (
+                    status_event.time,
+                    base + index,
+                    act(status_event.status.value, *args),
+                )
+            )
+        events.sort(key=lambda item: (item[0], item[1]))
+        merged = TimedTrace()
+        for time, _index, action in events:
+            merged.append(time, action)
+        return merged
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate protocol statistics (diagnostics for benchmarks)."""
+        return {
+            "messages_sent": self.network.messages_sent,
+            "messages_delivered": self.network.messages_delivered,
+            "formations": sum(
+                m.formations_initiated for m in self.members.values()
+            ),
+            "tokens_processed": sum(
+                m.tokens_processed for m in self.members.values()
+            ),
+            "events_processed": self.simulator.events_processed,
+        }

@@ -1,0 +1,112 @@
+"""The Section 8 implementation proof, made executable.
+
+The paper sketches the ring's correctness as a forward simulation to
+*WeakVS-machine*: the event where an initiator fixes a view's
+membership maps to ``createview``, appending a buffered message to the
+token maps to ``vs-order``, and the interface events map to themselves;
+WeakVS-machine then implements VS-machine by reordering createviews.
+
+:class:`WeakVSShadow` runs that simulation live.  Attached to a
+:class:`~repro.membership.service.TokenRingVS`, it drives a real
+:class:`~repro.core.vs_spec.WeakVSMachine` with the abstract action
+corresponding to every concrete protocol event; an illegal abstract
+step (a :class:`~repro.ioa.automaton.TransitionError`) falsifies the
+simulation on the spot.  Combined with
+:func:`~repro.core.vs_spec.reorder_weak_execution` and a replay on the
+strict VS-machine, the whole Section 8 argument —
+
+    ring execution  →  WeakVS execution  →  VS execution
+
+— is checked mechanically on every run (see
+``tests/membership/test_shadow.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.types import View
+from repro.core.vs_spec import VSMachine, WeakVSMachine
+from repro.ioa.actions import Action, act
+
+ProcId = Hashable
+
+
+class WeakVSShadow:
+    """A live WeakVS-machine shadowing a token-ring service."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.machine = WeakVSMachine(
+            service.processors,
+            initial_members=service.initial_view.set,
+            g0=service.initial_view.id,
+        )
+        #: the abstract execution, including internal actions
+        self.actions: list[Action] = []
+        self.steps_simulated = 0
+        self._attach(service)
+
+    # ------------------------------------------------------------------
+    def _step(self, action: Action) -> None:
+        self.machine.step(action)  # raises TransitionError if illegal
+        self.actions.append(action)
+        self.steps_simulated += 1
+
+    def _attach(self, service) -> None:
+        service.notify_createview = self._on_createview
+        service.notify_order = self._on_order
+        old_gprcv = service.on_gprcv
+        old_safe = service.on_safe
+        old_newview = service.on_newview
+
+        def gprcv(payload, src, dst):
+            self._step(act("gprcv", payload, src, dst))
+            if old_gprcv:
+                old_gprcv(payload, src, dst)
+
+        def safe(payload, src, dst):
+            self._step(act("safe", payload, src, dst))
+            if old_safe:
+                old_safe(payload, src, dst)
+
+        def newview(view, p):
+            self._step(act("newview", view, p))
+            if old_newview:
+                old_newview(view, p)
+
+        service.on_gprcv = gprcv
+        service.on_safe = safe
+        service.on_newview = newview
+
+        original_gpsnd = service.gpsnd
+
+        def gpsnd(p, payload):
+            self._step(act("gpsnd", payload, p))
+            original_gpsnd(p, payload)
+
+        service.gpsnd = gpsnd
+
+    # ------------------------------------------------------------------
+    def _on_createview(self, view: View) -> None:
+        self._step(act("createview", view))
+
+    def _on_order(self, payload: Any, p: ProcId, viewid) -> None:
+        self._step(act("vs-order", payload, p, viewid))
+
+    # ------------------------------------------------------------------
+    def replay_on_strict_machine(self) -> VSMachine:
+        """Close the Section 8 argument: reorder this shadow execution's
+        createviews and replay it verbatim on a strict VS-machine.
+        Raises on any illegal step; returns the final machine."""
+        from repro.core.vs_spec import reorder_weak_execution
+
+        reordered = reorder_weak_execution(self.actions)
+        machine = VSMachine(
+            self.service.processors,
+            initial_members=self.service.initial_view.set,
+            g0=self.service.initial_view.id,
+        )
+        for action in reordered:
+            machine.step(action)
+        return machine

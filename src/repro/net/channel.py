@@ -1,0 +1,103 @@
+"""Point-to-point channels over the discrete-event simulator.
+
+Channel behaviour is driven by the failure oracle at *send* time and at
+*delivery* time:
+
+- good link: the packet arrives after a delay drawn uniformly from
+  (latency_floor, delta]; the paper's model only bounds delay above by
+  ``delta``;
+- bad link: the packet is dropped;
+- ugly link: with probability ``ugly_loss`` the packet is dropped,
+  otherwise it arrives after a delay up to ``ugly_max_delay`` — i.e. no
+  timing guarantee, which is the paper's "might or might not deliver".
+
+A packet in flight when the link turns bad is also dropped at its
+scheduled arrival time (the link "delivers all messages sent while it is
+good", so messages straddling a failure may be lost).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.net.status import FailureOracle, FailureStatus
+from repro.sim.engine import Simulator
+
+ProcId = Hashable
+DeliveryHandler = Callable[[ProcId, ProcId, Any], None]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Timing parameters of the physical links.
+
+    ``delta`` is the paper's bound on good-link delivery delay.
+    """
+
+    delta: float = 1.0
+    latency_floor: float = 0.0
+    ugly_loss: float = 0.5
+    ugly_max_delay: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if not 0 <= self.latency_floor < self.delta:
+            raise ValueError("latency_floor must lie in [0, delta)")
+        if not 0 <= self.ugly_loss <= 1:
+            raise ValueError("ugly_loss must lie in [0, 1]")
+
+
+class Channel:
+    """The directed channel from ``src`` to ``dst``."""
+
+    def __init__(
+        self,
+        src: ProcId,
+        dst: ProcId,
+        simulator: Simulator,
+        oracle: FailureOracle,
+        config: ChannelConfig,
+        rng: random.Random,
+        deliver: DeliveryHandler,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self._sim = simulator
+        self._oracle = oracle
+        self._config = config
+        self._rng = rng
+        self._deliver = deliver
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    def send(self, message: Any) -> None:
+        """Submit a packet; schedules delivery per the link status."""
+        self.sent_count += 1
+        status = self._oracle.link_status(self.src, self.dst)
+        if status is FailureStatus.BAD:
+            self.dropped_count += 1
+            return
+        if status is FailureStatus.GOOD:
+            delay = self._rng.uniform(
+                self._config.latency_floor, self._config.delta
+            )
+        else:  # UGLY
+            if self._rng.random() < self._config.ugly_loss:
+                self.dropped_count += 1
+                return
+            delay = self._rng.uniform(0.0, self._config.ugly_max_delay)
+        self._sim.schedule(delay, lambda: self._arrive(message))
+
+    def _arrive(self, message: Any) -> None:
+        # A packet is lost if the link has gone bad while it was in
+        # flight: the good-link guarantee covers only packets whose whole
+        # flight happens while the link is good.
+        if self._oracle.link_status(self.src, self.dst) is FailureStatus.BAD:
+            self.dropped_count += 1
+            return
+        self.delivered_count += 1
+        self._deliver(self.src, self.dst, message)

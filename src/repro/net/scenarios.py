@@ -1,0 +1,107 @@
+"""Scripted failure scenarios.
+
+A :class:`PartitionScenario` is a timeline of network layouts — at each
+scheduled time the failure oracle is reconfigured to a new consistent
+partition (or to chaos: selected links/processors turned ugly).  The
+conditional properties of the paper quantify over executions that
+*stabilise*: after some point the failure status stops changing and
+matches a consistent partition.  Scenario timelines end with such a
+final layout, and record its start time so measurements can compute the
+stabilisation interval l' relative to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.net.network import Network
+from repro.net.status import FailureStatus
+
+ProcId = Hashable
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One reconfiguration: at ``time``, install ``groups`` as a
+    consistent partition.  Processors in no group become bad.  When
+    ``ugly_links`` is non-empty those ordered pairs are made ugly after
+    the partition layout is installed (used to model unstable periods).
+    """
+
+    time: float
+    groups: tuple[tuple[ProcId, ...], ...]
+    ugly_links: tuple[tuple[ProcId, ProcId], ...] = ()
+    ugly_processors: tuple[ProcId, ...] = ()
+
+    def primary_group(self) -> tuple[ProcId, ...]:
+        """The largest group (ties broken by order) — convenient for
+        measurements that track the quorum side of a split."""
+        return max(self.groups, key=len) if self.groups else ()
+
+
+@dataclass
+class PartitionScenario:
+    """An ordered list of scenario events applied to a network."""
+
+    events: list[ScenarioEvent] = field(default_factory=list)
+
+    def add(
+        self,
+        time: float,
+        groups: Sequence[Sequence[ProcId]],
+        ugly_links: Iterable[tuple[ProcId, ProcId]] = (),
+        ugly_processors: Iterable[ProcId] = (),
+    ) -> "PartitionScenario":
+        event = ScenarioEvent(
+            time=time,
+            groups=tuple(tuple(g) for g in groups),
+            ugly_links=tuple(ugly_links),
+            ugly_processors=tuple(ugly_processors),
+        )
+        if self.events and event.time < self.events[-1].time:
+            raise ValueError("scenario events must be in time order")
+        self.events.append(event)
+        return self
+
+    @property
+    def stabilization_time(self) -> float:
+        """Time of the last reconfiguration — the point l after which the
+        failure status no longer changes."""
+        if not self.events:
+            return 0.0
+        return self.events[-1].time
+
+    @property
+    def final_groups(self) -> tuple[tuple[ProcId, ...], ...]:
+        if not self.events:
+            raise ValueError("empty scenario")
+        return self.events[-1].groups
+
+    def install(self, network: Network) -> None:
+        """Schedule every event on the network's simulator."""
+        for event in self.events:
+            network.simulator.schedule_at(
+                event.time, lambda e=event: self._apply(network, e)
+            )
+
+    @staticmethod
+    def _apply(network: Network, event: ScenarioEvent) -> None:
+        now = network.simulator.now
+        network.oracle.apply_partition(event.groups, time=now)
+        for src, dst in event.ugly_links:
+            network.oracle.set_link(src, dst, FailureStatus.UGLY, time=now)
+        for p in event.ugly_processors:
+            network.oracle.set_processor(p, FailureStatus.UGLY, time=now)
+
+
+def stable_partition(
+    processors: Sequence[ProcId],
+    groups: Optional[Sequence[Sequence[ProcId]]] = None,
+    at: float = 0.0,
+) -> PartitionScenario:
+    """A scenario with a single layout: everyone in one group by default,
+    or the given grouping, installed at time ``at`` and stable forever."""
+    if groups is None:
+        groups = [list(processors)]
+    return PartitionScenario().add(at, groups)

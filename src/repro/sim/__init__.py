@@ -1,0 +1,19 @@
+"""Discrete-event simulation engine.
+
+Provides the virtual time base for the timed model of Section 7 and for
+the network substrate: an event queue ordered by (time, sequence number),
+cancellable event handles, periodic timers, and named seeded RNG streams
+so every simulated run is reproducible.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTimer, WatchdogTimer
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "RngRegistry",
+    "PeriodicTimer",
+    "WatchdogTimer",
+]

@@ -1,0 +1,156 @@
+"""The discrete-event simulator core.
+
+Events are callbacks scheduled at virtual times.  Ties are broken by a
+monotonically increasing sequence number, so scheduling order is
+deterministic — together with seeded RNGs this makes whole simulated
+executions reproducible from a seed, which the test and benchmark suites
+rely on.
+
+The simulator deliberately has no notion of processes or channels; those
+live in :mod:`repro.net`.  It corresponds to the time-passage structure
+of the timed automaton model: between two consecutive event times the
+system takes a ``nu(t)`` step, and at an event time it takes discrete
+steps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from math import inf
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _QueuedEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: list[_QueuedEvent] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._trace_hook: Optional[Callable[[float], None]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        event = _QueuedEvent(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time > self._now and self._trace_hook is not None:
+                self._trace_hook(event.time - self._now)
+            self._now = max(self._now, event.time)
+            event.callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run_until(self, time: float) -> None:
+        """Process events with time <= ``time``; advance the clock to it."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        if time > self._now:
+            if self._trace_hook is not None:
+                self._trace_hook(time - self._now)
+            self._now = time
+
+    def run(self, max_events: int = 10_000_000, until: float = inf) -> None:
+        """Drain the queue, bounded by ``max_events`` and ``until``."""
+        processed = 0
+        while processed < max_events and self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > until:
+                break
+            self.step()
+            processed += 1
+        if until is not inf and until > self._now:
+            self.run_until(until)
+
+    # ------------------------------------------------------------------
+    def on_time_passage(self, hook: Optional[Callable[[float], None]]) -> None:
+        """Install a hook invoked with each positive time advance (the
+        ``nu(t)`` steps of the timed model); pass None to remove."""
+        self._trace_hook = hook
+
+    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+        """Schedule at the current time (after already-queued same-time
+        events, by sequence-number tie-breaking)."""
+        return self.schedule(0.0, callback)
+
+    def clear(self) -> None:
+        """Drop all pending events (used between benchmark iterations)."""
+        self._queue.clear()

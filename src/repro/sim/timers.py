@@ -1,0 +1,89 @@
+"""Timer helpers built on the simulator.
+
+The Section 8 implementation needs two timer shapes:
+
+- a *periodic* timer (the ring leader launches a token every ``pi`` time
+  units; merge probes fire every ``mu``);
+- a *watchdog* timer (each member expects the token back within a
+  computed deadline and triggers a view change when it does not arrive).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class PeriodicTimer:
+    """Fires ``callback`` every ``period`` units until stopped."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        start_immediately: bool = False,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = simulator
+        self.period = period
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        self._start_immediately = start_immediately
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        delay = 0.0 if self._start_immediately else self.period
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._handle = self._sim.schedule(self.period, self._fire)
+        self._callback()
+
+
+class WatchdogTimer:
+    """A resettable one-shot deadline timer.
+
+    ``arm(timeout)`` (re)starts the countdown; if it expires before the
+    next ``arm``/``disarm``, ``on_expire`` runs.  This is exactly the
+    token-loss detector of the Section 8 ring protocol.
+    """
+
+    def __init__(self, simulator: Simulator, on_expire: Callable[[], None]) -> None:
+        self._sim = simulator
+        self._on_expire = on_expire
+        self._handle: Optional[EventHandle] = None
+
+    def arm(self, timeout: float) -> None:
+        self.disarm()
+        self._handle = self._sim.schedule(timeout, self._expire)
+
+    def disarm(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def _expire(self) -> None:
+        self._handle = None
+        self._on_expire()

@@ -1,0 +1,119 @@
+"""Tests for the trace measurement helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.measure import (
+    all_members_delivery_latencies,
+    safe_latencies_in_final_view,
+    stabilization_interval,
+)
+from repro.core.types import View
+from repro.ioa.actions import act
+from repro.ioa.timed import TimedTrace
+
+PROCS = ("p", "q")
+V0 = View(0, set(PROCS))
+V1 = View(1, set(PROCS))
+
+
+class TestStabilizationInterval:
+    def test_measures_last_newview(self):
+        trace = TimedTrace()
+        trace.append(12.0, act("newview", V1, "p"))
+        trace.append(14.0, act("newview", V1, "q"))
+        result = stabilization_interval(trace, PROCS, 10.0, V0)
+        assert result.stabilized
+        assert result.l_prime == 4.0
+        assert result.final_view == V1
+
+    def test_unstabilized_when_views_differ(self):
+        trace = TimedTrace()
+        trace.append(12.0, act("newview", V1, "p"))
+        result = stabilization_interval(trace, PROCS, 10.0, V0)
+        assert not result.stabilized
+        assert math.isinf(result.l_prime)
+
+    def test_unstabilized_when_membership_mismatch(self):
+        v_small = View(1, {"p"})
+        trace = TimedTrace()
+        trace.append(12.0, act("newview", v_small, "p"))
+        result = stabilization_interval(trace, ("p",), 10.0, V0)
+        # group ("p",) — view matches the group: stabilized
+        assert result.stabilized
+        result2 = stabilization_interval(trace, PROCS, 10.0, V0)
+        assert not result2.stabilized
+
+    def test_zero_interval_when_settled_before(self):
+        trace = TimedTrace()
+        trace.append(5.0, act("newview", V1, "p"))
+        trace.append(6.0, act("newview", V1, "q"))
+        result = stabilization_interval(trace, PROCS, 10.0, V0)
+        assert result.stabilized
+        assert result.l_prime == 0.0
+
+
+class TestSafeLatencies:
+    def build_trace(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("newview", V1, "p"))
+        trace.append(1.0, act("newview", V1, "q"))
+        trace.append(10.0, act("gpsnd", "m", "p"))
+        trace.append(12.0, act("safe", "m", "p", "p"))
+        trace.append(15.0, act("safe", "m", "p", "q"))
+        return trace
+
+    def test_latency_to_last_safe(self):
+        samples = safe_latencies_in_final_view(
+            self.build_trace(), PROCS, V1, V0
+        )
+        assert len(samples) == 1
+        assert samples[0].latency == 5.0
+
+    def test_incomplete_messages_excluded(self):
+        trace = self.build_trace()
+        trace.append(20.0, act("gpsnd", "m2", "p"))  # never safe
+        samples = safe_latencies_in_final_view(trace, PROCS, V1, V0)
+        assert len(samples) == 1
+
+    def test_messages_in_other_views_excluded(self):
+        trace = TimedTrace()
+        trace.append(5.0, act("gpsnd", "early", "p"))  # in V0
+        samples = safe_latencies_in_final_view(trace, PROCS, V1, V0)
+        assert samples == []
+
+
+class TestDeliveryLatencies:
+    def test_all_members_latency(self):
+        trace = TimedTrace()
+        trace.append(10.0, act("bcast", "a", "p"))
+        trace.append(12.0, act("brcv", "a", "p", "p"))
+        trace.append(14.0, act("brcv", "a", "p", "q"))
+        samples = all_members_delivery_latencies(trace, PROCS)
+        assert len(samples) == 1
+        assert samples[0].latency == 4.0
+
+    def test_after_filter(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("bcast", "a", "p"))
+        trace.append(2.0, act("brcv", "a", "p", "p"))
+        trace.append(3.0, act("brcv", "a", "p", "q"))
+        assert all_members_delivery_latencies(trace, PROCS, after=5.0) == []
+
+    def test_repeated_values_matched_by_occurrence(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("bcast", "a", "p"))
+        trace.append(2.0, act("brcv", "a", "p", "p"))
+        trace.append(2.0, act("brcv", "a", "p", "q"))
+        trace.append(10.0, act("bcast", "a", "p"))
+        trace.append(20.0, act("brcv", "a", "p", "p"))
+        trace.append(21.0, act("brcv", "a", "p", "q"))
+        samples = all_members_delivery_latencies(trace, PROCS)
+        assert [s.latency for s in samples] == [1.0, 11.0]
+
+    def test_undelivered_excluded(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("bcast", "a", "p"))
+        trace.append(2.0, act("brcv", "a", "p", "p"))
+        assert all_members_delivery_latencies(trace, PROCS) == []

@@ -1,0 +1,63 @@
+"""Tests for summary statistics and table rendering."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Summary, format_table, summarize
+
+
+class TestSummarize:
+    def test_empty_sample(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_single_value(self):
+        summary = summarize([3.0])
+        assert summary == Summary(1, 3.0, 3.0, 3.0, 3.0)
+
+    def test_known_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.p50 == 2.5
+        assert summary.max == 4.0
+
+    def test_p95_near_top(self):
+        data = list(range(1, 101))
+        summary = summarize(data)
+        assert 95.0 <= summary.p95 <= 96.0
+
+    def test_order_independent(self):
+        assert summarize([3, 1, 2]) == summarize([1, 2, 3])
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_bounds_property(self, values):
+        summary = summarize(values)
+        tolerance = 1e-9 * max(1.0, summary.max)
+        assert min(values) - tolerance <= summary.p50 <= summary.max + tolerance
+        assert summary.p50 - tolerance <= summary.p95 <= summary.max + tolerance
+        assert summary.max == max(values)
+
+    def test_str_rendering(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text and "mean=1.5" in text
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        table = format_table(
+            ["n", "bound", "measured"],
+            [[3, 25.0, 12.34567], [5, 27.0, 15.0]],
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "bound" in lines[0]
+        assert "12.35" in table  # float formatting to 4 significant digits
+
+    def test_alignment_consistent(self):
+        table = format_table(["a"], [[100], [1]])
+        lines = table.splitlines()
+        assert len(lines[2]) == len(lines[3])

@@ -1,0 +1,156 @@
+"""Tests for the atomic (linearisable) memory variant."""
+
+import random
+
+import pytest
+
+from repro.apps.atomicmem import (
+    AtomicMemory,
+    CompletedOp,
+    check_linearizability,
+)
+from repro.apps.totalorder import TotalOrderBroadcast
+
+PROCS = (1, 2, 3)
+
+
+def memory(seed=0):
+    return AtomicMemory(TotalOrderBroadcast(PROCS, seed=seed))
+
+
+class TestAtomicMemory:
+    def test_read_completes_with_written_value(self):
+        mem = memory()
+        mem.schedule_write(5.0, 1, "x", 99)
+        mem.schedule_read(50.0, 2, "x")
+        mem.run_until(200.0)
+        assert len(mem.completed_reads) == 1
+        assert mem.completed_reads[0].value == 99
+
+    def test_read_has_positive_latency(self):
+        mem = memory()
+        mem.schedule_read(10.0, 2, "x")
+        mem.run_until(200.0)
+        read = mem.completed_reads[0]
+        assert read.latency > 0.0
+
+    def test_read_callback(self):
+        mem = memory()
+        results = []
+        mem.schedule_write(5.0, 1, "x", "v")
+        mem.tob.vs.simulator.schedule_at(
+            50.0, lambda: mem.read(2, "x", callback=results.append)
+        )
+        mem.run_until(200.0)
+        assert results == ["v"]
+
+    def test_read_serialised_against_concurrent_write(self):
+        """A read issued before a concurrent write completes returns
+        either the old or new value — whichever the total order chose —
+        and the order is the same as what replicas applied."""
+        mem = memory(seed=5)
+        mem.schedule_write(5.0, 1, "x", "old")
+        mem.run_until(100.0)
+        mem.schedule_write(110.0, 1, "x", "new")
+        mem.schedule_read(110.5, 3, "x")
+        mem.run_until(300.0)
+        read = mem.completed_reads[0]
+        assert read.value in ("old", "new")
+        # the read's value matches replica 3's state at its serialisation
+        # point by construction; writes applied everywhere:
+        assert mem.replicas[3]["x"] == "new"
+
+    def test_writes_apply_at_all_replicas(self):
+        mem = memory()
+        mem.schedule_write(5.0, 2, "k", 1)
+        mem.run_until(100.0)
+        assert all(mem.replicas[p]["k"] == 1 for p in PROCS)
+        assert all(mem.writes_applied[p] == 1 for p in PROCS)
+
+    def test_read_ids_unique(self):
+        mem = memory()
+        mem.tob.run_until(5.0)
+        id1 = mem.read(1, "x")
+        id2 = mem.read(1, "x")
+        assert id1 != id2
+
+
+class TestLinearizability:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_workload_linearizable(self, seed):
+        mem = memory(seed=seed)
+        rng = random.Random(seed)
+        t = 10.0
+        for i in range(30):
+            p = rng.choice(PROCS)
+            key = f"k{rng.randint(0, 2)}"
+            if rng.random() < 0.5:
+                mem.schedule_write(t, p, key, (p, i))
+            else:
+                mem.schedule_read(t, p, key)
+            t += rng.uniform(0.5, 6.0)
+        mem.run_until(t + 400.0)
+        assert len(mem.ops) == 30  # every operation completed
+        ok, why = check_linearizability(mem)
+        assert ok, why
+
+    def test_writes_have_serialisation_indices(self):
+        mem = memory()
+        mem.schedule_write(5.0, 1, "x", 1)
+        mem.schedule_write(6.0, 2, "x", 2)
+        mem.run_until(200.0)
+        indices = sorted(op.index for op in mem.completed_writes)
+        assert indices == [1, 2]
+
+    def test_checker_detects_stale_read(self):
+        mem = memory()
+        mem.schedule_write(5.0, 1, "x", "new")
+        mem.schedule_read(50.0, 2, "x")
+        mem.run_until(300.0)
+        ok, _ = check_linearizability(mem)
+        assert ok
+        # forge a read serialised after the write but returning None
+        mem.ops.append(
+            CompletedOp(
+                op_id=999,
+                proc=3,
+                kind="read",
+                key="x",
+                value=None,
+                issued_at=100.0,
+                completed_at=101.0,
+                index=99,
+            )
+        )
+        ok, why = check_linearizability(mem)
+        assert not ok and "serialisation implies" in why
+
+    def test_checker_detects_realtime_violation(self):
+        mem = memory()
+        mem.schedule_write(5.0, 1, "x", 1)
+        mem.run_until(200.0)
+        real = mem.ops[0]
+        # forge an op that completed long before `real` was issued but
+        # is serialised after it
+        mem.ops.append(
+            CompletedOp(
+                op_id=998,
+                proc=2,
+                kind="write",
+                key="y",
+                value=0,
+                issued_at=0.0,
+                completed_at=1.0,
+                index=real.index + 10,
+            )
+        )
+        ok, why = check_linearizability(mem)
+        assert not ok and "real-time" in why
+
+    def test_checker_detects_duplicate_indices(self):
+        mem = memory()
+        mem.schedule_write(5.0, 1, "x", 1)
+        mem.run_until(200.0)
+        mem.ops.append(mem.ops[0])
+        ok, why = check_linearizability(mem)
+        assert not ok and "duplicate" in why

@@ -1,0 +1,35 @@
+"""API-misuse validation on the user-facing façade."""
+
+import pytest
+
+from repro.apps.totalorder import TotalOrderBroadcast
+
+PROCS = (1, 2, 3)
+
+
+class TestValidation:
+    def test_unknown_processor_rejected(self):
+        tob = TotalOrderBroadcast(PROCS, seed=0)
+        tob.run_until(5.0)
+        with pytest.raises(KeyError, match="unknown processor"):
+            tob.broadcast(99, "x")
+
+    def test_unhashable_value_rejected_early(self):
+        tob = TotalOrderBroadcast(PROCS, seed=0)
+        tob.run_until(5.0)
+        with pytest.raises(TypeError, match="hashable"):
+            tob.broadcast(1, {"not": "hashable"})
+
+    def test_hashable_composite_values_fine(self):
+        tob = TotalOrderBroadcast(PROCS, seed=0)
+        tob.run_until(5.0)
+        tob.broadcast(1, ("tuple", frozenset({"ok"}), 3.5))
+        tob.run_until(100.0)
+        assert len(tob.delivered(2)) == 1
+
+    def test_none_is_a_legal_value(self):
+        tob = TotalOrderBroadcast(PROCS, seed=0)
+        tob.run_until(5.0)
+        tob.broadcast(1, None)
+        tob.run_until(100.0)
+        assert tob.delivered(3) == [None]

@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quorums import MajorityQuorumSystem
+from repro.core.vstoto import (
+    RandomRunConfig,
+    RandomRunDriver,
+    VStoTOSystem,
+)
+
+PROCS3 = ("p1", "p2", "p3")
+PROCS4 = ("p1", "p2", "p3", "p4")
+PROCS5 = ("p1", "p2", "p3", "p4", "p5")
+
+
+def make_system(processors=PROCS3, quorums=None, **kwargs) -> VStoTOSystem:
+    """A fresh VStoTO-system with majority quorums by default."""
+    if quorums is None:
+        quorums = MajorityQuorumSystem(processors)
+    return VStoTOSystem(processors, quorums, **kwargs)
+
+
+def run_random(
+    processors=PROCS3,
+    seed=0,
+    max_steps=1500,
+    max_bcasts=20,
+    view_change_every=0,
+    check_invariants=False,
+    check_simulation=False,
+    **config_kwargs,
+) -> RandomRunDriver:
+    """Build, run and return a driver over a fresh system."""
+    system = make_system(processors)
+    config = RandomRunConfig(
+        seed=seed,
+        max_steps=max_steps,
+        max_bcasts=max_bcasts,
+        view_change_every=view_change_every,
+        **config_kwargs,
+    )
+    driver = RandomRunDriver(
+        system,
+        config,
+        check_invariants=check_invariants,
+        check_simulation=check_simulation,
+    )
+    driver.run()
+    return driver
+
+
+@pytest.fixture
+def system3() -> VStoTOSystem:
+    return make_system(PROCS3)
+
+
+@pytest.fixture
+def system5() -> VStoTOSystem:
+    return make_system(PROCS5)

@@ -1,0 +1,114 @@
+"""Tests for the randomized run harness itself."""
+
+import pytest
+
+from repro.core.quorums import MajorityQuorumSystem, NoQuorumSystem
+from repro.core.vstoto import (
+    RandomRunConfig,
+    RandomRunDriver,
+    VStoTOSystem,
+)
+
+PROCS = ("p1", "p2", "p3")
+
+
+def driver_for(config=None, quorums=None, **kwargs):
+    system = VStoTOSystem(
+        PROCS, quorums if quorums is not None else MajorityQuorumSystem(PROCS)
+    )
+    return RandomRunDriver(
+        system, config if config is not None else RandomRunConfig(), **kwargs
+    )
+
+
+class TestConfigKnobs:
+    def test_max_bcasts_respected(self):
+        driver = driver_for(RandomRunConfig(seed=1, max_steps=800, max_bcasts=5))
+        stats = driver.run()
+        assert stats.bcasts_injected == 5
+        assert stats.count("bcast") == 5
+
+    def test_view_changes_disabled_by_default_zero(self):
+        driver = driver_for(
+            RandomRunConfig(seed=2, max_steps=500, view_change_every=0)
+        )
+        stats = driver.run()
+        assert stats.views_offered == 0
+        assert stats.count("newview") == 0
+
+    def test_view_changes_offered_when_enabled(self):
+        driver = driver_for(
+            RandomRunConfig(seed=3, max_steps=1500, view_change_every=50)
+        )
+        stats = driver.run()
+        assert stats.views_offered > 0
+
+    def test_same_seed_same_run(self):
+        runs = []
+        for _ in range(2):
+            driver = driver_for(
+                RandomRunConfig(seed=7, max_steps=600, view_change_every=100)
+            )
+            driver.run()
+            runs.append([str(a) for a in driver.execution.actions])
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_run(self):
+        runs = []
+        for seed in (1, 2):
+            driver = driver_for(RandomRunConfig(seed=seed, max_steps=600))
+            driver.run()
+            runs.append([str(a) for a in driver.execution.actions])
+        assert runs[0] != runs[1]
+
+
+class TestDegenerateQuorums:
+    def test_no_quorum_system_never_delivers(self):
+        """With no primary views nothing is ever confirmed — the
+        simulation relation still holds (the TO queue stays empty)."""
+        driver = driver_for(
+            RandomRunConfig(seed=4, max_steps=1200, max_bcasts=10),
+            quorums=NoQuorumSystem(),
+            check_simulation=True,
+            check_invariants=True,
+        )
+        stats = driver.run()
+        assert stats.count("brcv") == 0
+        assert stats.count("confirm") == 0
+        assert stats.simulation_steps_checked == stats.steps
+
+    def test_no_quorum_messages_still_spread(self):
+        driver = driver_for(
+            RandomRunConfig(seed=5, max_steps=1200, max_bcasts=8),
+            quorums=NoQuorumSystem(),
+        )
+        driver.run()
+        # content replicates via gprcv even though nothing is ordered
+        total_content = sum(
+            len(proc.content) for proc in driver.system.procs.values()
+        )
+        assert total_content > 0
+
+
+class TestReporting:
+    def test_delivered_values_by_processor(self):
+        driver = driver_for(
+            RandomRunConfig(seed=6, max_steps=1500, max_bcasts=8)
+        )
+        driver.run()
+        delivered = driver.delivered_values()
+        assert set(delivered) == set(PROCS)
+        longest = max(delivered.values(), key=len)
+        for seq in delivered.values():
+            assert seq == longest[: len(seq)]
+
+    def test_external_trace_only_to_actions(self):
+        driver = driver_for(RandomRunConfig(seed=8, max_steps=800, max_bcasts=6))
+        driver.run()
+        names = {a.name for a in driver.external_trace()}
+        assert names <= {"bcast", "brcv"}
+
+    def test_action_counts_sum_to_steps(self):
+        driver = driver_for(RandomRunConfig(seed=9, max_steps=700))
+        stats = driver.run()
+        assert sum(stats.action_counts.values()) == stats.steps

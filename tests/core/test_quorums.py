@@ -1,0 +1,110 @@
+"""Tests for quorum systems, including the pairwise-intersection
+property that primary-view uniqueness rests on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.quorums import (
+    ExplicitQuorumSystem,
+    MajorityQuorumSystem,
+    NoQuorumSystem,
+    WeightedQuorumSystem,
+)
+
+PROCS = ("a", "b", "c", "d", "e")
+
+
+class TestMajority:
+    def test_threshold(self):
+        quorums = MajorityQuorumSystem(PROCS)
+        assert quorums.threshold == 3
+        assert quorums.is_quorum(["a", "b", "c"])
+        assert not quorums.is_quorum(["a", "b"])
+
+    def test_even_sized_set(self):
+        quorums = MajorityQuorumSystem(["a", "b", "c", "d"])
+        assert quorums.threshold == 3
+        assert not quorums.is_quorum(["a", "b"])  # exactly half is not enough
+
+    def test_outsiders_do_not_count(self):
+        quorums = MajorityQuorumSystem(PROCS)
+        assert not quorums.is_quorum(["a", "b", "zz"])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityQuorumSystem([])
+
+    def test_is_primary_alias(self):
+        quorums = MajorityQuorumSystem(PROCS)
+        assert quorums.is_primary(PROCS)
+
+    @given(
+        st.sets(st.sampled_from(PROCS), min_size=3),
+        st.sets(st.sampled_from(PROCS), min_size=3),
+    )
+    def test_any_two_majorities_intersect(self, q1, q2):
+        quorums = MajorityQuorumSystem(PROCS)
+        if quorums.is_quorum(q1) and quorums.is_quorum(q2):
+            assert q1 & q2
+
+
+class TestExplicit:
+    def test_quorum_check(self):
+        quorums = ExplicitQuorumSystem([["a", "b"], ["b", "c"]])
+        assert quorums.is_quorum(["a", "b", "zz"])
+        assert quorums.is_quorum(["b", "c"])
+        assert not quorums.is_quorum(["a", "c"])
+
+    def test_intersection_enforced(self):
+        with pytest.raises(ValueError, match="intersect"):
+            ExplicitQuorumSystem([["a", "b"], ["c", "d"]])
+
+    def test_empty_quorum_rejected(self):
+        with pytest.raises(ValueError, match="nonempty"):
+            ExplicitQuorumSystem([[]])
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitQuorumSystem([])
+
+    def test_single_member_hub(self):
+        quorums = ExplicitQuorumSystem([["a"], ["a", "b"]])
+        assert quorums.is_quorum(["a"])
+        assert not quorums.is_quorum(["b"])
+
+
+class TestWeighted:
+    def test_weight_majority(self):
+        quorums = WeightedQuorumSystem({"a": 3, "b": 1, "c": 1})
+        assert quorums.is_quorum(["a"])  # 3 > 2.5
+        assert not quorums.is_quorum(["b", "c"])  # 2 < 2.5
+
+    def test_exactly_half_is_not_quorum(self):
+        quorums = WeightedQuorumSystem({"a": 1, "b": 1})
+        assert not quorums.is_quorum(["a"])
+        assert quorums.is_quorum(["a", "b"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedQuorumSystem({})
+        with pytest.raises(ValueError):
+            WeightedQuorumSystem({"a": -1})
+        with pytest.raises(ValueError):
+            WeightedQuorumSystem({"a": 0})
+
+    @given(
+        st.sets(st.sampled_from(PROCS), min_size=1),
+        st.sets(st.sampled_from(PROCS), min_size=1),
+    )
+    def test_weighted_quorums_intersect(self, q1, q2):
+        quorums = WeightedQuorumSystem({p: i + 1 for i, p in enumerate(PROCS)})
+        if quorums.is_quorum(q1) and quorums.is_quorum(q2):
+            assert q1 & q2
+
+
+class TestNoQuorum:
+    def test_never_primary(self):
+        quorums = NoQuorumSystem()
+        assert not quorums.is_quorum(PROCS)
+        assert not quorums.is_primary(PROCS)

@@ -1,0 +1,145 @@
+"""Hypothesis stateful (model-based) testing of the spec machines.
+
+Hypothesis drives arbitrary interleavings of inputs and enabled
+locally-controlled actions; machine-level invariants (Lemma 4.1 for
+VS-machine, queue/pending discipline for TO-machine) are asserted after
+every step, and full traces are validated at teardown.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.to_spec import TOMachine, check_to_trace
+from repro.core.types import BOTTOM, view_id_less
+from repro.core.vs_spec import VSMachine, check_vs_trace
+from repro.ioa.actions import act
+
+PROCS = ("p", "q", "r")
+
+
+class TOMachineModel(RuleBasedStateMachine):
+    """Model-based exploration of TO-machine."""
+
+    def __init__(self):
+        super().__init__()
+        self.machine = TOMachine(PROCS)
+        self.trace = []
+        self.bcast_counter = 0
+
+    def _step(self, action):
+        self.machine.step(action)
+        if action.name in ("bcast", "brcv"):
+            self.trace.append(action)
+
+    @rule(origin=st.sampled_from(PROCS))
+    def bcast(self, origin):
+        self._step(act("bcast", f"v{self.bcast_counter}", origin))
+        self.bcast_counter += 1
+
+    @rule(data=st.data())
+    def fire_enabled(self, data):
+        enabled = list(self.machine.enabled_actions())
+        if not enabled:
+            return
+        self._step(data.draw(st.sampled_from(enabled)))
+
+    @invariant()
+    def next_pointers_within_queue(self):
+        for p in PROCS:
+            assert 1 <= self.machine.next[p] <= len(self.machine.queue) + 1
+
+    @invariant()
+    def queue_respects_sender_fifo(self):
+        # values in the queue from one sender appear in bcast order
+        # (they are consumed from pending's head only)
+        for p in PROCS:
+            from_p = [a for (a, src) in self.machine.queue if src == p]
+            numbers = [int(str(a)[1:]) for a in from_p]
+            assert numbers == sorted(numbers)
+
+    def teardown(self):
+        report = check_to_trace(self.trace, PROCS)
+        assert report.ok, report.reason
+
+
+class VSMachineModel(RuleBasedStateMachine):
+    """Model-based exploration of VS-machine with random view offers."""
+
+    def __init__(self):
+        super().__init__()
+        self.machine = VSMachine(PROCS)
+        self.trace = []
+        self.msg_counter = 0
+
+    def _step(self, action):
+        self.machine.step(action)
+        if action.name in ("gpsnd", "gprcv", "safe", "newview"):
+            self.trace.append(action)
+
+    @rule(sender=st.sampled_from(PROCS))
+    def gpsnd(self, sender):
+        self._step(act("gpsnd", f"m{self.msg_counter}", sender))
+        self.msg_counter += 1
+
+    @rule(members=st.sets(st.sampled_from(PROCS), min_size=1))
+    def offer_view(self, members):
+        self.machine.offer_view(members)
+
+    @rule(data=st.data())
+    def fire_enabled(self, data):
+        enabled = list(self.machine.enabled_actions())
+        if not enabled:
+            return
+        self._step(data.draw(st.sampled_from(enabled)))
+
+    @invariant()
+    def lemma_4_1_current_view_created(self):
+        for p in PROCS:
+            current = self.machine.current_viewid[p]
+            if current is not BOTTOM:
+                assert current in self.machine.created
+                assert p in self.machine.created[current].set
+
+    @invariant()
+    def lemma_4_1_pending_views_created(self):
+        for (p, g), pending in self.machine.pending.items():
+            if pending:
+                assert g in self.machine.created
+                current = self.machine.current_viewid[p]
+                assert current is not BOTTOM
+                assert g == current or view_id_less(g, current)
+
+    @invariant()
+    def lemma_4_1_index_bounds(self):
+        for (p, g), next_index in self.machine.next.items():
+            assert next_index <= len(self.machine.queue.get(g, [])) + 1
+        for (p, g), safe_index in self.machine.next_safe.items():
+            assert safe_index <= self.machine.get_next(p, g)
+
+    @invariant()
+    def created_ids_unique_memberships(self):
+        assert len(self.machine.created) == len(
+            {v.id for v in self.machine.created.values()}
+        )
+
+    def teardown(self):
+        report = check_vs_trace(self.trace, PROCS, self.machine.initial_view)
+        assert report.ok, report.reason
+
+
+TestTOMachineStateful = TOMachineModel.TestCase
+TestTOMachineStateful.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None
+)
+
+TestVSMachineStateful = VSMachineModel.TestCase
+TestVSMachineStateful.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None
+)

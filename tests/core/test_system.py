@@ -1,0 +1,97 @@
+"""Tests for VStoTO-system composition wiring and derived variables."""
+
+import pytest
+
+from repro.core.types import BOTTOM, Label, View
+from repro.core.vstoto.process import Status
+from repro.ioa.actions import ActionKind, act
+
+from tests.conftest import PROCS3, make_system
+
+
+class TestComposition:
+    def test_interlayer_actions_hidden(self, system3):
+        for name in ("gpsnd", "gprcv", "safe", "newview"):
+            assert system3.signature.kind_of(name) is ActionKind.INTERNAL
+
+    def test_external_interface_is_to(self, system3):
+        assert system3.signature.kind_of("bcast") is ActionKind.INPUT
+        assert system3.signature.kind_of("brcv") is ActionKind.OUTPUT
+
+    def test_bcast_routes_to_one_process(self, system3):
+        system3.step(act("bcast", "a", "p1"))
+        assert system3.procs["p1"].delay == ["a"]
+        assert system3.procs["p2"].delay == []
+
+    def test_gpsnd_feeds_vs_pending(self, system3):
+        system3.step(act("bcast", "a", "p1"))
+        system3.step(act("label", "a", "p1"))
+        label = Label(0, 1, "p1")
+        system3.step(act("gpsnd", (label, "a"), "p1"))
+        assert system3.vs.pending[("p1", 0)] == [(label, "a")]
+
+    def test_full_message_path(self, system3):
+        label = Label(0, 1, "p1")
+        system3.step(act("bcast", "a", "p1"))
+        system3.step(act("label", "a", "p1"))
+        system3.step(act("gpsnd", (label, "a"), "p1"))
+        system3.step(act("vs-order", (label, "a"), "p1", 0))
+        for proc in PROCS3:
+            system3.step(act("gprcv", (label, "a"), "p1", proc))
+        for proc in PROCS3:
+            system3.step(act("safe", (label, "a"), "p1", proc))
+        system3.step(act("confirm", "p1"))
+        system3.step(act("brcv", "a", "p1", "p1"))
+        assert system3.procs["p1"].nextreport == 2
+
+
+class TestDerivedVariables:
+    def test_allstate_contains_state_summary(self, system3):
+        summaries = system3.allstate("p1", 0)
+        assert system3.procs["p1"].state_summary() in summaries
+
+    def test_allstate_empty_for_unknown_view(self, system3):
+        assert system3.allstate("p1", 99) == set()
+
+    def test_allcontent_tracks_labels(self, system3):
+        system3.step(act("bcast", "a", "p1"))
+        system3.step(act("label", "a", "p1"))
+        content = system3.allcontent()
+        assert content[Label(0, 1, "p1")] == "a"
+
+    def test_allconfirm_initially_empty(self, system3):
+        assert system3.allconfirm() == ()
+
+    def test_allconfirm_grows_with_confirm(self, system3):
+        label = Label(0, 1, "p1")
+        system3.step(act("bcast", "a", "p1"))
+        system3.step(act("label", "a", "p1"))
+        system3.step(act("gpsnd", (label, "a"), "p1"))
+        system3.step(act("vs-order", (label, "a"), "p1", 0))
+        for proc in PROCS3:
+            system3.step(act("gprcv", (label, "a"), "p1", proc))
+        for proc in PROCS3:
+            system3.step(act("safe", (label, "a"), "p1", proc))
+        system3.step(act("confirm", "p1"))
+        assert system3.allconfirm() == (label,)
+
+    def test_allstate_includes_inflight_summaries(self, system3):
+        view = system3.offer_view(PROCS3)
+        system3.step(act("createview", view))
+        system3.step(act("newview", view, "p1"))
+        summary = system3.procs["p1"].state_summary()
+        system3.step(act("gpsnd", summary, "p1"))
+        assert summary in system3.allstate("p1", view.id)
+
+
+class TestOfferView:
+    def test_offer_and_install(self, system3):
+        view = system3.offer_view(("p1", "p2"))
+        system3.step(act("createview", view))
+        system3.step(act("newview", view, "p1"))
+        assert system3.procs["p1"].current == view
+        assert system3.procs["p1"].status is Status.SEND
+        assert system3.procs["p2"].current.id == 0
+
+    def test_process_accessor(self, system3):
+        assert system3.process("p1") is system3.procs["p1"]

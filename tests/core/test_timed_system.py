@@ -1,0 +1,85 @@
+"""Tests for the timed composition (Section 7): VStoTO'_p processes with
+failure-status inputs inside the abstract VStoTO-system."""
+
+import pytest
+
+from repro.core.quorums import MajorityQuorumSystem
+from repro.core.vstoto import VStoTOSystem
+from repro.core.vstoto.process import TimedVStoTOProcess
+from repro.core.vstoto.simulation import VStoTOSimulation
+from repro.ioa.actions import ActionKind, act
+
+PROCS = ("p1", "p2", "p3")
+
+
+def timed_system():
+    return VStoTOSystem(PROCS, MajorityQuorumSystem(PROCS), timed=True)
+
+
+class TestTimedComposition:
+    def test_processes_are_timed(self):
+        system = timed_system()
+        assert all(
+            isinstance(proc, TimedVStoTOProcess)
+            for proc in system.procs.values()
+        )
+
+    def test_failure_actions_are_composite_inputs(self):
+        system = timed_system()
+        for name in ("good", "bad", "ugly"):
+            assert system.signature.kind_of(name) is ActionKind.INPUT
+
+    def test_bad_processor_stops_contributing_actions(self):
+        system = timed_system()
+        system.step(act("bcast", "a", "p1"))
+        assert any(
+            a.name == "label" for a in system.enabled_actions()
+        )
+        system.step(act("bad", "p1"))
+        assert not any(
+            a.name == "label" and a.args[1] == "p1"
+            for a in system.enabled_actions()
+        )
+
+    def test_status_targets_only_named_process(self):
+        system = timed_system()
+        system.step(act("bad", "p1"))
+        assert system.procs["p1"].failure_status == "bad"
+        assert system.procs["p2"].failure_status == "good"
+
+    def test_recovery_restores_actions(self):
+        system = timed_system()
+        system.step(act("bcast", "a", "p1"))
+        system.step(act("bad", "p1"))
+        system.step(act("good", "p1"))
+        system.step(act("label", "a", "p1"))
+        assert system.procs["p1"].buffer
+
+    def test_simulation_holds_with_failure_events(self):
+        """Failure-status events map to no abstract step; the refinement
+        still holds across a full message exchange with a crash in the
+        middle."""
+        system = timed_system()
+        simulation = VStoTOSimulation(system)
+
+        def checked(action):
+            simulation.before_step()
+            system.step(action)
+            simulation.after_step(action)
+
+        from repro.core.types import Label
+
+        label = Label(0, 1, "p1")
+        checked(act("bcast", "a", "p1"))
+        checked(act("label", "a", "p1"))
+        checked(act("bad", "p3"))
+        checked(act("gpsnd", (label, "a"), "p1"))
+        checked(act("vs-order", (label, "a"), "p1", 0))
+        checked(act("gprcv", (label, "a"), "p1", "p1"))
+        checked(act("gprcv", (label, "a"), "p1", "p2"))
+        checked(act("good", "p3"))
+        checked(act("gprcv", (label, "a"), "p1", "p3"))
+        checked(act("safe", (label, "a"), "p1", "p1"))
+        checked(act("confirm", "p1"))
+        checked(act("brcv", "a", "p1", "p1"))
+        assert simulation.steps_checked == 12

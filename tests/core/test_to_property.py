@@ -1,0 +1,122 @@
+"""Tests for TO-property(b, d, Q) (Fig. 5) on synthetic timed traces."""
+
+import pytest
+
+from repro.core.to_spec import (
+    TOPropertyChecker,
+    find_stabilization_point,
+)
+from repro.ioa.actions import act
+from repro.ioa.timed import TimedTrace
+
+PROCS = ("p", "q", "r")
+GROUP = ("p", "q")
+
+
+def partition_events(trace, at):
+    """Install the consistent partition {p, q} | {r} at time ``at``."""
+    for member in GROUP:
+        trace.append(at, act("good", member))
+        for other in GROUP:
+            if member != other:
+                trace.append(at, act("good", member, other))
+        trace.append(at, act("bad", member, "r"))
+        trace.append(at, act("bad", "r", member))
+
+
+class TestStabilizationPoint:
+    def test_default_good_is_not_partitioned(self):
+        # With defaults everything is good, so links p->r are good, and
+        # the premise (cross links bad) fails: no stabilisation point.
+        trace = TimedTrace()
+        assert find_stabilization_point(trace, GROUP, PROCS) is None
+
+    def test_finds_point_after_partition(self):
+        trace = TimedTrace()
+        partition_events(trace, 10.0)
+        l = find_stabilization_point(trace, GROUP, PROCS)
+        assert l == 10.0
+
+    def test_later_failure_event_moves_point(self):
+        trace = TimedTrace()
+        partition_events(trace, 10.0)
+        trace.append(20.0, act("ugly", "p"))
+        trace.append(30.0, act("good", "p"))
+        l = find_stabilization_point(trace, GROUP, PROCS)
+        assert l == 30.0
+
+    def test_full_group_with_all_good_stabilizes_at_zero(self):
+        trace = TimedTrace()
+        assert find_stabilization_point(trace, PROCS, PROCS) == 0.0
+
+
+class TestTOProperty:
+    def checker(self, b=5.0, d=3.0):
+        return TOPropertyChecker(b=b, d=d, group=GROUP)
+
+    def test_vacuous_when_premise_never_holds(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("bcast", "a", "p"))
+        report = self.checker().check(trace, PROCS)
+        assert report.holds
+        assert "vacuous" in report.reason
+
+    def test_holds_when_delivered_in_time(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(10.0, act("bcast", "a", "p"))
+        trace.append(11.0, act("brcv", "a", "p", "p"))
+        trace.append(12.0, act("brcv", "a", "p", "q"))
+        report = self.checker().check(trace, PROCS)
+        assert report.holds, report.reason
+        # clause (b): 1 send x 2 members; clause (c): 2 deliveries x 2.
+        assert report.obligations == 6
+
+    def test_fails_when_delivery_late(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(10.0, act("bcast", "a", "p"))
+        trace.append(11.0, act("brcv", "a", "p", "p"))
+        trace.append(40.0, act("brcv", "a", "p", "q"))  # way past 10+3
+        report = self.checker().check(trace, PROCS)
+        assert not report.holds
+        assert "not delivered" in report.reason
+
+    def test_fails_when_never_delivered_to_all(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(10.0, act("bcast", "a", "p"))
+        trace.append(11.0, act("brcv", "a", "p", "p"))
+        report = self.checker().check(trace, PROCS)
+        assert not report.holds
+
+    def test_grace_interval_for_pre_stabilization_sends(self):
+        # A value sent before stabilisation must arrive by l + b + d.
+        trace = TimedTrace()
+        trace.append(1.0, act("bcast", "a", "p"))
+        partition_events(trace, 5.0)
+        trace.append(12.0, act("brcv", "a", "p", "p"))
+        trace.append(12.5, act("brcv", "a", "p", "q"))  # 5 + 5 + 3 = 13 ok
+        report = self.checker().check(trace, PROCS)
+        assert report.holds, report.reason
+
+    def test_clause_c_delivery_to_one_implies_all(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        # r (outside Q) broadcast before the partition; only q got it.
+        trace.append(0.5, act("bcast", "x", "r"))
+        trace.append(10.0, act("brcv", "x", "r", "q"))
+        report = self.checker().check(trace, PROCS)
+        assert not report.holds  # p never received it
+
+    def test_safety_violation_fails_property(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(10.0, act("brcv", "ghost", "p", "q"))
+        report = self.checker().check(trace, PROCS)
+        assert not report.holds
+        assert "safety" in report.reason
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            TOPropertyChecker(b=-1, d=0, group=GROUP)

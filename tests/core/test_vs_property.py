@@ -1,0 +1,122 @@
+"""Tests for VS-property(b, d, Q) (Fig. 7) on synthetic timed traces."""
+
+import pytest
+
+from repro.core.types import View
+from repro.core.vs_spec import VSPropertyChecker
+from repro.ioa.actions import act
+from repro.ioa.timed import TimedTrace
+
+PROCS = ("p", "q", "r")
+GROUP = ("p", "q")
+V0 = View(0, set(PROCS))
+V1 = View(1, set(GROUP))
+
+
+def partition_events(trace, at):
+    for member in GROUP:
+        trace.append(at, act("good", member))
+        for other in GROUP:
+            if member != other:
+                trace.append(at, act("good", member, other))
+        trace.append(at, act("bad", member, "r"))
+        trace.append(at, act("bad", "r", member))
+
+
+def checker(b=10.0, d=5.0):
+    return VSPropertyChecker(b=b, d=d, group=GROUP)
+
+
+class TestVSProperty:
+    def test_vacuous_without_partition(self):
+        trace = TimedTrace()
+        report = checker().check(trace, PROCS, V0)
+        assert report.holds
+        assert "vacuous" in report.reason
+
+    def test_holds_with_prompt_view_agreement(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(3.0, act("newview", V1, "p"))
+        trace.append(4.0, act("newview", V1, "q"))
+        report = checker().check(trace, PROCS, V0)
+        assert report.holds, report.reason
+        assert report.l_prime_measured == 4.0
+        assert report.final_view == V1
+
+    def test_fails_when_views_disagree(self):
+        v1p = View(1, {"p"})
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(3.0, act("newview", v1p, "p"))
+        report = checker().check(trace, PROCS, V0)
+        assert not report.holds
+        assert "different views" in report.reason
+
+    def test_fails_when_final_membership_not_q(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        # both stay in V0 (membership includes r, so not equal to Q)
+        report = checker().check(trace, PROCS, V0)
+        assert not report.holds
+        assert "membership" in report.reason
+
+    def test_fails_when_stabilisation_too_slow(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(3.0, act("newview", V1, "p"))
+        trace.append(50.0, act("newview", V1, "q"))  # > b = 10
+        report = checker().check(trace, PROCS, V0)
+        assert not report.holds
+        assert "stabilisation" in report.reason
+
+    def test_safe_deadline_enforced(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(1.0, act("newview", V1, "p"))
+        trace.append(1.0, act("newview", V1, "q"))
+        trace.append(20.0, act("gpsnd", "m", "p"))
+        trace.append(21.0, act("gprcv", "m", "p", "p"))
+        trace.append(21.0, act("gprcv", "m", "p", "q"))
+        trace.append(22.0, act("safe", "m", "p", "p"))
+        # q's safe arrives past 20 + 5
+        trace.append(40.0, act("safe", "m", "p", "q"))
+        report = checker().check(trace, PROCS, V0)
+        assert not report.holds
+        assert "clause (d)" in report.reason
+
+    def test_safe_within_deadline_passes(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(1.0, act("newview", V1, "p"))
+        trace.append(1.0, act("newview", V1, "q"))
+        trace.append(20.0, act("gpsnd", "m", "p"))
+        trace.append(21.0, act("gprcv", "m", "p", "p"))
+        trace.append(21.0, act("gprcv", "m", "p", "q"))
+        trace.append(22.0, act("safe", "m", "p", "p"))
+        trace.append(23.0, act("safe", "m", "p", "q"))
+        report = checker().check(trace, PROCS, V0)
+        assert report.holds, report.reason
+        assert report.obligations == 2
+        assert report.fulfilled == 2
+
+    def test_messages_in_older_views_not_obligated(self):
+        trace = TimedTrace()
+        partition_events(trace, 0.0)
+        trace.append(0.5, act("gpsnd", "old", "p"))  # sent in V0
+        trace.append(1.0, act("newview", V1, "p"))
+        trace.append(1.0, act("newview", V1, "q"))
+        report = checker().check(trace, PROCS, V0)
+        assert report.holds, report.reason
+        assert report.obligations == 0
+
+    def test_safety_failure_detected(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("newview", View(1, {"p"}), "q"))
+        report = checker().check(trace, PROCS, V0)
+        assert not report.holds
+        assert "safety" in report.reason
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            VSPropertyChecker(b=1.0, d=-1.0, group=GROUP)

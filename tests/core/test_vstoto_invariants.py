@@ -1,0 +1,198 @@
+"""Invariant suite tests: the Section 6.1 lemmas hold on randomized
+executions, and deliberately corrupted states are detected."""
+
+import pytest
+
+from repro.core.types import BOTTOM, Label, View
+from repro.core.vstoto.invariants import vstoto_invariant_suite
+from repro.core.vstoto.process import Status
+from repro.core.vstoto.summary import Summary
+
+from tests.conftest import PROCS3, PROCS4, make_system, run_random
+
+
+class TestInvariantsHoldOnRandomRuns:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stable_view_runs(self, seed):
+        run_random(seed=seed, max_steps=1200, check_invariants=True)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_runs_with_view_changes(self, seed):
+        run_random(
+            PROCS4,
+            seed=seed,
+            max_steps=1800,
+            view_change_every=150,
+            check_invariants=True,
+        )
+
+    def test_suite_covers_the_section_6_lemmas(self):
+        suite = vstoto_invariant_suite()
+        references = {inv.reference for inv in suite}
+        for lemma in (
+            "Lemma 6.1",
+            "Lemma 6.2",
+            "Lemma 6.3",
+            "Lemma 6.4",
+            "Lemma 6.5",
+            "Lemma 6.6",
+            "Lemma 6.8",
+            "Lemma 6.9(4)",
+            "Lemma 6.10(1)",
+            "Lemma 6.11(1-3)",
+            "Lemma 6.12",
+            "Lemma 6.13",
+            "Lemma 6.14",
+            "Lemma 6.15",
+            "Lemma 6.16",
+            "Lemma 6.17",
+            "Corollary 6.19",
+            "Lemma 6.20",
+            "Lemma 6.21",
+            "Lemma 6.22(2)",
+            "Corollary 6.24",
+        ):
+            assert lemma in references, f"missing invariant for {lemma}"
+        assert len(suite) >= 28
+
+
+class TestCorruptedStatesDetected:
+    def suite(self):
+        return vstoto_invariant_suite()
+
+    def test_detects_view_inconsistency(self):
+        system = make_system()
+        system.procs["p1"].current = View(5, set(PROCS3))
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "current-consistency" in failing
+
+    def test_detects_exchange_without_view(self):
+        system = make_system(initial_members=("p2", "p3"))
+        system.procs["p1"].status = Status.SEND
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "bottom-implies-normal" in failing
+
+    def test_detects_foreign_label_in_buffer(self):
+        system = make_system()
+        system.procs["p1"].buffer.append(Label(0, 1, "p2"))
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "label-locations" in failing
+
+    def test_detects_content_conflict(self):
+        system = make_system()
+        label = Label(0, 1, "p1")
+        system.procs["p1"].content.add((label, "a"))
+        system.procs["p2"].content.add((label, "b"))
+        system.procs["p1"].nextseqno = 2
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "allcontent-function" in failing
+
+    def test_detects_label_beyond_seqno(self):
+        system = make_system()
+        system.procs["p1"].content.add((Label(0, 5, "p1"), "a"))
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "label-bound" in failing
+
+    def test_detects_buffer_without_content(self):
+        system = make_system()
+        system.procs["p1"].buffer.append(Label(0, 1, "p1"))
+        system.procs["p1"].nextseqno = 2
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "buffer-has-content" in failing
+
+    def test_detects_established_beyond_current(self):
+        system = make_system()
+        system.procs["p1"].established[7] = True
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "established-monotone" in failing
+
+    def test_detects_highprimary_above_current(self):
+        system = make_system()
+        system.procs["p1"].highprimary = 9
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "highprimary-bounds" in failing
+
+    def test_detects_next_beyond_order(self):
+        system = make_system()
+        system.procs["p1"].nextconfirm = 5
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "next-within-order" in failing
+
+    def test_detects_inconsistent_confirms(self):
+        system = make_system()
+        l1 = Label(0, 1, "p1")
+        l2 = Label(0, 1, "p2")
+        for proc, label in (("p1", l1), ("p2", l2)):
+            system.procs[proc].content.add((label, "v"))
+            system.procs[proc].order = [label]
+            system.procs[proc].nextconfirm = 2
+        system.procs["p1"].nextseqno = 2
+        system.procs["p2"].nextseqno = 2
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "confirm-consistent" in failing
+
+    def test_detects_duplicate_order(self):
+        system = make_system()
+        label = Label(0, 1, "p1")
+        system.procs["p1"].content.add((label, "a"))
+        system.procs["p1"].nextseqno = 2
+        system.procs["p1"].order = [label, label]
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "order-no-duplicates" in failing
+
+    def test_detects_unknown_safe_label(self):
+        system = make_system()
+        system.procs["p1"].safe_labels.add(Label(0, 1, "p2"))
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "safe-labels-known" in failing
+
+    def test_detects_phantom_exchange_before_send(self):
+        """Lemma 6.8: a summary from p in its view before p sent one."""
+        from repro.core.vstoto.process import Status
+
+        system = make_system()
+        view = system.offer_view(PROCS3)
+        from repro.ioa.actions import act
+
+        system.step(act("createview", view))
+        system.step(act("newview", view, "p1"))
+        assert system.procs["p1"].status is Status.SEND
+        # forge: p2 (still in view 0) ... p1's summary planted in the
+        # VS queue for the new view although p1 never sent it
+        forged = system.procs["p1"].state_summary()
+        system.vs.get_queue(view.id).append((forged, "p1"))
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "send-status-nothing-sent" in failing
+
+    def test_detects_unwitnessed_order(self):
+        """Lemma 6.16: an order claiming a primary view nobody
+        established."""
+        system = make_system()
+        label = Label(0, 1, "p1")
+        proc = system.procs["p1"]
+        proc.content.add((label, "a"))
+        proc.nextseqno = 2
+        proc.order = [label]
+        proc.highprimary = 0
+        # p1's buildorder for view 0 was never recorded with this label,
+        # and no other processor established an order containing it.
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "summary-order-has-witness" in failing
+
+    def test_detects_safe_label_not_everywhere(self):
+        """Lemma 6.20: a label marked safe before all members built it
+        into their orders."""
+        system = make_system()
+        label = Label(0, 1, "p2")
+        proc = system.procs["p1"]
+        proc.content.add((label, "a"))
+        proc.order = [label]
+        proc.buildorder[0] = (label,)
+        proc.safe_labels.add(label)
+        # p2 and p3 never ordered the label
+        failing = {inv.name for inv in self.suite().violations(system)}
+        assert "safe-labels-prefix-everywhere" in failing
+
+    def test_clean_system_passes(self):
+        system = make_system()
+        assert self.suite().violations(system) == []

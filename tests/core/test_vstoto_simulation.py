@@ -1,0 +1,113 @@
+"""Forward-simulation tests (Theorem 6.26): every concrete execution
+refines TO-machine, checked step by step; and the resulting external
+traces pass the TO trace checker."""
+
+import pytest
+
+from repro.core.to_spec import check_to_trace
+from repro.core.vstoto.simulation import f_state
+from repro.ioa.simulation import SimulationError
+
+from tests.conftest import PROCS3, PROCS4, PROCS5, make_system, run_random
+
+
+class TestSimulationOnRandomRuns:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stable_runs_refine_to_machine(self, seed):
+        driver = run_random(
+            seed=seed, max_steps=1200, check_simulation=True
+        )
+        assert driver.stats.simulation_steps_checked == driver.stats.steps
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_partition_runs_refine_to_machine(self, seed):
+        run_random(
+            PROCS4,
+            seed=seed,
+            max_steps=2200,
+            max_bcasts=25,
+            view_change_every=140,
+            check_simulation=True,
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_five_processor_runs(self, seed):
+        run_random(
+            PROCS5,
+            seed=seed,
+            max_steps=2500,
+            max_bcasts=20,
+            view_change_every=200,
+            check_simulation=True,
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_frequent_view_churn(self, seed):
+        """Heavy churn exercises state exchange under interruption."""
+        run_random(
+            PROCS3,
+            seed=seed,
+            max_steps=1500,
+            max_bcasts=15,
+            view_change_every=60,
+            check_simulation=True,
+        )
+
+
+class TestExternalTraces:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_external_traces_are_to_traces(self, seed):
+        driver = run_random(
+            PROCS4,
+            seed=seed,
+            max_steps=2000,
+            view_change_every=180,
+        )
+        report = check_to_trace(driver.external_trace(), PROCS4)
+        assert report.ok, report.reason
+
+    def test_all_delivered_sequences_share_prefix_order(self):
+        driver = run_random(seed=3, max_steps=1500, max_bcasts=15)
+        delivered = driver.delivered_values()
+        sequences = sorted(delivered.values(), key=len, reverse=True)
+        longest = sequences[0]
+        for seq in sequences[1:]:
+            assert seq == longest[: len(seq)]
+
+
+class TestFState:
+    def test_initial_f_state_matches_to_initial(self):
+        system = make_system()
+        state = f_state(system)
+        assert state["queue"] == []
+        assert state["pending"] == {p: [] for p in PROCS3}
+        assert state["next"] == {p: 1 for p in PROCS3}
+
+    def test_f_state_pending_orders_by_label(self):
+        from repro.ioa.actions import act
+
+        system = make_system()
+        system.step(act("bcast", "b", "p1"))
+        system.step(act("bcast", "a", "p1"))
+        system.step(act("label", "b", "p1"))
+        state = f_state(system)
+        # labelled value first (label order), then the delayed one
+        assert state["pending"]["p1"] == ["b", "a"]
+
+
+class TestSimulationCatchesBugs:
+    def test_tampering_with_nextreport_breaks_simulation(self):
+        """Jumping nextreport forges a brcv the abstract machine refuses."""
+        from repro.core.vstoto.simulation import VStoTOSimulation
+        from repro.ioa.actions import act
+
+        system = make_system()
+        sim = VStoTOSimulation(system)
+        sim.before_step()
+        system.step(act("bcast", "a", "p1"))
+        sim.after_step(act("bcast", "a", "p1"))
+        # Forge a delivery that never happened.
+        sim.before_step()
+        system.procs["p1"].nextreport = 2
+        with pytest.raises(SimulationError):
+            sim.after_step(act("brcv", "a", "p1", "p1"))

@@ -1,0 +1,155 @@
+"""Tests for parallel composition: synchronisation, compatibility rules,
+hiding, and per-parameter shared names."""
+
+import pytest
+
+from repro.ioa.actions import ActionKind, Signature, act
+from repro.ioa.automaton import Automaton, TransitionError
+from repro.ioa.composition import CompatibilityError, Composition
+
+
+class Producer(Automaton):
+    """Emits send(i) for i = 0, 1, 2, ..."""
+
+    def __init__(self, name="producer", count=3):
+        self.name = name
+        self.signature = Signature(outputs={"send"})
+        self.next_index = 0
+        self.count = count
+
+    def is_enabled(self, action):
+        return (
+            action.name == "send"
+            and self.next_index < self.count
+            and action.args == (self.next_index,)
+        )
+
+    def apply(self, action):
+        if action.name == "send":
+            self.next_index += 1
+
+    def enabled_actions(self):
+        if self.next_index < self.count:
+            yield act("send", self.next_index)
+
+
+class Consumer(Automaton):
+    """Receives send(i) as input and records it."""
+
+    def __init__(self, name="consumer"):
+        self.name = name
+        self.signature = Signature(inputs={"send"})
+        self.received = []
+
+    def is_enabled(self, action):
+        return True
+
+    def apply(self, action):
+        if action.name == "send":
+            self.received.append(action.args[0])
+
+    def enabled_actions(self):
+        return iter(())
+
+
+class LocalStepper(Automaton):
+    """Automaton with an internal 'tick' and a location parameter, for
+    shared-internal composition tests."""
+
+    def __init__(self, loc):
+        self.name = f"stepper-{loc}"
+        self.signature = Signature(internals={"tick"})
+        self.loc = loc
+        self.ticks = 0
+
+    def is_enabled(self, action):
+        return action.name == "tick" and action.args == (self.loc,)
+
+    def apply(self, action):
+        if action.args == (self.loc,):
+            self.ticks += 1
+
+    def enabled_actions(self):
+        yield act("tick", self.loc)
+
+
+class TestComposition:
+    def test_output_synchronises_with_input(self):
+        producer, consumer = Producer(), Consumer()
+        comp = Composition([producer, consumer])
+        comp.step(act("send", 0))
+        comp.step(act("send", 1))
+        assert consumer.received == [0, 1]
+        assert producer.next_index == 2
+
+    def test_composite_signature(self):
+        comp = Composition([Producer(), Consumer()])
+        assert comp.signature.kind_of("send") is ActionKind.OUTPUT
+
+    def test_enabled_actions_come_from_owner(self):
+        comp = Composition([Producer(), Consumer()])
+        assert list(comp.enabled_actions()) == [act("send", 0)]
+
+    def test_hiding_makes_action_internal(self):
+        comp = Composition([Producer(), Consumer()], hidden={"send"})
+        assert comp.signature.kind_of("send") is ActionKind.INTERNAL
+        comp.step(act("send", 0))  # still fires as an internal action
+
+    def test_duplicate_component_names_rejected(self):
+        with pytest.raises(CompatibilityError, match="duplicate"):
+            Composition([Producer(), Producer()])
+
+    def test_shared_outputs_rejected_by_default(self):
+        with pytest.raises(CompatibilityError, match="two components"):
+            Composition([Producer("a"), Producer("b")])
+
+    def test_shared_outputs_allowed_with_flag(self):
+        comp = Composition(
+            [Producer("a", count=1), Consumer("c")],
+            allow_shared_outputs=True,
+        )
+        comp.step(act("send", 0))
+
+    def test_shared_internals_rejected_by_default(self):
+        with pytest.raises(CompatibilityError, match="internal"):
+            Composition([LocalStepper("x"), LocalStepper("y")])
+
+    def test_shared_internals_with_flag_apply_only_to_owner(self):
+        x, y = LocalStepper("x"), LocalStepper("y")
+        comp = Composition(
+            [x, y], allow_shared_outputs=True, allow_shared_internals=True
+        )
+        comp.step(act("tick", "x"))
+        assert (x.ticks, y.ticks) == (1, 0)
+        comp.step(act("tick", "y"))
+        assert (x.ticks, y.ticks) == (1, 1)
+
+    def test_apply_unknown_action_raises(self):
+        comp = Composition([Producer(), Consumer()])
+        with pytest.raises(TransitionError):
+            comp.step(act("mystery"))
+
+    def test_disabled_output_raises(self):
+        comp = Composition([Producer(count=0), Consumer()])
+        with pytest.raises(TransitionError):
+            comp.step(act("send", 0))
+
+    def test_component_lookup(self):
+        producer = Producer()
+        comp = Composition([producer, Consumer()])
+        assert comp.component("producer") is producer
+        with pytest.raises(KeyError):
+            comp.component("ghost")
+
+    def test_snapshot_maps_component_names(self):
+        comp = Composition([Producer(), Consumer()])
+        snap = comp.snapshot()
+        assert set(snap) == {"producer", "consumer"}
+        assert snap["producer"]["next_index"] == 0
+
+    def test_input_of_composite_when_no_owner(self):
+        consumer = Consumer()
+        comp = Composition([consumer])
+        assert comp.signature.kind_of("send") is ActionKind.INPUT
+        comp.step(act("send", 99))
+        assert consumer.received == [99]

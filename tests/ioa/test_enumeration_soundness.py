@@ -1,0 +1,72 @@
+"""Generic soundness of action enumeration: every action a machine
+*enumerates* must also satisfy its *precondition* — checked along
+random runs of each spec machine (a mismatch means the machine would
+fire transitions its own guard forbids)."""
+
+import random
+
+import pytest
+
+from repro.core.quorums import MajorityQuorumSystem
+from repro.core.to_spec import TOMachine
+from repro.core.vs_spec import VSMachine
+from repro.core.vstoto.system import VStoTOSystem
+from repro.ioa.actions import act
+from repro.ioa.automaton import Automaton
+
+PROCS = ("p", "q", "r")
+
+
+def assert_enumeration_sound(automaton: Automaton, steps: int, driver):
+    """Walk `steps` random transitions via `driver(step) -> input or
+    None`; at every state, each enumerated action must be enabled."""
+    rng = random.Random(0)
+    for step in range(steps):
+        enumerated = list(automaton.enabled_actions())
+        for action in enumerated:
+            assert automaton.is_enabled(action), (
+                f"step {step}: enumerated {action} is not enabled"
+            )
+        injected = driver(step)
+        if injected is not None:
+            automaton.step(injected)
+        elif enumerated:
+            automaton.step(enumerated[rng.randrange(len(enumerated))])
+        else:
+            break
+
+
+class TestEnumerationSoundness:
+    def test_to_machine(self):
+        machine = TOMachine(PROCS)
+
+        def driver(step):
+            if step % 3 == 0:
+                return act("bcast", f"v{step}", PROCS[step % 3])
+            return None
+
+        assert_enumeration_sound(machine, 300, driver)
+
+    def test_vs_machine(self):
+        machine = VSMachine(PROCS)
+
+        def driver(step):
+            if step == 40:
+                machine.offer_view(PROCS[:2])
+            if step % 4 == 0:
+                return act("gpsnd", f"m{step}", PROCS[step % 3])
+            return None
+
+        assert_enumeration_sound(machine, 400, driver)
+
+    def test_vstoto_system(self):
+        system = VStoTOSystem(PROCS, MajorityQuorumSystem(PROCS))
+
+        def driver(step):
+            if step == 60:
+                system.offer_view(PROCS)
+            if step % 5 == 0 and step < 60:
+                return act("bcast", f"v{step}", PROCS[step % 3])
+            return None
+
+        assert_enumeration_sound(system, 500, driver)

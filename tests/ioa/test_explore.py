@@ -1,0 +1,112 @@
+"""Tests for bounded exhaustive exploration."""
+
+import pytest
+
+from repro.ioa.actions import Signature, act
+from repro.ioa.automaton import Automaton
+from repro.ioa.explore import ExplorationResult, explore, freeze
+
+
+class BoundedCounter(Automaton):
+    """inc up to `limit`, dec down to 0 — a diamond-shaped state space of
+    exactly limit+1 states."""
+
+    def __init__(self, limit=3):
+        self.name = "bounded"
+        self.signature = Signature(internals={"inc", "dec"})
+        self.value = 0
+        self.limit = limit
+
+    def is_enabled(self, action):
+        if action.name == "inc":
+            return self.value < self.limit
+        if action.name == "dec":
+            return self.value > 0
+        return False
+
+    def apply(self, action):
+        self.value += 1 if action.name == "inc" else -1
+
+    def enabled_actions(self):
+        if self.value < self.limit:
+            yield act("inc")
+        if self.value > 0:
+            yield act("dec")
+
+
+class TestFreeze:
+    def test_dicts_order_independent(self):
+        assert freeze({"a": 1, "b": 2}) == freeze({"b": 2, "a": 1})
+
+    def test_sets_order_independent(self):
+        assert freeze({3, 1, 2}) == freeze({2, 3, 1})
+
+    def test_lists_and_tuples_coincide(self):
+        assert freeze([1, 2]) == freeze((1, 2))
+
+    def test_distinct_structures_differ(self):
+        assert freeze({"a": 1}) != freeze({"a": 2})
+        assert freeze([1, 2]) != freeze([2, 1])
+
+    def test_nested(self):
+        a = freeze({"x": [{1, 2}, {"y": (3,)}]})
+        b = freeze({"x": [{2, 1}, {"y": (3,)}]})
+        assert a == b
+
+
+class TestExplore:
+    def test_visits_every_reachable_state(self):
+        result = explore(BoundedCounter(limit=5))
+        assert result.ok
+        assert result.states_visited == 6
+        assert not result.truncated
+
+    def test_invariant_violation_reports_path(self):
+        result = explore(
+            BoundedCounter(limit=5),
+            check=lambda auto: auto.value < 4,
+        )
+        assert not result.ok
+        snapshot, path = result.violation
+        assert snapshot["value"] == 4
+        assert [a.name for a in path] == ["inc"] * 4
+
+    def test_truncation_by_states(self):
+        result = explore(BoundedCounter(limit=100), max_states=10)
+        assert result.truncated
+        assert result.states_visited <= 10
+
+    def test_truncation_by_depth(self):
+        result = explore(BoundedCounter(limit=100), max_depth=3)
+        assert result.truncated
+
+    def test_inputs_expand_the_space(self):
+        class Sink(Automaton):
+            def __init__(self):
+                self.name = "sink"
+                self.signature = Signature(inputs={"put"})
+                self.items = ()
+
+            def is_enabled(self, action):
+                return True
+
+            def apply(self, action):
+                self.items = self.items + (action.args[0],)
+
+            def enabled_actions(self):
+                return iter(())
+
+        result = explore(
+            Sink(),
+            inputs_for=lambda auto: (
+                [act("put", "x")] if len(auto.items) < 3 else []
+            ),
+        )
+        assert result.ok
+        assert result.states_visited == 4  # (), (x,), (x,x), (x,x,x)
+
+    def test_violation_in_initial_state(self):
+        result = explore(BoundedCounter(), check=lambda auto: False)
+        assert not result.ok
+        _snapshot, path = result.violation
+        assert path == ()

@@ -1,0 +1,80 @@
+"""Tests for invariants and suites."""
+
+import pytest
+
+from repro.ioa.invariants import (
+    Invariant,
+    InvariantSuite,
+    InvariantViolation,
+    all_hold,
+)
+
+
+def positive(state):
+    return state > 0
+
+
+def even(state):
+    return state % 2 == 0
+
+
+class TestInvariant:
+    def test_holds(self):
+        inv = Invariant("positive", positive, reference="Lemma X")
+        assert inv.holds(3)
+        assert not inv.holds(-1)
+
+
+class TestInvariantSuite:
+    def test_check_state_passes(self):
+        suite = InvariantSuite([Invariant("pos", positive)])
+        suite.check_state(5)
+        assert suite.checked_states == 1
+
+    def test_check_state_raises_with_context(self):
+        suite = InvariantSuite(
+            [Invariant("pos", positive, reference="Lemma 9.9")]
+        )
+        with pytest.raises(InvariantViolation, match="pos.*Lemma 9.9.*step 3"):
+            suite.check_state(-1, step_index=3)
+
+    def test_violations_collects_all(self):
+        suite = InvariantSuite(
+            [Invariant("pos", positive), Invariant("even", even)]
+        )
+        failing = suite.violations(-3)
+        assert {inv.name for inv in failing} == {"pos", "even"}
+        assert suite.violations(2) == []
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            InvariantSuite(
+                [Invariant("x", positive), Invariant("x", even)]
+            )
+
+    def test_named_lookup(self):
+        suite = InvariantSuite([Invariant("pos", positive)])
+        assert suite.named("pos").name == "pos"
+        with pytest.raises(KeyError):
+            suite.named("nope")
+
+    def test_len_and_iter(self):
+        suite = InvariantSuite(
+            [Invariant("pos", positive), Invariant("even", even)]
+        )
+        assert len(suite) == 2
+        assert [inv.name for inv in suite] == ["pos", "even"]
+
+
+class TestAllHold:
+    def test_returns_none_when_all_pass(self):
+        suite = InvariantSuite([Invariant("pos", positive)])
+        assert all_hold(suite, [1, 2, 3]) is None
+
+    def test_returns_first_violation(self):
+        suite = InvariantSuite([Invariant("pos", positive)])
+        result = all_hold(suite, [1, 2, -3, -4])
+        assert result is not None
+        index, invariant = result
+        assert index == 2
+        assert invariant.name == "pos"

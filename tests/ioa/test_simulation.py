@@ -1,0 +1,84 @@
+"""Tests for the forward-simulation checker on a toy refinement:
+
+Concrete: a counter incremented in steps of 1 via two internal actions.
+Abstract: a counter incremented by 1 per abstract step.
+The abstraction maps the concrete count through; the 'half' action maps
+to no abstract step, 'whole' to one.
+"""
+
+import pytest
+
+from repro.ioa.actions import Signature, act
+from repro.ioa.automaton import Automaton
+from repro.ioa.simulation import ForwardSimulation, SimulationError, diff_states
+
+
+class AbstractCounter(Automaton):
+    def __init__(self):
+        self.name = "abstract"
+        self.signature = Signature(internals={"bump"})
+        self.value = 0
+
+    def is_enabled(self, action):
+        return action.name == "bump"
+
+    def apply(self, action):
+        self.value += 1
+
+    def enabled_actions(self):
+        yield act("bump")
+
+
+def make_checker():
+    return ForwardSimulation(
+        abstract=AbstractCounter(),
+        abstraction=lambda snap: {"value": snap},
+        corresponding_actions=lambda pre, action, post: (
+            [act("bump")] if action.name == "whole" else []
+        ),
+    )
+
+
+class TestForwardSimulation:
+    def test_initial_correspondence(self):
+        make_checker().check_initial(0)
+
+    def test_initial_mismatch_raises(self):
+        with pytest.raises(SimulationError, match="initial"):
+            make_checker().check_initial(5)
+
+    def test_matching_steps_pass(self):
+        checker = make_checker()
+        checker.check_initial(0)
+        checker.step(0, act("whole"), 1)
+        checker.step(1, act("whole"), 2)
+        assert checker.steps_checked == 2
+
+    def test_stutter_step_passes(self):
+        checker = make_checker()
+        checker.step(0, act("half"), 0)  # no abstract action, f unchanged
+
+    def test_state_divergence_detected(self):
+        checker = make_checker()
+        # concrete claims to jump by 2 while abstract bumps once
+        with pytest.raises(SimulationError, match="relation broken"):
+            checker.step(0, act("whole"), 2)
+
+    def test_disabled_abstract_action_detected(self):
+        checker = ForwardSimulation(
+            abstract=AbstractCounter(),
+            abstraction=lambda snap: {"value": snap},
+            corresponding_actions=lambda pre, a, post: [act("nonexistent")],
+        )
+        with pytest.raises(Exception):
+            checker.step(0, act("whole"), 1)
+
+
+class TestDiffStates:
+    def test_reports_differing_keys(self):
+        out = diff_states({"alpha": 1, "beta": 2}, {"alpha": 1, "beta": 3})
+        assert "beta" in out and "alpha" not in out
+
+    def test_reports_missing_keys(self):
+        out = diff_states({"a": 1}, {})
+        assert "absent" in out

@@ -1,0 +1,101 @@
+"""Tests for the timed layer: timed traces and timed automata."""
+
+import math
+
+import pytest
+
+from repro.ioa.actions import act
+from repro.ioa.timed import TimedAutomaton, TimedTrace
+
+
+class TestTimedTrace:
+    def test_append_and_iterate(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("a"))
+        trace.append(2.0, act("b"))
+        assert [e.action.name for e in trace] == ["a", "b"]
+        assert len(trace) == 2
+
+    def test_same_time_allowed(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("a"))
+        trace.append(1.0, act("b"))
+        assert len(trace) == 2
+
+    def test_non_monotonic_rejected(self):
+        trace = TimedTrace()
+        trace.append(5.0, act("a"))
+        with pytest.raises(ValueError, match="non-monotonic"):
+            trace.append(4.0, act("b"))
+
+    def test_project(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("a"))
+        trace.append(2.0, act("b"))
+        trace.append(3.0, act("a"))
+        projected = trace.project({"a"})
+        assert [e.time for e in projected] == [1.0, 3.0]
+        assert projected.ltime == trace.ltime
+
+    def test_untimed(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("a", 1))
+        trace.append(2.0, act("b", 2))
+        assert trace.untimed() == [act("a", 1), act("b", 2)]
+
+    def test_events_in_window(self):
+        trace = TimedTrace()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            trace.append(t, act("a", t))
+        window = list(trace.events_in(2.0, 4.0))
+        assert [e.time for e in window] == [2.0, 3.0]
+
+    def test_last_event_named(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("good", "p"))
+        trace.append(5.0, act("bad", "p"))
+        found = trace.last_event_named("good", before=4.0)
+        assert found is not None and found.time == 1.0
+        assert trace.last_event_named("ugly") is None
+
+    def test_default_ltime_is_admissible(self):
+        assert TimedTrace().ltime == math.inf
+
+    def test_event_str(self):
+        trace = TimedTrace()
+        trace.append(1.5, act("a"))
+        assert "1.5" in str(trace.events[0])
+
+
+class TestTimedAutomaton:
+    class Clocked(TimedAutomaton):
+        def __init__(self):
+            super().__init__()
+            self.signature = None
+
+        def is_enabled(self, action):
+            return False
+
+        def apply(self, action):
+            pass
+
+        def enabled_actions(self):
+            return iter(())
+
+    def test_advance_accumulates(self):
+        auto = self.Clocked()
+        auto.advance(1.5)
+        auto.advance(0.5)
+        assert auto.now == 2.0
+
+    def test_advance_rejects_nonpositive(self):
+        auto = self.Clocked()
+        with pytest.raises(ValueError):
+            auto.advance(0.0)
+        with pytest.raises(ValueError):
+            auto.advance(-1.0)
+
+    def test_can_advance_default(self):
+        auto = self.Clocked()
+        assert auto.can_advance(1.0)
+        assert not auto.can_advance(0.0)

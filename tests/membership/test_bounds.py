@@ -1,0 +1,53 @@
+"""Tests for the Section 8 closed-form bounds."""
+
+import pytest
+
+from repro.membership.bounds import VSBounds
+
+
+class TestFormulas:
+    def test_b_formula(self):
+        bounds = VSBounds(delta=1.0, pi=10.0, mu=30.0)
+        # b = 9δ + max{π + (n+3)δ, μ}; n = 5: max(10+8, 30) = 30
+        assert bounds.b(5) == 9 + 30
+        # with μ small, the token term dominates: n = 5 → 10 + 8 = 18
+        bounds2 = VSBounds(delta=1.0, pi=10.0, mu=5.0)
+        assert bounds2.b(5) == 9 + 18
+
+    def test_d_formula(self):
+        bounds = VSBounds(delta=1.0, pi=10.0, mu=30.0)
+        assert bounds.d(5) == 25.0
+        assert bounds.d(2) == 22.0
+
+    def test_to_level_bounds(self):
+        bounds = VSBounds(delta=1.0, pi=10.0, mu=30.0)
+        assert bounds.to_b(5) == bounds.b(5) + bounds.d(5)
+        assert bounds.to_d(5) == bounds.d(5)
+
+    def test_b_is_monotone_in_parameters(self):
+        base = VSBounds(delta=1.0, pi=10.0, mu=30.0)
+        assert VSBounds(2.0, 10.0, 30.0).b(5) > base.b(5)
+        assert VSBounds(1.0, 25.0, 30.0).b(5) > base.b(5)
+        assert VSBounds(1.0, 10.0, 60.0).b(5) > base.b(5)
+
+    def test_d_linear_in_pi_and_n(self):
+        bounds = VSBounds(delta=1.0, pi=10.0, mu=30.0)
+        assert bounds.d(6) - bounds.d(5) == 1.0  # slope n·δ
+        assert VSBounds(1.0, 11.0, 30.0).d(5) - bounds.d(5) == 2.0  # slope 2π
+
+    def test_validate_pi_constraint(self):
+        bounds = VSBounds(delta=1.0, pi=4.0, mu=30.0)
+        bounds.validate(3)
+        with pytest.raises(ValueError, match="exceed"):
+            bounds.validate(5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            VSBounds(delta=0, pi=1, mu=1)
+        with pytest.raises(ValueError):
+            VSBounds(delta=1, pi=-1, mu=1)
+
+    def test_d_impl_variants(self):
+        bounds = VSBounds(delta=1.0, pi=10.0, mu=30.0)
+        assert bounds.d_impl(5, work_conserving=False) == 35.0
+        assert bounds.d_impl(5, work_conserving=True) == 30.0

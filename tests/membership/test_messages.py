@@ -1,0 +1,44 @@
+"""Tests for protocol wire records."""
+
+from repro.membership.messages import Accept, Join, NewGroup, Probe, Token
+
+
+class TestViewIds:
+    def test_lexicographic_order(self):
+        assert (1, 2) < (2, 1)
+        assert (2, 1) < (2, 3)
+
+    def test_records_are_hashable(self):
+        assert hash(NewGroup((1, 1), 1)) == hash(NewGroup((1, 1), 1))
+        assert hash(Accept((1, 1), 2)) == hash(Accept((1, 1), 2))
+        assert hash(Join((1, 1), (1, 2))) == hash(Join((1, 1), (1, 2)))
+        assert hash(Probe(1, (0, 1))) == hash(Probe(1, (0, 1)))
+
+
+class TestToken:
+    def test_copy_is_independent(self):
+        token = Token(viewid=(1, 1), members=(1, 2), order=[("m", 1)])
+        token.delivered[1] = 1
+        token.safed[1] = 1
+        clone = token.copy()
+        clone.order.append(("n", 2))
+        clone.delivered[2] = 1
+        clone.safed[2] = 1
+        clone.hop += 1
+        assert token.order == [("m", 1)]
+        assert token.delivered == {1: 1}
+        assert token.safed == {1: 1}
+        assert token.hop == 0
+
+    def test_safe_prefix_length_is_min_over_members(self):
+        token = Token(viewid=(1, 1), members=(1, 2, 3))
+        token.delivered = {1: 3, 2: 1, 3: 2}
+        assert token.safe_prefix_length((1, 2, 3)) == 1
+
+    def test_safe_prefix_missing_member_counts_zero(self):
+        token = Token(viewid=(1, 1), members=(1, 2))
+        token.delivered = {1: 3}
+        assert token.safe_prefix_length((1, 2)) == 0
+
+    def test_safe_prefix_empty_members(self):
+        assert Token(viewid=(1, 1)).safe_prefix_length(()) == 0

@@ -1,0 +1,131 @@
+"""Token-ring behaviour in a stable, fully connected group."""
+
+import pytest
+
+from repro.membership.ring import RingConfig
+from repro.membership.service import TokenRingVS
+
+PROCS = (1, 2, 3, 4, 5)
+
+
+def service(procs=PROCS, seed=0, **kwargs):
+    config = RingConfig(delta=1.0, pi=10.0, mu=30.0, **kwargs)
+    return TokenRingVS(procs, config, seed=seed)
+
+
+class TestStableView:
+    def test_no_view_changes_when_stable(self):
+        vs = service()
+        vs.run_until(500.0)
+        assert all(
+            e.action.name != "newview" for e in vs.trace.events
+        )
+        assert vs.stats()["formations"] == 0
+
+    def test_all_members_share_initial_view(self):
+        vs = service()
+        vs.run_until(50.0)
+        views = {vs.current_view(p) for p in PROCS}
+        assert len(views) == 1
+        assert views.pop() == vs.initial_view
+
+    def test_message_delivered_to_all_members(self):
+        vs = service()
+        vs.schedule_send(5.0, 2, "hello")
+        vs.run_until(100.0)
+        received = {
+            e.action.args[2]
+            for e in vs.trace.events
+            if e.action.name == "gprcv"
+        }
+        assert received == set(PROCS)
+
+    def test_message_becomes_safe_everywhere(self):
+        vs = service()
+        vs.schedule_send(5.0, 2, "hello")
+        vs.run_until(100.0)
+        safed = {
+            e.action.args[2]
+            for e in vs.trace.events
+            if e.action.name == "safe"
+        }
+        assert safed == set(PROCS)
+
+    def test_receive_precedes_safe_at_each_member(self):
+        vs = service()
+        vs.schedule_send(5.0, 1, "m")
+        vs.run_until(100.0)
+        for member in PROCS:
+            times = {
+                e.action.name: e.time
+                for e in vs.trace.events
+                if e.action.name in ("gprcv", "safe")
+                and e.action.args[2] == member
+            }
+            assert times["gprcv"] <= times["safe"]
+
+    def test_interleaved_sends_share_one_order(self):
+        vs = service(seed=3)
+        for i in range(20):
+            vs.schedule_send(5.0 + 1.7 * i, PROCS[i % 5], f"m{i}")
+        vs.run_until(300.0)
+        orders = {}
+        for event in vs.trace.events:
+            if event.action.name == "gprcv":
+                payload, src, dst = event.action.args
+                orders.setdefault(dst, []).append(payload)
+        reference = orders[1]
+        assert len(reference) == 20
+        for member in PROCS[1:]:
+            assert orders[member] == reference
+
+    def test_singleton_group(self):
+        vs = service(procs=(7,), seed=1)
+        vs.schedule_send(5.0, 7, "solo")
+        vs.run_until(50.0)
+        names = [e.action.name for e in vs.trace.events]
+        assert "gprcv" in names and "safe" in names
+
+    def test_two_member_group(self):
+        vs = service(procs=(1, 2), seed=2)
+        vs.schedule_send(5.0, 1, "duo")
+        vs.run_until(100.0)
+        received = {
+            e.action.args[2]
+            for e in vs.trace.events
+            if e.action.name == "safe"
+        }
+        assert received == {1, 2}
+
+    def test_send_before_any_view_is_ignored(self):
+        vs = service(procs=(1, 2, 3), seed=0)
+        # processor 3 outside P0 has no view
+        vs2 = TokenRingVS(
+            (1, 2, 3),
+            RingConfig(delta=1.0, pi=10.0, mu=30.0),
+            seed=0,
+            initial_members=(1, 2),
+        )
+        vs2.start()
+        vs2.gpsnd(3, "lost")
+        vs2.run_until(40.0)
+        delivered_payloads = {
+            e.action.args[0]
+            for e in vs2.trace.events
+            if e.action.name == "gprcv"
+        }
+        assert "lost" not in delivered_payloads
+
+    def test_work_conserving_faster_than_periodic(self):
+        def safe_time(work_conserving):
+            vs = service(seed=5, work_conserving=work_conserving)
+            vs.schedule_send(17.0, 3, "x")
+            vs.run_until(200.0)
+            times = [
+                e.time
+                for e in vs.trace.events
+                if e.action.name == "safe"
+            ]
+            return max(times) - 17.0
+
+        assert safe_time(True) < safe_time(False)

@@ -1,0 +1,104 @@
+"""Tests for channels under the three link statuses."""
+
+import random
+
+import pytest
+
+from repro.net.channel import Channel, ChannelConfig
+from repro.net.status import FailureOracle, FailureStatus
+from repro.sim.engine import Simulator
+
+
+def make_channel(config=None, oracle=None, seed=0):
+    sim = Simulator()
+    oracle = oracle if oracle is not None else FailureOracle([1, 2])
+    arrivals = []
+    channel = Channel(
+        1,
+        2,
+        sim,
+        oracle,
+        config if config is not None else ChannelConfig(delta=1.0),
+        random.Random(seed),
+        lambda src, dst, msg: arrivals.append((sim.now, msg)),
+    )
+    return sim, oracle, channel, arrivals
+
+
+class TestChannelConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(delta=0.0)
+        with pytest.raises(ValueError):
+            ChannelConfig(delta=1.0, latency_floor=1.0)
+        with pytest.raises(ValueError):
+            ChannelConfig(ugly_loss=1.5)
+
+
+class TestGoodLink:
+    def test_delivers_within_delta(self):
+        sim, _oracle, channel, arrivals = make_channel()
+        for i in range(50):
+            channel.send(i)
+        sim.run()
+        assert len(arrivals) == 50
+        assert all(t <= 1.0 for t, _m in arrivals)
+        assert channel.delivered_count == 50
+
+    def test_latency_floor_respected(self):
+        config = ChannelConfig(delta=2.0, latency_floor=1.0)
+        sim, _oracle, channel, arrivals = make_channel(config)
+        for i in range(30):
+            channel.send(i)
+        sim.run()
+        assert all(1.0 <= t <= 2.0 for t, _m in arrivals)
+
+
+class TestBadLink:
+    def test_drops_everything(self):
+        sim, oracle, channel, arrivals = make_channel()
+        oracle.set_link(1, 2, FailureStatus.BAD)
+        for i in range(10):
+            channel.send(i)
+        sim.run()
+        assert arrivals == []
+        assert channel.dropped_count == 10
+
+    def test_in_flight_dropped_when_link_goes_bad(self):
+        sim, oracle, channel, arrivals = make_channel()
+        channel.send("x")
+        oracle.set_link(1, 2, FailureStatus.BAD)
+        sim.run()
+        assert arrivals == []
+        assert channel.dropped_count == 1
+
+
+class TestUglyLink:
+    def test_some_loss_some_delay(self):
+        config = ChannelConfig(delta=1.0, ugly_loss=0.5, ugly_max_delay=20.0)
+        sim, oracle, channel, arrivals = make_channel(config, seed=1)
+        oracle.set_link(1, 2, FailureStatus.UGLY)
+        for i in range(200):
+            channel.send(i)
+        sim.run()
+        # roughly half arrive; no timing guarantee beyond the cap
+        assert 50 < len(arrivals) < 150
+        assert channel.dropped_count == 200 - len(arrivals)
+        assert any(t > 1.0 for t, _m in arrivals)
+
+    def test_ugly_never_loses_when_loss_zero(self):
+        config = ChannelConfig(delta=1.0, ugly_loss=0.0, ugly_max_delay=5.0)
+        sim, oracle, channel, arrivals = make_channel(config)
+        oracle.set_link(1, 2, FailureStatus.UGLY)
+        for i in range(20):
+            channel.send(i)
+        sim.run()
+        assert len(arrivals) == 20
+
+
+class TestCounters:
+    def test_sent_count(self):
+        _sim, _oracle, channel, _arrivals = make_channel()
+        channel.send("a")
+        channel.send("b")
+        assert channel.sent_count == 2

@@ -1,0 +1,77 @@
+"""Hypothesis property tests for the channel layer: delivery-time
+bounds hold for arbitrary valid configurations and seeds."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.channel import Channel, ChannelConfig
+from repro.net.status import FailureOracle, FailureStatus
+from repro.sim.engine import Simulator
+
+configs = st.builds(
+    ChannelConfig,
+    delta=st.floats(0.1, 10.0),
+    latency_floor=st.just(0.0),
+    ugly_loss=st.floats(0.0, 1.0),
+    ugly_max_delay=st.floats(1.0, 100.0),
+)
+
+
+def run_channel(config, seed, status, n_messages=25):
+    sim = Simulator()
+    oracle = FailureOracle([1, 2])
+    oracle.set_link(1, 2, status)
+    arrivals = []
+    channel = Channel(
+        1, 2, sim, oracle, config, random.Random(seed),
+        lambda src, dst, msg: arrivals.append((sim.now, msg)),
+    )
+    for i in range(n_messages):
+        channel.send(i)
+    sim.run()
+    return channel, arrivals
+
+
+class TestChannelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(configs, st.integers(0, 10_000))
+    def test_good_link_delivers_everything_within_delta(self, config, seed):
+        channel, arrivals = run_channel(config, seed, FailureStatus.GOOD)
+        assert len(arrivals) == 25
+        assert all(t <= config.delta + 1e-9 for t, _m in arrivals)
+        assert channel.dropped_count == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(configs, st.integers(0, 10_000))
+    def test_bad_link_delivers_nothing(self, config, seed):
+        channel, arrivals = run_channel(config, seed, FailureStatus.BAD)
+        assert arrivals == []
+        assert channel.dropped_count == 25
+
+    @settings(max_examples=30, deadline=None)
+    @given(configs, st.integers(0, 10_000))
+    def test_ugly_link_conserves_messages(self, config, seed):
+        channel, arrivals = run_channel(config, seed, FailureStatus.UGLY)
+        assert len(arrivals) + channel.dropped_count == 25
+        assert all(
+            t <= config.ugly_max_delay + 1e-9 for t, _m in arrivals
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(configs, st.integers(0, 10_000))
+    def test_no_duplication_any_status(self, config, seed):
+        for status in FailureStatus:
+            _channel, arrivals = run_channel(config, seed, status)
+            payloads = [m for _t, m in arrivals]
+            assert len(payloads) == len(set(payloads))
+
+    @settings(max_examples=30, deadline=None)
+    @given(configs, st.integers(0, 10_000))
+    def test_counters_balance(self, config, seed):
+        for status in FailureStatus:
+            channel, arrivals = run_channel(config, seed, status)
+            assert channel.sent_count == 25
+            assert channel.delivered_count + channel.dropped_count == 25
+            assert channel.delivered_count == len(arrivals)

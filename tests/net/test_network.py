@@ -1,0 +1,125 @@
+"""Tests for the all-pairs network and processor gating."""
+
+import pytest
+
+from repro.net.network import Network, NetworkNode
+from repro.net.status import FailureStatus
+from repro.sim.engine import Simulator
+
+
+class Recorder(NetworkNode):
+    def __init__(self, proc_id):
+        super().__init__(proc_id)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((src, message))
+
+
+def make_network(procs=(1, 2, 3), **kwargs):
+    sim = Simulator()
+    network = Network(procs, sim, **kwargs)
+    nodes = {}
+    for p in procs:
+        node = Recorder(p)
+        nodes[p] = node
+        network.register(node)
+    return sim, network, nodes
+
+
+class TestBasics:
+    def test_unicast_delivery(self):
+        sim, network, nodes = make_network()
+        network.send(1, 2, "hello")
+        sim.run()
+        assert nodes[2].received == [(1, "hello")]
+        assert nodes[3].received == []
+
+    def test_self_send_rejected(self):
+        _sim, network, _nodes = make_network()
+        with pytest.raises(ValueError, match="local"):
+            network.send(1, 1, "x")
+
+    def test_duplicate_processor_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Network([1, 1], Simulator())
+
+    def test_register_unknown_processor(self):
+        sim, network, _nodes = make_network()
+        with pytest.raises(KeyError):
+            network.register(Recorder(99))
+
+    def test_broadcast_excludes_self_by_default(self):
+        sim, network, nodes = make_network()
+        network.broadcast(1, "b")
+        sim.run()
+        assert nodes[1].received == []
+        assert nodes[2].received == [(1, "b")]
+        assert nodes[3].received == [(1, "b")]
+
+    def test_broadcast_include_self(self):
+        sim, network, nodes = make_network()
+        network.broadcast(1, "b", include_self=True)
+        sim.run()
+        assert nodes[1].received == [(1, "b")]
+
+    def test_multicast(self):
+        sim, network, nodes = make_network()
+        network.multicast(1, [2], "m")
+        sim.run()
+        assert nodes[2].received == [(1, "m")]
+        assert nodes[3].received == []
+
+    def test_counters(self):
+        sim, network, _nodes = make_network()
+        network.send(1, 2, "x")
+        sim.run()
+        assert network.messages_sent == 1
+        assert network.messages_delivered == 1
+
+
+class TestFailureGating:
+    def test_bad_source_sends_nothing(self):
+        sim, network, nodes = make_network()
+        network.oracle.set_processor(1, FailureStatus.BAD)
+        network.send(1, 2, "x")
+        sim.run()
+        assert nodes[2].received == []
+
+    def test_bad_destination_drops(self):
+        sim, network, nodes = make_network()
+        network.oracle.set_processor(2, FailureStatus.BAD)
+        network.send(1, 2, "x")
+        sim.run()
+        assert nodes[2].received == []
+
+    def test_destination_going_bad_in_flight_drops(self):
+        sim, network, nodes = make_network()
+        network.send(1, 2, "x")
+        network.oracle.set_processor(2, FailureStatus.BAD)
+        sim.run()
+        assert nodes[2].received == []
+
+    def test_ugly_destination_adds_delay(self):
+        sim, network, nodes = make_network(ugly_proc_max_delay=30.0)
+        network.oracle.set_processor(2, FailureStatus.UGLY)
+        times = []
+        original = nodes[2].on_message
+        nodes[2].on_message = lambda src, msg: (
+            times.append(sim.now),
+            original(src, msg),
+        )
+        for i in range(40):
+            network.send(1, 2, i)
+        sim.run()
+        assert len(times) == 40
+        assert any(t > 1.0 for t in times)  # beyond the good-link delta
+
+    def test_bad_link_blocks_one_direction(self):
+        sim, network, nodes = make_network()
+        network.oracle.set_link(1, 2, FailureStatus.BAD)
+        network.send(1, 2, "x")
+        network.send(2, 1, "y")
+        sim.run()
+        assert nodes[2].received == []
+        assert nodes[1].received == [(2, "y")]

@@ -1,0 +1,83 @@
+"""Tests for partition scenarios."""
+
+import pytest
+
+from repro.net.network import Network
+from repro.net.scenarios import (
+    PartitionScenario,
+    ScenarioEvent,
+    stable_partition,
+)
+from repro.net.status import FailureStatus
+from repro.sim.engine import Simulator
+
+
+class TestScenarioConstruction:
+    def test_add_returns_self_for_chaining(self):
+        scenario = PartitionScenario().add(1.0, [[1, 2]]).add(2.0, [[1], [2]])
+        assert len(scenario.events) == 2
+
+    def test_out_of_order_rejected(self):
+        scenario = PartitionScenario().add(5.0, [[1]])
+        with pytest.raises(ValueError, match="time order"):
+            scenario.add(1.0, [[1]])
+
+    def test_stabilization_time(self):
+        scenario = PartitionScenario().add(1.0, [[1]]).add(9.0, [[1]])
+        assert scenario.stabilization_time == 9.0
+        assert PartitionScenario().stabilization_time == 0.0
+
+    def test_final_groups(self):
+        scenario = PartitionScenario().add(1.0, [[1, 2], [3]])
+        assert scenario.final_groups == ((1, 2), (3,))
+        with pytest.raises(ValueError):
+            PartitionScenario().final_groups
+
+    def test_primary_group_is_largest(self):
+        event = ScenarioEvent(0.0, ((1, 2, 3), (4,)))
+        assert event.primary_group() == (1, 2, 3)
+
+
+class TestInstall:
+    def test_events_applied_at_their_times(self):
+        sim = Simulator()
+        network = Network([1, 2, 3], sim)
+        scenario = PartitionScenario().add(5.0, [[1, 2], [3]])
+        scenario.install(network)
+        sim.run_until(4.0)
+        assert network.oracle.link_good(1, 3)
+        sim.run_until(6.0)
+        assert network.oracle.link_status(1, 3) is FailureStatus.BAD
+        assert network.oracle.is_consistently_partitioned([1, 2])
+
+    def test_ugly_links_after_layout(self):
+        sim = Simulator()
+        network = Network([1, 2], sim)
+        scenario = PartitionScenario().add(
+            1.0, [[1, 2]], ugly_links=[(1, 2)]
+        )
+        scenario.install(network)
+        sim.run_until(2.0)
+        assert network.oracle.link_status(1, 2) is FailureStatus.UGLY
+        assert network.oracle.link_good(2, 1)
+
+    def test_ugly_processors(self):
+        sim = Simulator()
+        network = Network([1, 2], sim)
+        PartitionScenario().add(
+            1.0, [[1, 2]], ugly_processors=[2]
+        ).install(network)
+        sim.run_until(2.0)
+        assert network.oracle.processor_status(2) is FailureStatus.UGLY
+
+
+class TestStablePartition:
+    def test_defaults_to_full_group(self):
+        scenario = stable_partition([1, 2, 3])
+        assert scenario.final_groups == ((1, 2, 3),)
+        assert scenario.stabilization_time == 0.0
+
+    def test_custom_groups_and_time(self):
+        scenario = stable_partition([1, 2, 3], groups=[[1], [2, 3]], at=4.0)
+        assert scenario.final_groups == ((1,), (2, 3))
+        assert scenario.stabilization_time == 4.0

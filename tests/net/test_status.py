@@ -1,0 +1,93 @@
+"""Tests for failure statuses and the oracle."""
+
+import pytest
+
+from repro.net.status import FailureOracle, FailureStatus
+
+
+class TestDefaults:
+    def test_everything_good_initially(self):
+        oracle = FailureOracle([1, 2, 3])
+        assert oracle.processor_good(1)
+        assert oracle.link_good(1, 2)
+        assert oracle.link_status(3, 1) is FailureStatus.GOOD
+
+    def test_unknown_processor_rejected(self):
+        oracle = FailureOracle([1])
+        with pytest.raises(KeyError):
+            oracle.set_processor(9, FailureStatus.BAD)
+        with pytest.raises(KeyError):
+            oracle.set_link(1, 9, FailureStatus.BAD)
+
+
+class TestUpdates:
+    def test_set_processor(self):
+        oracle = FailureOracle([1, 2])
+        oracle.set_processor(1, FailureStatus.BAD, time=3.0)
+        assert oracle.processor_bad(1)
+        assert not oracle.processor_good(1)
+
+    def test_set_link_is_directional(self):
+        oracle = FailureOracle([1, 2])
+        oracle.set_link(1, 2, FailureStatus.BAD)
+        assert not oracle.link_good(1, 2)
+        assert oracle.link_good(2, 1)
+
+    def test_set_link_pair(self):
+        oracle = FailureOracle([1, 2])
+        oracle.set_link_pair(1, 2, FailureStatus.UGLY)
+        assert oracle.link_status(1, 2) is FailureStatus.UGLY
+        assert oracle.link_status(2, 1) is FailureStatus.UGLY
+
+    def test_history_and_last_change(self):
+        oracle = FailureOracle([1, 2])
+        oracle.set_processor(1, FailureStatus.BAD, time=2.0)
+        oracle.set_link(1, 2, FailureStatus.BAD, time=5.0)
+        assert len(oracle.history) == 2
+        assert oracle.last_change_time == 5.0
+        assert oracle.history[1].is_link_event
+        assert not oracle.history[0].is_link_event
+
+
+class TestPartition:
+    def test_apply_partition_sets_statuses(self):
+        oracle = FailureOracle([1, 2, 3, 4])
+        oracle.apply_partition([[1, 2], [3]], time=1.0)
+        # members of groups are good; unmentioned (4) is bad
+        assert oracle.processor_good(1)
+        assert oracle.processor_good(3)
+        assert oracle.processor_bad(4)
+        # intra-group links good, cross-group bad
+        assert oracle.link_good(1, 2)
+        assert oracle.link_status(1, 3) is FailureStatus.BAD
+        assert oracle.link_status(3, 2) is FailureStatus.BAD
+        assert oracle.link_status(1, 4) is FailureStatus.BAD
+
+    def test_overlapping_groups_rejected(self):
+        oracle = FailureOracle([1, 2])
+        with pytest.raises(ValueError, match="two groups"):
+            oracle.apply_partition([[1, 2], [2]])
+
+    def test_is_consistently_partitioned(self):
+        oracle = FailureOracle([1, 2, 3, 4])
+        oracle.apply_partition([[1, 2], [3, 4]])
+        assert oracle.is_consistently_partitioned([1, 2])
+        assert oracle.is_consistently_partitioned([3, 4])
+        assert not oracle.is_consistently_partitioned([1, 3])
+
+    def test_not_partitioned_when_member_bad(self):
+        oracle = FailureOracle([1, 2, 3])
+        oracle.apply_partition([[1, 2]])
+        oracle.set_processor(1, FailureStatus.BAD)
+        assert not oracle.is_consistently_partitioned([1, 2])
+
+    def test_not_partitioned_when_outside_link_good(self):
+        oracle = FailureOracle([1, 2, 3])
+        oracle.apply_partition([[1, 2]])
+        oracle.set_link(1, 3, FailureStatus.GOOD)
+        assert not oracle.is_consistently_partitioned([1, 2])
+
+    def test_full_group_partition(self):
+        oracle = FailureOracle([1, 2, 3])
+        oracle.apply_partition([[1, 2, 3]])
+        assert oracle.is_consistently_partitioned([1, 2, 3])

@@ -1,0 +1,158 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+    def test_handle_time(self):
+        sim = Simulator()
+        handle = sim.schedule(2.5, lambda: None)
+        assert handle.time == 2.5
+
+
+class TestRunControl:
+    def test_run_until_stops_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run_until(5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run_until(20.0)
+        assert fired == [1, 10]
+
+    def test_run_until_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(5.0)
+        assert fired == [5]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_clear_drops_pending(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.clear()
+        assert sim.pending == 0
+
+    def test_pending_counts_uncancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        seen = []
+        sim.call_soon(lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+
+class TestTimePassageHook:
+    def test_hook_receives_advances(self):
+        sim = Simulator()
+        advances = []
+        sim.on_time_passage(advances.append)
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert advances == [2.0, 3.0]
+
+    def test_hook_removal(self):
+        sim = Simulator()
+        advances = []
+        sim.on_time_passage(advances.append)
+        sim.on_time_passage(None)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert advances == []

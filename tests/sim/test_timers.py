@@ -1,0 +1,99 @@
+"""Tests for periodic and watchdog timers."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer, WatchdogTimer
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run_until(7.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_start_immediately(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(
+            sim, 2.0, lambda: fired.append(sim.now), start_immediately=True
+        )
+        timer.start()
+        sim.run_until(3.0)
+        assert fired == [0.0, 2.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run_until(2.5)
+        timer.stop()
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0]
+        assert not timer.running
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(1))
+        timer.start()
+        timer.start()
+        sim.run_until(1.0)
+        assert fired == [1]
+
+    def test_restart_after_stop(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run_until(1.0)
+        timer.stop()
+        timer.start()
+        sim.run_until(2.5)
+        assert fired == [1.0, 2.0]
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+
+class TestWatchdogTimer:
+    def test_expires_when_not_fed(self):
+        sim = Simulator()
+        expired = []
+        dog = WatchdogTimer(sim, lambda: expired.append(sim.now))
+        dog.arm(5.0)
+        sim.run_until(10.0)
+        assert expired == [5.0]
+        assert not dog.armed
+
+    def test_rearm_extends_deadline(self):
+        sim = Simulator()
+        expired = []
+        dog = WatchdogTimer(sim, lambda: expired.append(sim.now))
+        dog.arm(5.0)
+        sim.schedule(3.0, lambda: dog.arm(5.0))
+        sim.run_until(20.0)
+        assert expired == [8.0]
+
+    def test_disarm_prevents_expiry(self):
+        sim = Simulator()
+        expired = []
+        dog = WatchdogTimer(sim, lambda: expired.append(1))
+        dog.arm(5.0)
+        dog.disarm()
+        sim.run_until(10.0)
+        assert expired == []
+
+    def test_armed_property(self):
+        sim = Simulator()
+        dog = WatchdogTimer(sim, lambda: None)
+        assert not dog.armed
+        dog.arm(1.0)
+        assert dog.armed
+        sim.run_until(2.0)
+        assert not dog.armed

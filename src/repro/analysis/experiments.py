@@ -209,3 +209,52 @@ def timeline_table(seeds: Sequence[int] = (0, 1, 2)) -> Table:
             ]
         )
     return headers, rows
+
+
+def chaos_table(seeds: Sequence[int] = (0, 1, 2, 3)) -> Table:
+    """E18: compact chaos soak — composed nemesis, safety verdicts and
+    structured drop accounting (full sweep: ``bench_chaos_soak.py``)."""
+    from repro.faults import run_chaos
+
+    headers = [
+        "seed",
+        "kinds",
+        "safe",
+        "recovered",
+        "injected",
+        "oracle drops",
+        "restarts",
+        "dups",
+        "retransmits",
+        "recovery",
+    ]
+    rows: list[Row] = []
+    for seed in seeds:
+        report = run_chaos(
+            (1, 2, 3, 4, 5),
+            seed=seed,
+            horizon=300.0,
+            intensity=0.7,
+            sends=12,
+            settle=700.0,
+        )
+        oracle_drops = sum(
+            count
+            for reason, count in report.drops.items()
+            if reason != "injected"
+        )
+        rows.append(
+            [
+                seed,
+                len(report.fault_kinds),
+                "yes" if report.safety_ok else "NO",
+                "yes" if report.delivered_complete else "NO",
+                report.drops["injected"],
+                oracle_drops,
+                report.stats["restarts"],
+                report.stats["duplicates_suppressed"],
+                report.stats["retransmissions"],
+                round(report.recovery_time, 1),
+            ]
+        )
+    return headers, rows

@@ -1,0 +1,323 @@
+"""Composable, deterministically-seeded fault injectors (the nemesis).
+
+Each injector perturbs one aspect of the executing system — per-link
+packet loss / duplication / delay-jitter / reordering holds, targeted
+token loss, process crash + restart-with-rejoin, and per-process timer
+skew.  Injectors are *passive between windows*: a
+:class:`~repro.faults.schedule.FaultSchedule` binds them to a running
+:class:`~repro.membership.service.TokenRingVS` and opens/closes their
+active windows at scheduled virtual times.
+
+Determinism: every injector draws its randomness from its own named
+stream of the service's :class:`~repro.sim.rng.RngRegistry`
+(``fault:<name>``), so attaching a nemesis never perturbs the channel
+delay or workload draws of an existing seed — a run with a zero-rate
+nemesis is event-for-event identical to a run with none (see
+``tests/faults/test_rng_isolation.py``).
+
+Packet injectors ride on the interception middleware of
+:class:`repro.net.channel.Channel`; they only ever see packets that
+survived the failure oracle's own verdict, so injected faults compose
+with the modelled good/bad/ugly statuses instead of replacing them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.membership.messages import Sequenced, Token
+from repro.net.channel import Packet, PacketFate
+from repro.net.status import FailureStatus
+
+ProcId = Hashable
+
+
+class ChaosContext:
+    """What an injector gets to work with: one running service stack."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.network = service.network
+        self.simulator = service.simulator
+        self.oracle = service.network.oracle
+        self.rngs = service.rngs
+
+    @property
+    def processors(self) -> tuple[ProcId, ...]:
+        return self.network.processors
+
+    def rng(self, name: str) -> random.Random:
+        """The injector's private seeded stream (isolated from channel
+        delays and every other stochastic concern)."""
+        return self.rngs.stream(f"fault:{name}")
+
+
+class FaultInjector:
+    """Base class: bind once, then open/close active windows."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.active = False
+        self.activations = 0
+        self._ctx: Optional[ChaosContext] = None
+        self._rng: Optional[random.Random] = None
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def bind(self, ctx: ChaosContext) -> None:
+        """Attach to a service (idempotent; called once per schedule)."""
+        if self._ctx is not None:
+            return
+        self._ctx = ctx
+        self._rng = ctx.rng(self.name)
+        self._bind(ctx)
+
+    def start(self, stop_time: float) -> None:
+        """Open an active window ending (at the latest) at ``stop_time``."""
+        if self._ctx is None:
+            raise RuntimeError(f"injector {self.name!r} is not bound")
+        self.active = True
+        self.activations += 1
+        self._start(stop_time)
+
+    def stop(self) -> None:
+        self.active = False
+        self._stop()
+
+    # Subclass hooks ----------------------------------------------------
+    def _bind(self, ctx: ChaosContext) -> None:
+        pass
+
+    def _start(self, stop_time: float) -> None:
+        pass
+
+    def _stop(self) -> None:
+        pass
+
+
+def _payload(message) -> object:
+    """The protocol body of a wire message (unwrap the seq stamp)."""
+    return message.body if isinstance(message, Sequenced) else message
+
+
+class PacketInjector(FaultInjector):
+    """Base for injectors that perturb individual packets in flight."""
+
+    def __init__(
+        self,
+        name: str,
+        links: Optional[Iterable[tuple[ProcId, ProcId]]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.links = tuple(links) if links is not None else None
+        self.packets_touched = 0
+
+    def _bind(self, ctx: ChaosContext) -> None:
+        ctx.network.add_interceptor(self._intercept, links=self.links)
+
+    def _intercept(
+        self, packet: Packet, fate: PacketFate
+    ) -> Optional[PacketFate]:
+        if not self.active or fate.dropped or not self._applies(packet):
+            return None
+        perturbed = self._perturb(packet, fate)
+        if perturbed is not None:
+            self.packets_touched += 1
+        return perturbed
+
+    def _applies(self, packet: Packet) -> bool:
+        return True
+
+    def _perturb(
+        self, packet: Packet, fate: PacketFate
+    ) -> Optional[PacketFate]:
+        raise NotImplementedError
+
+
+class PacketLossInjector(PacketInjector):
+    """Drop each passing packet with probability ``rate``."""
+
+    def __init__(self, name: str, rate: float, links=None) -> None:
+        super().__init__(name, links)
+        self.rate = rate
+
+    def _perturb(self, packet, fate):
+        if self._rng.random() < self.rate:
+            return PacketFate((), drop_reason="injected")
+        return None
+
+
+class PacketDuplicateInjector(PacketInjector):
+    """Deliver an extra copy of a packet with probability ``rate``; the
+    copy arrives up to ``extra_delay`` later than the original (so the
+    duplicate may also be reordered past later traffic)."""
+
+    def __init__(
+        self, name: str, rate: float, extra_delay: float = 5.0, links=None
+    ) -> None:
+        super().__init__(name, links)
+        self.rate = rate
+        self.extra_delay = extra_delay
+
+    def _perturb(self, packet, fate):
+        if self._rng.random() < self.rate:
+            echo = fate.delays[0] + self._rng.uniform(0.0, self.extra_delay)
+            return PacketFate(fate.delays + (echo,), fate.drop_reason)
+        return None
+
+
+class PacketDelayInjector(PacketInjector):
+    """Add uniform jitter up to ``jitter`` to each passing packet —
+    breaking the good-link δ bound and, because the jitter is
+    per-packet, reordering traffic on the link."""
+
+    def __init__(self, name: str, rate: float, jitter: float = 5.0, links=None) -> None:
+        super().__init__(name, links)
+        self.rate = rate
+        self.jitter = jitter
+
+    def _perturb(self, packet, fate):
+        if self._rng.random() >= self.rate:
+            return None
+        bump = self._rng.uniform(0.0, self.jitter)
+        return PacketFate(
+            tuple(d + bump for d in fate.delays), fate.drop_reason
+        )
+
+
+class PacketReorderInjector(PacketInjector):
+    """Hold a packet back for at least ``hold_min`` (up to ``hold_max``)
+    so that packets sent after it overtake it — a guaranteed reorder
+    whenever the hold exceeds the link's δ and there is later traffic."""
+
+    def __init__(
+        self,
+        name: str,
+        rate: float,
+        hold_min: float = 2.0,
+        hold_max: float = 8.0,
+        links=None,
+    ) -> None:
+        super().__init__(name, links)
+        self.rate = rate
+        self.hold_min = hold_min
+        self.hold_max = hold_max
+
+    def _perturb(self, packet, fate):
+        if self._rng.random() >= self.rate:
+            return None
+        hold = self._rng.uniform(self.hold_min, self.hold_max)
+        return PacketFate(
+            tuple(d + hold for d in fate.delays), fate.drop_reason
+        )
+
+
+class TokenLossInjector(PacketInjector):
+    """Drop circulating :class:`~repro.membership.messages.Token`
+    packets with probability ``rate`` — the targeted attack on the
+    ring's liveness core, answered by the token-regeneration watchdog."""
+
+    def __init__(self, name: str, rate: float, links=None) -> None:
+        super().__init__(name, links)
+        self.rate = rate
+
+    def _applies(self, packet) -> bool:
+        return isinstance(_payload(packet.message), Token)
+
+    def _perturb(self, packet, fate):
+        if self._rng.random() < self.rate:
+            return PacketFate((), drop_reason="injected")
+        return None
+
+
+class TimerSkewInjector(FaultInjector):
+    """Run selected members' local timers at a random rate in
+    [``skew_min``, ``skew_max``] for the window, then restore nominal
+    speed.  Fast clocks (<1) fire watchdogs early and force spurious
+    view formations; slow clocks (>1) delay loss detection."""
+
+    def __init__(
+        self,
+        name: str,
+        skew_min: float = 0.7,
+        skew_max: float = 1.5,
+        targets: Optional[Sequence[ProcId]] = None,
+    ) -> None:
+        super().__init__(name)
+        if skew_min <= 0 or skew_max < skew_min:
+            raise ValueError("need 0 < skew_min <= skew_max")
+        self.skew_min = skew_min
+        self.skew_max = skew_max
+        self.targets = tuple(targets) if targets is not None else None
+        self._skewed: list[ProcId] = []
+
+    def _start(self, stop_time: float) -> None:
+        candidates = self.targets or self._ctx.processors
+        for p in candidates:
+            member = self._ctx.service.members[p]
+            member.set_timer_skew(
+                self._rng.uniform(self.skew_min, self.skew_max)
+            )
+            self._skewed.append(p)
+
+    def _stop(self) -> None:
+        for p in self._skewed:
+            self._ctx.service.members[p].set_timer_skew(1.0)
+        self._skewed = []
+
+
+class CrashRestartInjector(FaultInjector):
+    """Crash one processor (failure status *bad* — it takes no steps and
+    receives nothing) and restart it before the window closes: the ring
+    member comes back with fresh volatile state
+    (:meth:`~repro.membership.ring.RingMember.restart`) and rejoins
+    through the merge-probe path.
+
+    The victim is drawn from ``targets`` (default: every processor),
+    avoiding processors this injector still has down.  The outage length
+    is uniform in [``min_down``, ``max_down``], clipped to the window.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        min_down: float = 20.0,
+        max_down: float = 60.0,
+        targets: Optional[Sequence[ProcId]] = None,
+    ) -> None:
+        super().__init__(name)
+        if min_down <= 0 or max_down < min_down:
+            raise ValueError("need 0 < min_down <= max_down")
+        self.min_down = min_down
+        self.max_down = max_down
+        self.targets = tuple(targets) if targets is not None else None
+        self.crashes = 0
+        self._down: set[ProcId] = set()
+
+    def _start(self, stop_time: float) -> None:
+        sim = self._ctx.simulator
+        candidates = [
+            p
+            for p in (self.targets or self._ctx.processors)
+            if p not in self._down
+        ]
+        if not candidates:
+            return
+        victim = candidates[self._rng.randrange(len(candidates))]
+        down_for = self._rng.uniform(self.min_down, self.max_down)
+        restart_at = min(sim.now + down_for, stop_time)
+        self.crashes += 1
+        self._down.add(victim)
+        self._ctx.oracle.set_processor(victim, FailureStatus.BAD, time=sim.now)
+
+        def recover() -> None:
+            self._down.discard(victim)
+            self._ctx.service.restart_processor(victim)
+            self._ctx.oracle.set_processor(
+                victim, FailureStatus.GOOD, time=sim.now
+            )
+
+        sim.schedule_at(restart_at, recover)

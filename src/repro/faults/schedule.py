@@ -1,0 +1,198 @@
+"""Fault schedules: composable timed windows of nemesis activity.
+
+A :class:`FaultSchedule` is a list of ``(start, stop, injector)``
+windows.  Installing it on a running
+:class:`~repro.membership.service.TokenRingVS` binds every injector
+(registering packet interceptors, etc.) and schedules the window
+open/close events on the service's simulator.  The same injector may
+appear in several windows; different injectors freely overlap, which is
+what *composed* fault types means — e.g. token loss while a processor is
+crashed and another's clock runs fast.
+
+:meth:`FaultSchedule.random` generates a seeded adversarial schedule
+over a chosen set of fault kinds — the workhorse of the E18 chaos-soak
+experiment (``benchmarks/bench_chaos_soak.py``).  Its randomness is a
+plain builder-time :class:`random.Random`; the injectors it creates
+draw their run-time randomness from per-injector registry streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+from repro.faults.injectors import (
+    ChaosContext,
+    CrashRestartInjector,
+    FaultInjector,
+    PacketDelayInjector,
+    PacketDuplicateInjector,
+    PacketLossInjector,
+    PacketReorderInjector,
+    TimerSkewInjector,
+    TokenLossInjector,
+)
+
+ProcId = Hashable
+
+#: Every fault kind :meth:`FaultSchedule.random` knows how to build.
+ALL_FAULT_KINDS = (
+    "loss",
+    "duplicate",
+    "delay",
+    "reorder",
+    "token_loss",
+    "crash_restart",
+    "timer_skew",
+)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One activation window of one injector."""
+
+    start: float
+    stop: float
+    injector: FaultInjector
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+
+
+class FaultSchedule:
+    """An installable collection of fault windows."""
+
+    def __init__(self) -> None:
+        self.windows: list[FaultWindow] = []
+
+    def add(
+        self, injector: FaultInjector, start: float, stop: float
+    ) -> "FaultSchedule":
+        self.windows.append(FaultWindow(start, stop, injector))
+        return self
+
+    @property
+    def horizon(self) -> float:
+        """When the last window closes — after this the nemesis is done
+        and (given a final stable layout) the system must recover."""
+        return max((w.stop for w in self.windows), default=0.0)
+
+    @property
+    def injectors(self) -> list[FaultInjector]:
+        """The distinct injectors, in first-appearance order."""
+        seen: dict[int, FaultInjector] = {}
+        for window in self.windows:
+            seen.setdefault(id(window.injector), window.injector)
+        return list(seen.values())
+
+    @property
+    def fault_kinds(self) -> tuple[str, ...]:
+        """Sorted distinct injector class names (the composition width)."""
+        return tuple(sorted({i.kind for i in self.injectors}))
+
+    def install(self, service) -> ChaosContext:
+        """Bind injectors to ``service`` and schedule every window."""
+        ctx = ChaosContext(service)
+        for injector in self.injectors:
+            injector.bind(ctx)
+        for window in self.windows:
+            service.simulator.schedule_at(
+                window.start,
+                lambda w=window: w.injector.start(w.stop),
+            )
+            service.simulator.schedule_at(
+                window.stop, lambda w=window: w.injector.stop()
+            )
+        return ctx
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        processors: Sequence[ProcId],
+        horizon: float = 400.0,
+        intensity: float = 0.5,
+        kinds: Optional[Sequence[str]] = None,
+        windows_per_kind: int = 2,
+    ) -> "FaultSchedule":
+        """A seeded adversarial schedule composing the given ``kinds``.
+
+        ``intensity`` in (0, 1] scales fault rates and outage lengths.
+        Windows start no earlier than a short warm-up and all close by
+        ``horizon``; kinds overlap freely.
+        """
+        if not 0 < intensity <= 1:
+            raise ValueError("intensity must lie in (0, 1]")
+        kinds = tuple(kinds if kinds is not None else ALL_FAULT_KINDS)
+        unknown = set(kinds) - set(ALL_FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        rng = random.Random(seed)
+        schedule = cls()
+        warmup = min(25.0, 0.1 * horizon)
+        index = 0
+        for kind in kinds:
+            for _ in range(1 + rng.randrange(max(1, windows_per_kind))):
+                start = rng.uniform(warmup, 0.75 * horizon)
+                stop = min(
+                    start + rng.uniform(0.1, 0.35) * horizon, horizon
+                )
+                injector = cls._make_injector(
+                    kind, f"{kind}#{index}", rng, processors, intensity
+                )
+                schedule.add(injector, start, stop)
+                index += 1
+        return schedule
+
+    @staticmethod
+    def _make_injector(
+        kind: str,
+        name: str,
+        rng: random.Random,
+        processors: Sequence[ProcId],
+        intensity: float,
+    ) -> FaultInjector:
+        if kind == "loss":
+            return PacketLossInjector(
+                name, rate=intensity * rng.uniform(0.05, 0.3)
+            )
+        if kind == "duplicate":
+            return PacketDuplicateInjector(
+                name,
+                rate=intensity * rng.uniform(0.1, 0.5),
+                extra_delay=rng.uniform(2.0, 10.0),
+            )
+        if kind == "delay":
+            return PacketDelayInjector(
+                name,
+                rate=intensity * rng.uniform(0.2, 0.6),
+                jitter=rng.uniform(2.0, 12.0),
+            )
+        if kind == "reorder":
+            return PacketReorderInjector(
+                name,
+                rate=intensity * rng.uniform(0.1, 0.4),
+                hold_min=2.0,
+                hold_max=rng.uniform(4.0, 10.0),
+            )
+        if kind == "token_loss":
+            return TokenLossInjector(
+                name, rate=intensity * rng.uniform(0.1, 0.5)
+            )
+        if kind == "crash_restart":
+            return CrashRestartInjector(
+                name,
+                min_down=10.0,
+                max_down=10.0 + intensity * 60.0,
+                targets=tuple(processors),
+            )
+        if kind == "timer_skew":
+            low = 1.0 - 0.4 * intensity
+            high = 1.0 + 0.8 * intensity
+            return TimerSkewInjector(name, skew_min=low, skew_max=high)
+        raise ValueError(f"unknown fault kind {kind!r}")

@@ -99,3 +99,24 @@ class Probe:
 
     sender: ProcId
     viewid: RingViewId
+
+
+@dataclass(frozen=True)
+class Sequenced:
+    """A protocol message stamped with a per-sender packet sequence
+    number.
+
+    The model's channels may duplicate nothing, but the nemesis layer
+    (and real networks) can: the receiver suppresses packets whose
+    (sender, seq) it has already processed.  Retransmissions of the same
+    logical message are *new* packets with fresh sequence numbers — they
+    are filtered by the handlers' idempotence, not by this layer.
+
+    Sequence numbers are strictly increasing per sender across the whole
+    run (they survive a crash-restart, like the epoch: a single durable
+    counter), so a receiver can also bound its memory by refusing
+    anything at or below a pruned floor.
+    """
+
+    seq: int
+    body: Any

@@ -26,11 +26,23 @@ Token install: to tolerate channel reordering (the model bounds delay
 but does not order packets), the token carries the view membership, and
 a processor that accepted a view but missed the Join installs the view
 directly from the first token it sees for it.
+
+Hardening beyond the model (exercised by :mod:`repro.faults`): every
+outgoing packet is wrapped in :class:`Sequenced` and duplicates are
+suppressed per sender (injected duplication of a token would otherwise
+put two live tokens in the ring and fork the view's order); the
+membership-round messages can be blindly retransmitted a bounded number
+of times with exponential backoff (``RingConfig.retransmit_attempts``);
+:meth:`RingMember.restart` implements crash-restart with fresh volatile
+state (only the durable epoch/seq counters survive), the rejoin going
+through the ordinary merge-probe path; and :meth:`set_timer_skew` lets
+a nemesis run one member's timers fast or slow.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Optional, Protocol
+import itertools
+from typing import Any, Callable, Hashable, Optional, Protocol
 
 from repro.core.types import View
 from repro.membership.messages import (
@@ -39,12 +51,17 @@ from repro.membership.messages import (
     NewGroup,
     Probe,
     RingViewId,
+    Sequenced,
     Token,
 )
 from repro.net.network import Network, NetworkNode
 from repro.sim.timers import PeriodicTimer, WatchdogTimer
 
 ProcId = Hashable
+
+#: How many (sender, seq) pairs a member remembers per peer before
+#: pruning; packets at or below the pruned floor are rejected outright.
+DEDUP_WINDOW = 1024
 
 
 class RingConfig:
@@ -66,9 +83,15 @@ class RingConfig:
         work_conserving: bool = False,
         deliver_when_safe: bool = False,
         one_round: bool = False,
+        retransmit_attempts: int = 1,
+        retransmit_backoff: Optional[float] = None,
     ) -> None:
         if delta <= 0 or pi <= 0 or mu <= 0:
             raise ValueError("delta, pi and mu must be positive")
+        if retransmit_attempts < 1:
+            raise ValueError("retransmit_attempts must be at least 1")
+        if retransmit_backoff is not None and retransmit_backoff <= 0:
+            raise ValueError("retransmit_backoff must be positive")
         self.delta = delta
         self.pi = pi
         self.mu = mu
@@ -92,12 +115,28 @@ class RingConfig:
         #: takes longer (the paper: "this would stabilize less
         #: quickly"), which the ablation benchmark measures.
         self.one_round = one_round
+        #: Total transmissions of each membership-round message
+        #: (NewGroup / Accept / Join).  1 is the literal Section 8
+        #: protocol (the watchdogs alone mask losses); >1 adds bounded
+        #: blind retransmission with exponential backoff, which keeps
+        #: view formation converging under injected per-packet loss.
+        #: Retransmissions stop early once the message is irrelevant
+        #: (the formation was superseded or the view replaced).
+        self.retransmit_attempts = retransmit_attempts
+        self._retransmit_backoff = retransmit_backoff
 
     @property
     def alive_window(self) -> float:
         """How recently a processor must have been heard from to count
         as connected in a one-round view announcement."""
         return 1.5 * self.mu
+
+    @property
+    def retransmit_backoff(self) -> float:
+        """Initial retransmission backoff (doubles per attempt)."""
+        if self._retransmit_backoff is not None:
+            return self._retransmit_backoff
+        return 2 * self.delta
 
     @property
     def accept_wait(self) -> float:
@@ -158,9 +197,38 @@ class RingMember(NetworkNode):
         # Connectivity estimate for the one-round protocol.
         self.last_heard: dict[ProcId, float] = {}
 
+        # Highest view id this processor ever installed.  Survives a
+        # crash-restart (together with max_epoch/committed it is the one
+        # durable word of "stable storage") so a restarted processor can
+        # never re-announce or re-install a view from before its crash —
+        # which would break per-location view-id monotonicity.
+        self._max_installed: Optional[RingViewId] = (
+            initial_view.id if initial_view else None
+        )
+
+        # Local clock-rate skew (1.0 = nominal).  Multiplies every
+        # one-shot deadline this member arms; the nemesis layer uses it
+        # to drive watchdogs early/late.  See :meth:`set_timer_skew`.
+        self.timer_skew: float = 1.0
+
+        # Per-sender packet sequencing and duplicate suppression.  The
+        # send counter is strictly increasing across the whole run (it
+        # deliberately survives restart(): peers remember our old
+        # numbers, so reusing them would make our fresh packets look
+        # like duplicates).
+        self._send_seq = itertools.count(1)
+        self._seen_seq: dict[ProcId, set[int]] = {}
+        self._seen_floor: dict[ProcId, int] = {}
+
+        # Pending bounded retransmissions (cancellable on restart).
+        self._retransmit_handles: list = []
+
         # Statistics.
         self.formations_initiated = 0
         self.tokens_processed = 0
+        self.duplicates_suppressed = 0
+        self.retransmissions = 0
+        self.restarts = 0
 
         # Timers.
         self._watchdog = WatchdogTimer(self._sim, self._on_token_timeout)
@@ -204,6 +272,124 @@ class RingMember(NetworkNode):
         return not self._oracle.processor_bad(self.proc_id)
 
     # ------------------------------------------------------------------
+    # Hardened transport: sequencing, dedup, bounded retransmission
+    # ------------------------------------------------------------------
+    def _send(self, dst: ProcId, body: Any) -> None:
+        """Unicast a protocol message stamped with a fresh packet seq."""
+        self.service.network.send(
+            self.proc_id, dst, Sequenced(next(self._send_seq), body)
+        )
+
+    def _broadcast(self, body: Any) -> None:
+        """Broadcast a protocol message under one fresh packet seq (each
+        destination sees the seq once, so per-sender dedup still works)."""
+        self.service.network.broadcast(
+            self.proc_id, Sequenced(next(self._send_seq), body)
+        )
+
+    def _schedule_retransmits(
+        self, transmit: Callable[[], None], relevant: Callable[[], bool]
+    ) -> None:
+        """Schedule the configured extra transmissions with exponential
+        backoff; each fires only while the message is still relevant."""
+        attempts = self.config.retransmit_attempts
+        if attempts <= 1:
+            return
+        now = self._sim.now
+        self._retransmit_handles = [
+            h for h in self._retransmit_handles if h.time > now
+        ]
+
+        def fire() -> None:
+            if self._alive() and relevant():
+                self.retransmissions += 1
+                transmit()
+
+        offset = 0.0
+        backoff = self.config.retransmit_backoff
+        for _ in range(attempts - 1):
+            offset += backoff
+            self._retransmit_handles.append(
+                self._sim.schedule(self.timer_skew * offset, fire)
+            )
+            backoff *= 2
+
+    def _send_reliable(
+        self, dst: ProcId, body: Any, relevant: Callable[[], bool]
+    ) -> None:
+        self._send(dst, body)
+        self._schedule_retransmits(lambda: self._send(dst, body), relevant)
+
+    def _broadcast_reliable(
+        self, body: Any, relevant: Callable[[], bool]
+    ) -> None:
+        self._broadcast(body)
+        self._schedule_retransmits(lambda: self._broadcast(body), relevant)
+
+    def _accept_packet(self, src: ProcId, seq: int) -> bool:
+        """Record (src, seq); False when it is a duplicate (or below the
+        pruned floor, where we can no longer tell and reject for safety
+        — any packet delayed past DEDUP_WINDOW successors is stale)."""
+        if seq <= self._seen_floor.get(src, 0):
+            return False
+        seen = self._seen_seq.setdefault(src, set())
+        if seq in seen:
+            return False
+        seen.add(seq)
+        if len(seen) > 2 * DEDUP_WINDOW:
+            floor = max(seen) - DEDUP_WINDOW
+            self._seen_floor[src] = max(self._seen_floor.get(src, 0), floor)
+            self._seen_seq[src] = {s for s in seen if s > floor}
+        return True
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (timer skew, crash-restart)
+    # ------------------------------------------------------------------
+    def set_timer_skew(self, factor: float) -> None:
+        """Run this member's local timers at ``factor`` times nominal
+        duration (>1 = slow clock: deadlines late; <1 = fast clock:
+        watchdogs fire early and force spurious formations)."""
+        if factor <= 0:
+            raise ValueError("timer skew factor must be positive")
+        self.timer_skew = factor
+        self._launch_timer.period = self.config.pi * factor
+        self._probe_timer.period = self.config.mu * factor
+
+    def restart(self) -> None:
+        """Crash-restart: come back with fresh protocol state.
+
+        Everything volatile is reset — current view, buffered and
+        delivered message state, the held token, connectivity estimates,
+        dedup memory, pending retransmissions and armed deadlines.  Only
+        the epoch knowledge (``max_epoch``/``committed``/highest
+        installed view id) and the packet send counter survive, the two
+        durable counters a real implementation would keep in stable
+        storage; without them a restarted processor could announce a
+        view id below one it already used, violating per-location view
+        monotonicity.  The restarted processor rejoins through the
+        normal merge path: it holds no view, so its probes (and the
+        probes of others) trigger a formation that includes it.
+        """
+        self.restarts += 1
+        self._cancel_formation()
+        for handle in self._retransmit_handles:
+            handle.cancel()
+        self._retransmit_handles = []
+        self._watchdog.disarm()
+        self._join_watchdog.disarm()
+        self._launch_timer.stop()
+        self.view = None
+        self.buffered = []
+        self.delivered_idx = 0
+        self.safe_idx = 0
+        self.held_token = None
+        self.last_heard = {}
+        self._seen_seq = {}
+        self._seen_floor = {}
+        if not self._probe_timer.running:
+            self._probe_timer.start()
+
+    # ------------------------------------------------------------------
     # Optional instrumentation (the WeakVS shadow machine listens here;
     # see repro.membership.shadow)
     # ------------------------------------------------------------------
@@ -242,6 +428,11 @@ class RingMember(NetworkNode):
     # Message dispatch
     # ------------------------------------------------------------------
     def on_message(self, src: ProcId, message: Any) -> None:
+        if isinstance(message, Sequenced):
+            if not self._accept_packet(src, message.seq):
+                self.duplicates_suppressed += 1
+                return
+            message = message.body
         self.last_heard[src] = self._sim.now
         if isinstance(message, NewGroup):
             self._on_newgroup(message)
@@ -275,16 +466,23 @@ class RingMember(NetworkNode):
             join = Join(viewid=viewid, members=members)
             for member in members:
                 if member != self.proc_id:
-                    self.service.network.send(self.proc_id, member, join)
+                    self._send_reliable(
+                        member,
+                        join,
+                        lambda: self.view is not None
+                        and self.view.id == viewid,
+                    )
             self._install(viewid, members)
             return
         self._forming_viewid = viewid
         self._forming_accepts = {self.proc_id}
-        self.service.network.broadcast(
-            self.proc_id, NewGroup(viewid=viewid, initiator=self.proc_id)
+        self._broadcast_reliable(
+            NewGroup(viewid=viewid, initiator=self.proc_id),
+            lambda: self._forming_viewid == viewid,
         )
         self._forming_deadline = self._sim.schedule(
-            self.config.accept_wait, self._on_formation_deadline
+            self.timer_skew * self.config.accept_wait,
+            self._on_formation_deadline,
         )
 
     def _connectivity_estimate(self) -> tuple[ProcId, ...]:
@@ -312,12 +510,13 @@ class RingMember(NetworkNode):
             self._cancel_formation()
         if message.initiator == self.proc_id:
             return
-        self.service.network.send(
-            self.proc_id,
+        viewid = message.viewid
+        self._send_reliable(
             message.initiator,
-            Accept(viewid=message.viewid, member=self.proc_id),
+            Accept(viewid=viewid, member=self.proc_id),
+            lambda: self.committed == viewid,
         )
-        self._join_watchdog.arm(self.config.join_wait)
+        self._join_watchdog.arm(self.timer_skew * self.config.join_wait)
 
     def _on_accept(self, message: Accept) -> None:
         if self._forming_viewid == message.viewid:
@@ -338,7 +537,11 @@ class RingMember(NetworkNode):
         join = Join(viewid=viewid, members=members)
         for member in members:
             if member != self.proc_id:
-                self.service.network.send(self.proc_id, member, join)
+                self._send_reliable(
+                    member,
+                    join,
+                    lambda: self.view is not None and self.view.id == viewid,
+                )
         self._install(viewid, members)
 
     def _cancel_formation(self) -> None:
@@ -361,8 +564,13 @@ class RingMember(NetworkNode):
     def _install(self, viewid: RingViewId, members: tuple[ProcId, ...]) -> None:
         """Install a new view: reset per-view state, announce newview,
         and (as leader) launch the first token."""
-        if self.view is not None and viewid <= self.view.id:
-            return  # local monotonicity: never go backwards
+        # Local monotonicity: never go backwards.  The high-water mark
+        # (not self.view, which a restart clears) is what prevents a
+        # restarted processor from re-installing its pre-crash view from
+        # a stale in-flight Join or token.
+        if self._max_installed is not None and viewid <= self._max_installed:
+            return
+        self._max_installed = viewid
         # Every install is epoch knowledge — without this, a member that
         # learned a view only from the token (missed Join) could later
         # initiate with a stale epoch and announce a *lower* view id.
@@ -390,7 +598,9 @@ class RingMember(NetworkNode):
     # ------------------------------------------------------------------
     def _arm_watchdog(self) -> None:
         if self.view is not None:
-            self._watchdog.arm(self.config.token_timeout(len(self.view.set)))
+            self._watchdog.arm(
+                self.timer_skew * self.config.token_timeout(len(self.view.set))
+            )
 
     def _on_token(self, token: Token) -> None:
         if self.view is None or token.viewid != self.view.id:
@@ -486,7 +696,7 @@ class RingMember(NetworkNode):
         if successor == self.proc_id:
             self.held_token = token
             return
-        self.service.network.send(self.proc_id, successor, token.copy())
+        self._send(successor, token.copy())
 
     def _on_token_timeout(self) -> None:
         if not self._alive():
@@ -500,7 +710,7 @@ class RingMember(NetworkNode):
 
     def _on_join_timeout(self) -> None:
         if not self._alive():
-            self._join_watchdog.arm(self.config.join_wait)
+            self._join_watchdog.arm(self.timer_skew * self.config.join_wait)
             return
         self.initiate_formation()
 
@@ -515,9 +725,7 @@ class RingMember(NetworkNode):
         for target in self.service.network.processors:
             if target == self.proc_id or target in members:
                 continue
-            self.service.network.send(
-                self.proc_id, target, Probe(sender=self.proc_id, viewid=viewid)
-            )
+            self._send(target, Probe(sender=self.proc_id, viewid=viewid))
 
     def _on_probe(self, message: Probe) -> None:
         # Outside contact: the prober is not in our view, or it is a

@@ -106,6 +106,14 @@ class TokenRingVS:
     def install_scenario(self, scenario: PartitionScenario) -> None:
         scenario.install(self.network)
 
+    def restart_processor(self, p: ProcId) -> None:
+        """Crash-restart the ring member at ``p`` (fresh volatile state;
+        see :meth:`repro.membership.ring.RingMember.restart`).  The
+        caller is responsible for the surrounding failure-status story —
+        typically mark p bad for the outage, call this, then mark p good
+        again (what :class:`repro.faults.CrashRestartInjector` does)."""
+        self.members[p].restart()
+
     # ------------------------------------------------------------------
     # VS client interface
     # ------------------------------------------------------------------
@@ -180,5 +188,13 @@ class TokenRingVS:
             "tokens_processed": sum(
                 m.tokens_processed for m in self.members.values()
             ),
+            "duplicates_suppressed": sum(
+                m.duplicates_suppressed for m in self.members.values()
+            ),
+            "retransmissions": sum(
+                m.retransmissions for m in self.members.values()
+            ),
+            "restarts": sum(m.restarts for m in self.members.values()),
+            "drops": self.network.drop_stats(),
             "events_processed": self.simulator.events_processed,
         }

@@ -20,7 +20,12 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable, Optional
 
-from repro.net.channel import Channel, ChannelConfig
+from repro.net.channel import (
+    DROP_REASONS,
+    Channel,
+    ChannelConfig,
+    PacketInterceptor,
+)
 from repro.net.status import FailureOracle, FailureStatus
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
@@ -97,6 +102,39 @@ class Network:
 
     def channel(self, src: ProcId, dst: ProcId) -> Channel:
         return self._channels[(src, dst)]
+
+    # ------------------------------------------------------------------
+    # Packet interception (the fault-injection middleware hook)
+    # ------------------------------------------------------------------
+    def add_interceptor(
+        self,
+        interceptor: PacketInterceptor,
+        links: Optional[Iterable[tuple[ProcId, ProcId]]] = None,
+    ) -> None:
+        """Install ``interceptor`` on every channel (default) or on the
+        given directed ``links`` only.  See :mod:`repro.net.channel` for
+        the interceptor contract; :mod:`repro.faults` builds on this."""
+        targets = (
+            self._channels.values()
+            if links is None
+            else (self._channels[link] for link in links)
+        )
+        for channel in targets:
+            channel.add_interceptor(interceptor)
+
+    def remove_interceptor(self, interceptor: PacketInterceptor) -> None:
+        """Remove ``interceptor`` from every channel that carries it."""
+        for channel in self._channels.values():
+            if interceptor in channel._interceptors:
+                channel.remove_interceptor(interceptor)
+
+    def drop_stats(self) -> dict[str, int]:
+        """Aggregate per-reason drop counters across all channels."""
+        totals = {reason: 0 for reason in DROP_REASONS}
+        for channel in self._channels.values():
+            for reason, count in channel.drops.items():
+                totals[reason] = totals.get(reason, 0) + count
+        return totals
 
     # ------------------------------------------------------------------
     def send(self, src: ProcId, dst: ProcId, message: Any) -> None:

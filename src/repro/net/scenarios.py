@@ -34,6 +34,23 @@ class ScenarioEvent:
     ugly_links: tuple[tuple[ProcId, ProcId], ...] = ()
     ugly_processors: tuple[ProcId, ...] = ()
 
+    def __post_init__(self) -> None:
+        # A consistent partition needs pairwise-disjoint groups (and no
+        # processor twice within one group).  Validating here, at
+        # construction, catches the mistake before the event is scheduled
+        # — by install time the error surfaces mid-run, inside a
+        # simulator callback, far from the code that built the scenario.
+        seen: set[ProcId] = set()
+        for group in self.groups:
+            for p in group:
+                if p in seen:
+                    raise ValueError(
+                        f"scenario groups are not pairwise disjoint: "
+                        f"processor {p!r} appears more than once in "
+                        f"{self.groups!r}"
+                    )
+                seen.add(p)
+
     def primary_group(self) -> tuple[ProcId, ...]:
         """The largest group (ties broken by order) — convenient for
         measurements that track the quorum side of a split."""

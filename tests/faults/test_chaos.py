@@ -1,0 +1,93 @@
+"""ChaosRunner: the full VStoTO-over-token-ring stack under a nemesis,
+with the online VS monitor and TO trace checker running throughout."""
+
+import pytest
+
+from repro.faults import ChaosRunner, FaultSchedule, run_chaos
+
+PROCS = (1, 2, 3, 4, 5)
+
+
+class TestChaosRunner:
+    def test_smoke_run_is_safe_and_recovers(self):
+        report = run_chaos(
+            PROCS,
+            seed=1,
+            horizon=250.0,
+            intensity=0.5,
+            sends=8,
+            settle=500.0,
+        )
+        assert report.violations == []
+        assert report.to_ok, report.to_reason
+        assert report.delivered_complete
+        assert report.ok and report.safety_ok
+        assert report.sends == 8
+        assert 0 < report.stabilization_time <= 250.0
+        assert report.bound_to_b > 0
+
+    def test_report_carries_diagnostics(self):
+        report = run_chaos(
+            PROCS, seed=2, horizon=250.0, intensity=0.8, sends=6, settle=500.0
+        )
+        assert set(report.drops) >= {"injected"}
+        assert report.drops["injected"] >= 1
+        assert "retransmissions" in report.stats
+        assert len(report.fault_kinds) == 7
+
+    def test_explicit_schedule_and_kind_subset(self):
+        schedule = FaultSchedule.random(
+            3, PROCS, horizon=200.0, kinds=("loss", "token_loss", "delay")
+        )
+        report = ChaosRunner(
+            PROCS, schedule, seed=3, sends=5, settle=500.0
+        ).run()
+        assert report.ok
+        assert set(report.fault_kinds) == {
+            "PacketLossInjector",
+            "TokenLossInjector",
+            "PacketDelayInjector",
+        }
+
+    def test_recovery_within_reasonable_multiple_of_bound(self):
+        """Recovery after stabilisation is measured against the paper's
+        b+d-style TO bound; reconciling a backlog can take a few rounds
+        on top, so assert a generous multiple rather than the raw bound."""
+        report = run_chaos(
+            PROCS, seed=4, horizon=250.0, intensity=0.6, sends=10, settle=800.0
+        )
+        assert report.ok
+        assert report.recovery_time <= 4.0 * report.bound_to_b
+
+
+@pytest.mark.soak
+class TestChaosSoak:
+    """Long-running sweeps; excluded from tier-1 by the ``soak`` marker
+    (run with ``pytest -m soak``)."""
+
+    def test_twenty_seeds_full_composition(self):
+        for seed in range(20):
+            report = run_chaos(
+                PROCS,
+                seed=seed,
+                horizon=400.0,
+                intensity=0.7,
+                sends=20,
+                settle=800.0,
+            )
+            assert report.violations == [], (seed, report.violations[:1])
+            assert report.to_ok, (seed, report.to_reason)
+            assert report.delivered_complete, seed
+
+    def test_max_intensity_remains_safe(self):
+        for seed in range(8):
+            report = run_chaos(
+                PROCS,
+                seed=100 + seed,
+                horizon=500.0,
+                intensity=1.0,
+                sends=25,
+                settle=900.0,
+            )
+            assert report.safety_ok, (seed, report.violations[:1])
+            assert report.delivered_complete, seed

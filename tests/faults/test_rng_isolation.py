@@ -1,0 +1,64 @@
+"""Attaching a nemesis must not perturb the base execution.
+
+Injectors draw from their own ``fault:<name>`` registry streams, so a
+schedule whose injectors never act (zero rates) yields an execution
+event-for-event identical to a run with no nemesis at all.  This is the
+property that makes chaos results comparable against fault-free
+baselines for the same seed.
+"""
+
+from repro.faults import FaultSchedule, PacketLossInjector, TokenLossInjector
+from repro.membership.ring import RingConfig
+from repro.membership.service import TokenRingVS
+
+PROCS = (1, 2, 3, 4)
+
+
+def run_workload(seed, schedule=None):
+    vs = TokenRingVS(
+        PROCS,
+        RingConfig(delta=1.0, pi=10.0, mu=30.0, work_conserving=True),
+        seed=seed,
+    )
+    if schedule is not None:
+        schedule.install(vs)
+    for i in range(6):
+        vs.schedule_send(12.0 + 17.0 * i, PROCS[i % len(PROCS)], f"w{i}")
+    vs.run_until(300.0)
+    return fingerprint(vs)
+
+
+def fingerprint(vs):
+    return [
+        (e.time, e.action.name, e.action.args)
+        for e in vs.merged_trace().events
+    ]
+
+
+def zero_rate_schedule():
+    schedule = FaultSchedule()
+    schedule.add(PacketLossInjector("noop-loss", rate=0.0), 5.0, 295.0)
+    schedule.add(TokenLossInjector("noop-token", rate=0.0), 5.0, 295.0)
+    return schedule
+
+
+class TestRngIsolation:
+    def test_zero_rate_nemesis_is_invisible(self):
+        assert run_workload(11) == run_workload(11, zero_rate_schedule())
+
+    def test_isolation_holds_across_seeds(self):
+        for seed in (0, 3, 42):
+            assert run_workload(seed) == run_workload(
+                seed, zero_rate_schedule()
+            )
+
+    def test_baseline_itself_is_deterministic(self):
+        assert run_workload(11) == run_workload(11)
+
+    def test_active_nemesis_does_change_the_run(self):
+        """Sanity check that the fingerprint is sensitive enough to
+        detect a nemesis that actually acts."""
+        schedule = FaultSchedule().add(
+            PacketLossInjector("real-loss", rate=0.6), 5.0, 200.0
+        )
+        assert run_workload(11, schedule) != run_workload(11)

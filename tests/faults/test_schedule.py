@@ -1,0 +1,112 @@
+"""FaultSchedule construction, validation, determinism and installation."""
+
+import pytest
+
+from repro.faults import (
+    ALL_FAULT_KINDS,
+    ChaosContext,
+    FaultSchedule,
+    FaultWindow,
+    PacketLossInjector,
+    TokenLossInjector,
+)
+from repro.membership.ring import RingConfig
+from repro.membership.service import TokenRingVS
+
+PROCS = (1, 2, 3)
+
+
+def service(seed=0):
+    return TokenRingVS(
+        PROCS, RingConfig(delta=1.0, pi=10.0, mu=30.0), seed=seed
+    )
+
+
+class TestWindows:
+    def test_window_validation(self):
+        injector = PacketLossInjector("x", rate=0.5)
+        with pytest.raises(ValueError):
+            FaultWindow(start=-1.0, stop=5.0, injector=injector)
+        with pytest.raises(ValueError):
+            FaultWindow(start=5.0, stop=5.0, injector=injector)
+
+    def test_horizon_is_last_stop(self):
+        schedule = FaultSchedule()
+        schedule.add(PacketLossInjector("a", 0.1), 10.0, 50.0)
+        schedule.add(TokenLossInjector("b", 0.1), 20.0, 90.0)
+        assert schedule.horizon == 90.0
+
+    def test_injectors_deduplicated_across_windows(self):
+        injector = PacketLossInjector("a", 0.1)
+        schedule = FaultSchedule()
+        schedule.add(injector, 0.0, 10.0).add(injector, 20.0, 30.0)
+        assert schedule.injectors == [injector]
+
+    def test_fault_kinds_lists_class_names(self):
+        schedule = FaultSchedule()
+        schedule.add(PacketLossInjector("a", 0.1), 0.0, 10.0)
+        schedule.add(TokenLossInjector("b", 0.1), 0.0, 10.0)
+        assert schedule.fault_kinds == (
+            "PacketLossInjector",
+            "TokenLossInjector",
+        )
+
+
+class TestInstall:
+    def test_windows_open_and_close_on_schedule(self):
+        vs = service()
+        injector = PacketLossInjector("drop", rate=1.0)
+        FaultSchedule().add(injector, 30.0, 60.0).install(vs)
+        vs.run_until(10.0)
+        assert not injector.active
+        vs.run_until(45.0)
+        assert injector.active
+        vs.run_until(70.0)
+        assert not injector.active
+        assert injector.activations == 1
+
+    def test_unbound_start_raises(self):
+        with pytest.raises(RuntimeError):
+            PacketLossInjector("x", 0.5).start(10.0)
+
+    def test_injector_rng_stream_is_namespaced(self):
+        vs = service()
+        ctx = ChaosContext(vs)
+        fault_rng = ctx.rng("loss#0")
+        channel_rng = vs.rngs.stream("channel:1->2")
+        assert fault_rng is not channel_rng
+        assert fault_rng is vs.rngs.stream("fault:loss#0")
+
+
+class TestRandomSchedules:
+    def test_deterministic_per_seed(self):
+        a = FaultSchedule.random(7, PROCS, horizon=300.0)
+        b = FaultSchedule.random(7, PROCS, horizon=300.0)
+        assert [(w.start, w.stop, w.injector.kind) for w in a.windows] == [
+            (w.start, w.stop, w.injector.kind) for w in b.windows
+        ]
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.random(1, PROCS, horizon=300.0)
+        b = FaultSchedule.random(2, PROCS, horizon=300.0)
+        assert [(w.start, w.stop) for w in a.windows] != [
+            (w.start, w.stop) for w in b.windows
+        ]
+
+    def test_covers_all_kinds_within_horizon(self):
+        schedule = FaultSchedule.random(3, PROCS, horizon=250.0)
+        assert len(schedule.fault_kinds) == len(ALL_FAULT_KINDS)
+        assert all(w.stop <= 250.0 for w in schedule.windows)
+
+    def test_kind_subset_and_validation(self):
+        schedule = FaultSchedule.random(
+            0, PROCS, horizon=100.0, kinds=("loss", "token_loss")
+        )
+        assert set(schedule.fault_kinds) == {
+            "PacketLossInjector",
+            "TokenLossInjector",
+        }
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, PROCS, kinds=("warp-drive",))
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, PROCS, intensity=0.0)

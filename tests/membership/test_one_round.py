@@ -56,7 +56,10 @@ class TestOneRoundFormation:
         original = vs.network.send
 
         def spying_send(src, dst, message):
-            seen_types.add(type(message).__name__)
+            from repro.membership.messages import Sequenced
+
+            body = message.body if isinstance(message, Sequenced) else message
+            seen_types.add(type(body).__name__)
             original(src, dst, message)
 
         vs.network.send = spying_send

@@ -1,0 +1,292 @@
+"""Ring hardening under injected faults: token-regeneration watchdog
+under repeated token loss, duplicate suppression, bounded
+retransmission, timer skew, and the crash-restart rejoin path."""
+
+import pytest
+
+from repro.core.monitor import OnlineVSMonitor
+from repro.core.vs_spec import VS_EXTERNAL, check_vs_trace
+from repro.faults.injectors import (
+    ChaosContext,
+    PacketLossInjector,
+    TokenLossInjector,
+)
+from repro.membership.messages import Join, NewGroup, Sequenced, Token
+from repro.membership.ring import RingConfig
+from repro.membership.service import TokenRingVS
+from repro.net.status import FailureStatus
+
+PROCS = (1, 2, 3, 4)
+
+
+def service(seed=0, procs=PROCS, **kwargs):
+    config = RingConfig(delta=1.0, pi=10.0, mu=30.0, **kwargs)
+    return TokenRingVS(procs, config, seed=seed)
+
+
+def vs_trace_ok(vs):
+    actions = [
+        e.action
+        for e in vs.merged_trace().events
+        if e.action.name in VS_EXTERNAL
+    ]
+    return check_vs_trace(actions, vs.processors, vs.initial_view)
+
+
+class TestTokenRegenerationUnderTokenLoss:
+    """The `_on_token_timeout` watchdog path, driven by real injected
+    token loss rather than protocol surgery."""
+
+    def test_total_token_loss_triggers_regeneration(self):
+        vs = service(seed=1)
+        nemesis = TokenLossInjector("kill-token", rate=1.0)
+        nemesis.bind(ChaosContext(vs))
+        vs.simulator.schedule_at(20.0, lambda: nemesis.start(80.0))
+        vs.simulator.schedule_at(80.0, lambda: nemesis.stop())
+        vs.run_until(400.0)
+        # Every launched token died on the wire, so watchdogs must have
+        # fired and formations been initiated while the nemesis ran.
+        stats = vs.stats()
+        assert stats["formations"] >= 1
+        assert nemesis.packets_touched >= 1
+        # After the nemesis stops the ring re-forms the full view and
+        # the token circulates again.
+        final = {vs.current_view(p) for p in PROCS}
+        assert len(final) == 1
+        assert final.pop().set == set(PROCS)
+
+    def test_repeated_loss_windows_keep_recovering(self):
+        vs = service(seed=2)
+        nemesis = TokenLossInjector("flaky-token", rate=1.0)
+        nemesis.bind(ChaosContext(vs))
+        for start in (20.0, 120.0, 220.0):
+            vs.simulator.schedule_at(
+                start, lambda s=start: nemesis.start(s + 40.0)
+            )
+            vs.simulator.schedule_at(start + 40.0, nemesis.stop)
+        vs.schedule_send(5.0, 1, "before")
+        vs.schedule_send(310.0, 3, "after")
+        vs.run_until(500.0)
+        assert vs.stats()["formations"] >= 2
+        # Liveness restored: the post-chaos send reaches everyone.
+        received_after = {
+            e.action.args[2]
+            for e in vs.trace.events
+            if e.action.name == "gprcv" and e.action.args[0] == "after"
+        }
+        assert received_after == set(PROCS)
+        # Safety held throughout.
+        assert vs_trace_ok(vs).ok
+
+    def test_delivery_resumes_despite_partial_token_loss(self):
+        """Sends during the lossy window may legitimately be lost at
+        the VS level (messages do not survive view changes), but the
+        trace must stay conformant and delivery must resume cleanly
+        once the nemesis stops."""
+        vs = service(seed=3, work_conserving=True)
+        nemesis = TokenLossInjector("lossy-token", rate=0.5)
+        nemesis.bind(ChaosContext(vs))
+        vs.simulator.schedule_at(10.0, lambda: nemesis.start(150.0))
+        vs.simulator.schedule_at(150.0, nemesis.stop)
+        for i in range(5):
+            vs.schedule_send(15.0 + 20.0 * i, PROCS[i % 4], f"m{i}")
+        vs.schedule_send(250.0, 2, "resumed")
+        vs.run_until(400.0)
+        assert nemesis.packets_touched >= 1
+        received_after = {
+            e.action.args[2]
+            for e in vs.trace.events
+            if e.action.name == "gprcv" and e.action.args[0] == "resumed"
+        }
+        assert received_after == set(PROCS)
+        assert vs_trace_ok(vs).ok
+
+
+class TestDuplicateSuppression:
+    def test_duplicate_packet_processed_once(self):
+        vs = service()
+        vs.start()
+        vs.run_until(5.0)
+        member = vs.members[2]
+        before = member.tokens_processed
+        packet = Sequenced(
+            9999,
+            Token(viewid=vs.initial_view.id, members=tuple(PROCS)),
+        )
+        member.on_message(1, packet)
+        member.on_message(1, packet)  # injected duplicate
+        assert member.tokens_processed == before + 1
+        assert member.duplicates_suppressed == 1
+
+    def test_seq_floor_rejects_ancient_packets(self):
+        vs = service()
+        member = vs.members[1]
+        member._seen_floor[2] = 50
+        member.on_message(2, Sequenced(12, NewGroup(viewid=(9, 2), initiator=2)))
+        assert member.duplicates_suppressed == 1
+        assert member.committed != (9, 2)
+
+    def test_unwrapped_messages_still_dispatch(self):
+        """Raw (unstamped) bodies keep working — the dedup layer is
+        transparent to direct protocol surgery in older tests."""
+        vs = service()
+        member = vs.members[2]
+        member.on_message(3, NewGroup(viewid=(7, 3), initiator=3))
+        assert member.committed == (7, 3)
+
+    def test_end_to_end_duplication_is_harmless(self):
+        """A nemesis duplicating every packet (including tokens) must
+        not fork the order: dedup suppresses the copies."""
+        from repro.faults.injectors import PacketDuplicateInjector
+
+        vs = service(seed=4)
+        monitor = OnlineVSMonitor(PROCS, vs.initial_view)
+        monitor.attach(vs)
+        nemesis = PacketDuplicateInjector("dup-all", rate=1.0, extra_delay=4.0)
+        nemesis.bind(ChaosContext(vs))
+        vs.simulator.schedule_at(5.0, lambda: nemesis.start(200.0))
+        vs.simulator.schedule_at(200.0, nemesis.stop)
+        for i in range(4):
+            vs.schedule_send(10.0 + 25.0 * i, PROCS[i % 4], f"d{i}")
+        vs.run_until(350.0)
+        assert monitor.ok, monitor.violations[:1]
+        assert vs.stats()["duplicates_suppressed"] > 0
+
+
+class TestBoundedRetransmission:
+    def test_formation_converges_under_heavy_loss(self):
+        vs = service(seed=5, retransmit_attempts=4)
+        nemesis = PacketLossInjector("lossy", rate=0.45)
+        nemesis.bind(ChaosContext(vs))
+        vs.simulator.schedule_at(10.0, lambda: nemesis.start(250.0))
+        vs.simulator.schedule_at(250.0, nemesis.stop)
+        vs.run_until(500.0)
+        stats = vs.stats()
+        assert stats["retransmissions"] > 0
+        final = {vs.current_view(p) for p in PROCS}
+        assert len(final) == 1 and final.pop().set == set(PROCS)
+        assert vs_trace_ok(vs).ok
+
+    def test_attempts_one_sends_no_retransmissions(self):
+        vs = service(seed=6)  # default retransmit_attempts=1
+        vs.run_until(200.0)
+        assert vs.stats()["retransmissions"] == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RingConfig(retransmit_attempts=0)
+        with pytest.raises(ValueError):
+            RingConfig(retransmit_backoff=0.0)
+        assert RingConfig(delta=2.0).retransmit_backoff == 4.0
+
+
+class TestTimerSkew:
+    def test_validation(self):
+        vs = service()
+        with pytest.raises(ValueError):
+            vs.members[1].set_timer_skew(0.0)
+
+    def test_fast_clock_forces_spurious_formation(self):
+        vs = service(seed=7)
+        # Member 3's watchdog runs at 1/5 speed: it times out well
+        # before the leader's next launch and initiates a formation.
+        vs.simulator.schedule_at(
+            15.0, lambda: vs.members[3].set_timer_skew(0.2)
+        )
+        vs.simulator.schedule_at(
+            120.0, lambda: vs.members[3].set_timer_skew(1.0)
+        )
+        vs.run_until(400.0)
+        assert vs.members[3].formations_initiated >= 1
+        # The ring still converges back to the full group.
+        final = {vs.current_view(p) for p in PROCS}
+        assert len(final) == 1 and final.pop().set == set(PROCS)
+        assert vs_trace_ok(vs).ok
+
+
+class TestCrashRestartRejoin:
+    def crash_restart(self, vs, victim, at, back_at):
+        sim = vs.simulator
+        oracle = vs.network.oracle
+        sim.schedule_at(
+            at,
+            lambda: oracle.set_processor(
+                victim, FailureStatus.BAD, time=sim.now
+            ),
+        )
+
+        def recover():
+            vs.restart_processor(victim)
+            oracle.set_processor(victim, FailureStatus.GOOD, time=sim.now)
+
+        sim.schedule_at(back_at, recover)
+
+    def test_restarted_processor_rejoins_with_fresh_state(self):
+        vs = service(seed=8)
+        monitor = OnlineVSMonitor(PROCS, vs.initial_view)
+        monitor.attach(vs)
+        self.crash_restart(vs, 2, at=50.0, back_at=120.0)
+        vs.run_until(400.0)
+        member = vs.members[2]
+        assert member.restarts == 1
+        # Fresh state, then rejoined: p2 holds a view again, it covers
+        # the full group, and its id is above the pre-crash view's.
+        assert member.view is not None
+        assert member.view.set == set(PROCS)
+        assert member.view.id > vs.initial_view.id
+        views = {vs.current_view(p) for p in PROCS}
+        assert len(views) == 1
+        assert monitor.ok, monitor.violations[:1]
+
+    def test_restart_never_reinstalls_pre_crash_view(self):
+        vs = service()
+        vs.start()
+        vs.run_until(5.0)
+        member = vs.members[2]
+        pre_crash = member.view.id
+        member.restart()
+        assert member.view is None
+        # A stale in-flight token for the old view must not resurrect it.
+        member.on_message(
+            1, Token(viewid=pre_crash, members=tuple(PROCS))
+        )
+        assert member.view is None
+
+    def test_restart_resets_volatile_but_keeps_epoch(self):
+        vs = service()
+        vs.start()
+        vs.run_until(5.0)
+        member = vs.members[3]
+        member.max_epoch = 9
+        member.buffered.append((member.view.id, "pending"))
+        member.restart()
+        assert member.max_epoch == 9
+        assert member.buffered == []
+        assert member.delivered_idx == 0 and member.safe_idx == 0
+        assert member.held_token is None
+        assert member.last_heard == {}
+
+    def test_crash_during_leader_tenure_regenerates_token(self):
+        """Crashing the leader kills the live token; survivors must
+        regenerate via the watchdog, and the restarted leader rejoins."""
+        vs = service(seed=9)
+        leader = min(PROCS)
+        self.crash_restart(vs, leader, at=30.0, back_at=150.0)
+        vs.schedule_send(200.0, leader, "back")
+        vs.run_until(500.0)
+        received = {
+            e.action.args[2]
+            for e in vs.trace.events
+            if e.action.name == "gprcv" and e.action.args[0] == "back"
+        }
+        assert received == set(PROCS)
+        assert vs_trace_ok(vs).ok
+
+    def test_send_seq_survives_restart(self):
+        """Packet seq numbers must keep increasing across a restart so
+        peers do not mistake fresh packets for duplicates."""
+        vs = service()
+        member = vs.members[1]
+        first = next(member._send_seq)
+        member.restart()
+        assert next(member._send_seq) > first

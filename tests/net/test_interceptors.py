@@ -1,0 +1,219 @@
+"""Packet-interception middleware and structured drop accounting."""
+
+import random
+
+import pytest
+
+from repro.net.channel import (
+    DROP_REASONS,
+    Channel,
+    ChannelConfig,
+    PacketFate,
+)
+from repro.net.network import Network, NetworkNode
+from repro.net.status import FailureOracle, FailureStatus
+from repro.sim.engine import Simulator
+
+
+def make_channel(config=None, oracle=None, seed=0):
+    sim = Simulator()
+    oracle = oracle if oracle is not None else FailureOracle([1, 2])
+    arrivals = []
+    channel = Channel(
+        1,
+        2,
+        sim,
+        oracle,
+        config if config is not None else ChannelConfig(delta=1.0),
+        random.Random(seed),
+        lambda src, dst, msg: arrivals.append((sim.now, msg)),
+    )
+    return sim, oracle, channel, arrivals
+
+
+class TestDropReasonCounters:
+    def test_all_reasons_start_at_zero(self):
+        _sim, _oracle, channel, _arrivals = make_channel()
+        assert channel.drops == {reason: 0 for reason in DROP_REASONS}
+        assert channel.dropped_count == 0
+
+    def test_bad_at_send(self):
+        sim, oracle, channel, arrivals = make_channel()
+        oracle.set_link(1, 2, FailureStatus.BAD)
+        for i in range(5):
+            channel.send(i)
+        sim.run()
+        assert channel.drops["bad_at_send"] == 5
+        assert channel.dropped_count == 5
+        assert arrivals == []
+
+    def test_ugly_loss(self):
+        config = ChannelConfig(delta=1.0, ugly_loss=1.0)
+        sim, oracle, channel, _arrivals = make_channel(config)
+        oracle.set_link(1, 2, FailureStatus.UGLY)
+        for i in range(7):
+            channel.send(i)
+        sim.run()
+        assert channel.drops["ugly_loss"] == 7
+
+    def test_bad_in_flight(self):
+        sim, oracle, channel, arrivals = make_channel()
+        channel.send("x")
+        oracle.set_link(1, 2, FailureStatus.BAD)
+        sim.run()
+        assert channel.drops["bad_in_flight"] == 1
+        assert arrivals == []
+
+    def test_dropped_count_aggregates_reasons(self):
+        sim, oracle, channel, _arrivals = make_channel()
+        oracle.set_link(1, 2, FailureStatus.BAD)
+        channel.send("a")
+        oracle.set_link(1, 2, FailureStatus.GOOD)
+        channel.send("b")
+        oracle.set_link(1, 2, FailureStatus.BAD)
+        sim.run()
+        assert channel.drops["bad_at_send"] == 1
+        assert channel.drops["bad_in_flight"] == 1
+        assert channel.dropped_count == 2
+
+
+class TestChannelInterceptors:
+    def test_drop_counts_as_injected(self):
+        sim, _oracle, channel, arrivals = make_channel()
+        channel.add_interceptor(
+            lambda packet, fate: PacketFate((), drop_reason="injected")
+        )
+        for i in range(4):
+            channel.send(i)
+        sim.run()
+        assert arrivals == []
+        assert channel.drops["injected"] == 4
+        assert channel.sent_count == 4
+
+    def test_duplicate_schedules_two_arrivals(self):
+        sim, _oracle, channel, arrivals = make_channel()
+        channel.add_interceptor(
+            lambda packet, fate: PacketFate(
+                fate.delays + (fate.delays[0] + 3.0,)
+            )
+        )
+        channel.send("dup")
+        sim.run()
+        assert [m for _t, m in arrivals] == ["dup", "dup"]
+        assert channel.delivered_count == 2
+
+    def test_delay_perturbation_moves_arrival(self):
+        sim, _oracle, channel, arrivals = make_channel()
+        channel.add_interceptor(
+            lambda packet, fate: PacketFate(
+                tuple(d + 10.0 for d in fate.delays)
+            )
+        )
+        channel.send("late")
+        sim.run()
+        assert arrivals[0][0] > 10.0
+
+    def test_none_leaves_fate_alone(self):
+        sim, _oracle, channel, arrivals = make_channel()
+        seen = []
+        channel.add_interceptor(
+            lambda packet, fate: seen.append(packet.message) or None
+        )
+        channel.send("x")
+        sim.run()
+        assert seen == ["x"]
+        assert [m for _t, m in arrivals] == ["x"]
+
+    def test_interceptors_skip_oracle_dropped_packets(self):
+        sim, oracle, channel, _arrivals = make_channel()
+        calls = []
+        channel.add_interceptor(lambda packet, fate: calls.append(1) or None)
+        oracle.set_link(1, 2, FailureStatus.BAD)
+        channel.send("x")
+        sim.run()
+        assert calls == []  # never saw the packet the oracle killed
+
+    def test_pipeline_composes_in_order(self):
+        sim, _oracle, channel, arrivals = make_channel()
+        channel.add_interceptor(
+            lambda packet, fate: PacketFate(fate.delays + (fate.delays[0],))
+        )
+        # Second interceptor sees the duplicated fate and drops it all.
+        channel.add_interceptor(
+            lambda packet, fate: PacketFate(()) if len(fate.delays) == 2 else None
+        )
+        channel.send("x")
+        sim.run()
+        assert arrivals == []
+        assert channel.drops["injected"] == 1
+
+    def test_remove_interceptor(self):
+        sim, _oracle, channel, arrivals = make_channel()
+        drop = lambda packet, fate: PacketFate(())  # noqa: E731
+        channel.add_interceptor(drop)
+        channel.send("a")
+        channel.remove_interceptor(drop)
+        channel.send("b")
+        sim.run()
+        assert [m for _t, m in arrivals] == ["b"]
+
+    def test_negative_delay_clamped(self):
+        sim, _oracle, channel, arrivals = make_channel()
+        channel.add_interceptor(lambda packet, fate: PacketFate((-5.0,)))
+        channel.send("x")
+        sim.run()
+        assert len(arrivals) == 1
+
+
+class _Sink(NetworkNode):
+    def __init__(self, proc_id):
+        super().__init__(proc_id)
+        self.got = []
+
+    def on_message(self, src, message):
+        self.got.append((src, message))
+
+
+class TestNetworkInterceptors:
+    def build(self):
+        sim = Simulator()
+        network = Network([1, 2, 3], sim)
+        nodes = {p: _Sink(p) for p in (1, 2, 3)}
+        for node in nodes.values():
+            network.register(node)
+        return sim, network, nodes
+
+    def test_install_on_all_links(self):
+        sim, network, nodes = self.build()
+        network.add_interceptor(lambda packet, fate: PacketFate(()))
+        network.send(1, 2, "x")
+        network.send(3, 1, "y")
+        sim.run()
+        assert nodes[2].got == [] and nodes[1].got == []
+        assert network.drop_stats()["injected"] == 2
+
+    def test_install_on_selected_links(self):
+        sim, network, nodes = self.build()
+        network.add_interceptor(
+            lambda packet, fate: PacketFate(()), links=[(1, 2)]
+        )
+        network.send(1, 2, "killed")
+        network.send(1, 3, "fine")
+        sim.run()
+        assert nodes[2].got == []
+        assert [m for _s, m in nodes[3].got] == ["fine"]
+
+    def test_remove_everywhere(self):
+        sim, network, nodes = self.build()
+        drop = lambda packet, fate: PacketFate(())  # noqa: E731
+        network.add_interceptor(drop)
+        network.remove_interceptor(drop)
+        network.send(1, 2, "x")
+        sim.run()
+        assert [m for _s, m in nodes[2].got] == ["x"]
+
+    def test_drop_stats_shape(self):
+        _sim, network, _nodes = self.build()
+        stats = network.drop_stats()
+        assert set(stats) == set(DROP_REASONS)
+        assert all(v == 0 for v in stats.values())

@@ -81,3 +81,25 @@ class TestStablePartition:
         scenario = stable_partition([1, 2, 3], groups=[[1], [2, 3]], at=4.0)
         assert scenario.final_groups == ((1,), (2, 3))
         assert scenario.stabilization_time == 4.0
+
+
+class TestGroupDisjointnessValidation:
+    """Overlapping groups used to install an inconsistent oracle layout
+    silently (or blow up mid-run inside a simulator callback); now they
+    are rejected at construction time."""
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            PartitionScenario().add(1.0, [[1, 2], [2, 3]])
+
+    def test_duplicate_within_one_group_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            PartitionScenario().add(1.0, [[1, 1, 2]])
+
+    def test_direct_event_construction_validated(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            ScenarioEvent(time=0.0, groups=((1,), (1,)))
+
+    def test_disjoint_groups_accepted(self):
+        scenario = PartitionScenario().add(1.0, [[1, 2], [3], [4, 5]])
+        assert scenario.final_groups == ((1, 2), (3,), (4, 5))

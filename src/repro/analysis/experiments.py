@@ -211,6 +211,69 @@ def timeline_table(seeds: Sequence[int] = (0, 1, 2)) -> Table:
     return headers, rows
 
 
+def observability_table(seeds: Sequence[int] = (0, 1, 2)) -> Table:
+    """E19: live span-derived decompositions vs after-the-fact trace
+    measurement on the same execution (they must agree exactly)."""
+    from repro.obs import Observability
+
+    headers = [
+        "seed",
+        "msg spans",
+        "views",
+        "unmatched",
+        "l'(span)",
+        "l'(measure)",
+        "deliv mean(span)",
+        "deliv mean(measure)",
+    ]
+    rows: list[Row] = []
+    for seed in seeds:
+        obs = Observability()
+        processors = (1, 2, 3, 4, 5)
+        service = TokenRingVS(
+            processors,
+            RingConfig(delta=1.0, pi=10.0, mu=30.0, work_conserving=True),
+            seed=seed,
+            obs=obs,
+        )
+        runtime = VStoTORuntime(service, MajorityQuorumSystem(processors))
+        service.install_scenario(
+            PartitionScenario()
+            .add(40.0, [[1, 2, 3], [4, 5]])
+            .add(300.0, [[1, 2, 3, 4, 5]])
+        )
+        for i in range(10):
+            runtime.schedule_broadcast(10.0 + 23.0 * i, processors[i % 5], i)
+        runtime.start()
+        runtime.run_until(800.0)
+        tracer = obs.tracer
+        span_l = tracer.stabilization_point(processors, 300.0)
+        measured = stabilization_interval(
+            service.merged_trace(), processors, 300.0, service.initial_view
+        )
+        span_samples = tracer.delivery_latencies(processors)
+        span_mean = summarize(c - b for b, c in span_samples).mean
+        meas_mean = summarize(
+            s.latency
+            for s in all_members_delivery_latencies(
+                runtime.merged_trace(), processors
+            )
+        ).mean
+        rows.append(
+            [
+                seed,
+                len(tracer.message_spans),
+                len(tracer.view_spans),
+                tracer.unmatched_events,
+                round(span_l, 4),
+                round(measured.l_prime, 4),
+                round(span_mean, 4),
+                round(meas_mean, 4),
+            ]
+        )
+    return headers, rows
+
+
 def chaos_table(seeds: Sequence[int] = (0, 1, 2, 3)) -> Table:
     """E18: compact chaos soak — composed nemesis, safety verdicts and
     structured drop accounting (full sweep: ``bench_chaos_soak.py``)."""
@@ -221,8 +284,11 @@ def chaos_table(seeds: Sequence[int] = (0, 1, 2, 3)) -> Table:
         "kinds",
         "safe",
         "recovered",
+        "bad@send",
+        "ugly",
+        "in-flight",
         "injected",
-        "oracle drops",
+        "drops(total)",
         "restarts",
         "dups",
         "retransmits",
@@ -238,19 +304,17 @@ def chaos_table(seeds: Sequence[int] = (0, 1, 2, 3)) -> Table:
             sends=12,
             settle=700.0,
         )
-        oracle_drops = sum(
-            count
-            for reason, count in report.drops.items()
-            if reason != "injected"
-        )
         rows.append(
             [
                 seed,
                 len(report.fault_kinds),
                 "yes" if report.safety_ok else "NO",
                 "yes" if report.delivered_complete else "NO",
+                report.drops["bad_at_send"],
+                report.drops["ugly_loss"],
+                report.drops["bad_in_flight"],
                 report.drops["injected"],
-                oracle_drops,
+                report.drops_total,
                 report.stats["restarts"],
                 report.stats["duplicates_suppressed"],
                 report.stats["retransmissions"],

@@ -26,24 +26,37 @@ _LOCATION_OF = {
     "good": ("g", 0),
     "bad": ("x", 0),
     "ugly": ("u", 0),
+    # Nemesis actions (fault-annotated traces from repro.faults/repro.obs).
+    "crash": ("✗", 0),
+    "restart": ("↻", 0),
+    "fault": ("!", 0),
+    "skew": ("~", 0),
 }
 
 
 def describe_event(action) -> str:
-    """One-line description of a single action."""
+    """One-line description of a single action.
+
+    Tolerant of unexpected arities (hand-built or fault-annotated traces
+    do not always follow the VS/TO signatures): any shape mismatch falls
+    back to the action's own repr instead of raising.
+    """
     name = action.name
-    if name == "newview":
-        view, p = action.args
+    args = action.args
+    if name == "newview" and len(args) == 2:
+        view, p = args
         return f"newview {view} at {p}"
-    if name in ("good", "bad", "ugly"):
-        if len(action.args) == 1:
-            return f"{name}({action.args[0]})"
-        return f"{name}({action.args[0]}→{action.args[1]})"
-    if name in ("gprcv", "safe", "brcv"):
-        payload, src, dst = action.args
+    if name in ("good", "bad", "ugly", "crash", "restart", "fault", "skew"):
+        if len(args) == 1:
+            return f"{name}({args[0]})"
+        if len(args) == 2:
+            return f"{name}({args[0]}→{args[1]})"
+        return str(action)
+    if name in ("gprcv", "safe", "brcv") and len(args) == 3:
+        payload, src, dst = args
         return f"{name} {payload!r} {src}→{dst}"
-    if name in ("gpsnd", "bcast"):
-        payload, p = action.args
+    if name in ("gpsnd", "bcast") and len(args) == 2:
+        payload, p = args
         return f"{name} {payload!r} at {p}"
     return str(action)
 

@@ -62,6 +62,9 @@ class ChaosReport:
     #: legitimately take several deliver rounds on top).
     bound_to_b: float = 0.0
     drops: dict[str, int] = field(default_factory=dict)
+    #: aggregate drop count straight from the channels — the per-reason
+    #: breakdown in ``drops`` must sum to exactly this.
+    drops_total: int = 0
     stats: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -94,6 +97,9 @@ class ChaosRunner:
         Client values submitted at seeded times before the horizon.
     settle:
         Extra virtual time after stabilisation for recovery.
+    obs:
+        Optional :class:`repro.obs.Observability` hub threaded through
+        the whole stack (service, simulator, channels, ring, runtime).
     """
 
     def __init__(
@@ -106,6 +112,7 @@ class ChaosRunner:
         quorums: Optional[QuorumSystem] = None,
         sends: int = 20,
         settle: float = 600.0,
+        obs=None,
     ) -> None:
         self.processors: tuple[ProcId, ...] = tuple(processors)
         self.schedule = schedule
@@ -119,7 +126,9 @@ class ChaosRunner:
         )
         self.sends = sends
         self.settle = settle
-        self.service = TokenRingVS(self.processors, self.config, seed=seed)
+        self.service = TokenRingVS(
+            self.processors, self.config, seed=seed, obs=obs
+        )
         self.runtime = VStoTORuntime(
             self.service,
             quorums if quorums is not None else MajorityQuorumSystem(
@@ -199,6 +208,7 @@ class ChaosRunner:
             ),
             bound_to_b=bounds.to_b(len(self.processors)),
             drops=self.service.network.drop_stats(),
+            drops_total=self.service.network.dropped_total(),
             stats=self.service.stats(),
         )
 
@@ -213,6 +223,7 @@ def run_chaos(
     sends: int = 20,
     settle: float = 600.0,
     config: Optional[RingConfig] = None,
+    obs=None,
 ) -> ChaosReport:
     """One-call convenience: random schedule + runner + run."""
     processors = tuple(processors)
@@ -226,5 +237,6 @@ def run_chaos(
         sends=sends,
         settle=settle,
         config=config,
+        obs=obs,
     )
     return runner.run()

@@ -230,11 +230,61 @@ class RingMember(NetworkNode):
         self.retransmissions = 0
         self.restarts = 0
 
+        # Observability slots (bound by attach_obs; `is None` guarded).
+        self._m_tokens = None
+        self._m_rotations = None
+        self._m_round_hist = None
+        self._m_dedup = None
+        self._m_retrans = None
+        self._m_formations = None
+        self._tracer = None
+        self._round_started: Optional[float] = None
+
         # Timers.
         self._watchdog = WatchdogTimer(self._sim, self._on_token_timeout)
         self._join_watchdog = WatchdogTimer(self._sim, self._on_join_timeout)
         self._launch_timer = PeriodicTimer(self._sim, config.pi, self._on_launch_tick)
         self._probe_timer = PeriodicTimer(self._sim, config.mu, self._on_probe_tick)
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, obs) -> None:
+        """Bind per-processor ring metrics (token flow, round durations,
+        dedup, retransmissions, formations) and the lifecycle tracer."""
+        if obs is None:
+            return
+        if obs.metrics is not None:
+            metrics = obs.metrics
+            proc = str(self.proc_id)
+            self._m_tokens = metrics.counter(
+                "ring_tokens_processed_total", "token visits per member",
+                labels=("proc",),
+            ).labels(proc)
+            self._m_rotations = metrics.counter(
+                "ring_rotations_total",
+                "full token circulations observed by the leader",
+                labels=("proc",),
+            ).labels(proc)
+            self._m_round_hist = metrics.histogram(
+                "ring_round_duration",
+                "virtual-time length of one token circulation",
+                labels=("proc",),
+            ).labels(proc)
+            self._m_dedup = metrics.counter(
+                "ring_duplicates_suppressed_total",
+                "packets rejected by per-sender dedup",
+                labels=("proc",),
+            ).labels(proc)
+            self._m_retrans = metrics.counter(
+                "ring_retransmissions_total",
+                "blind retransmissions actually sent",
+                labels=("proc",),
+            ).labels(proc)
+            self._m_formations = metrics.counter(
+                "ring_formations_initiated_total",
+                "view formations this member started",
+                labels=("proc",),
+            ).labels(proc)
+        self._tracer = obs.tracer
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -303,6 +353,8 @@ class RingMember(NetworkNode):
         def fire() -> None:
             if self._alive() and relevant():
                 self.retransmissions += 1
+                if self._m_retrans is not None:
+                    self._m_retrans.inc()
                 transmit()
 
         offset = 0.0
@@ -396,6 +448,8 @@ class RingMember(NetworkNode):
     def _notify_createview(
         self, viewid: RingViewId, members: tuple[ProcId, ...]
     ) -> None:
+        if self._tracer is not None:
+            self._tracer.on_createview(self._sim.now, viewid, members)
         hook = getattr(self.service, "notify_createview", None)
         if hook is not None:
             hook(View(viewid, frozenset(members)))
@@ -431,6 +485,8 @@ class RingMember(NetworkNode):
         if isinstance(message, Sequenced):
             if not self._accept_packet(src, message.seq):
                 self.duplicates_suppressed += 1
+                if self._m_dedup is not None:
+                    self._m_dedup.inc()
                 return
             message = message.body
         self.last_heard[src] = self._sim.now
@@ -459,6 +515,10 @@ class RingMember(NetworkNode):
         viewid: RingViewId = (self.max_epoch, self.proc_id)
         self.committed = viewid
         self.formations_initiated += 1
+        if self._m_formations is not None:
+            self._m_formations.inc()
+        if self._tracer is not None:
+            self._tracer.on_formation(self._sim.now, viewid, self.proc_id)
         self._join_watchdog.disarm()
         if self.config.one_round:
             members = self._connectivity_estimate()
@@ -618,10 +678,19 @@ class RingMember(NetworkNode):
         self._arm_watchdog()
         self._process_token(token)
         if self.is_leader:
+            # The token is home: one full circulation completed.
+            if self._m_rotations is not None:
+                self._m_rotations.inc()
+                if self._round_started is not None:
+                    self._m_round_hist.observe(
+                        self._sim.now - self._round_started
+                    )
             if self.config.work_conserving and self._token_has_work(token):
+                self._round_started = self._sim.now
                 self._forward(token)
             else:
                 # The token is home; hold it until the next launch tick.
+                self._round_started = None
                 self.held_token = token
         else:
             self._forward(token)
@@ -642,12 +711,15 @@ class RingMember(NetworkNode):
         if len(token.members) == 1:
             self.held_token = token  # singleton ring: token never leaves
         else:
+            self._round_started = self._sim.now
             self._forward(token)
 
     def _process_token(self, token: Token) -> None:
         """Deliver new entries, append buffered sends, update counts and
         emit safe notifications."""
         self.tokens_processed += 1
+        if self._m_tokens is not None:
+            self._m_tokens.inc()
         assert self.view is not None
         viewid = self.view.id
         # The trail is fresh liveness evidence for everyone it names.

@@ -21,6 +21,7 @@ from repro.ioa.actions import Action, act
 from repro.ioa.timed import TimedTrace
 from repro.membership.ring import RingConfig, RingMember
 from repro.net.channel import ChannelConfig
+from repro.obs import capture
 from repro.net.network import Network
 from repro.net.scenarios import PartitionScenario
 from repro.sim.engine import Simulator
@@ -48,6 +49,12 @@ class TokenRingVS:
     initial_members:
         P0 for the hybrid initial view; defaults to all processors.
         Processors outside P0 start with no view and join via probes.
+    obs:
+        Optional :class:`repro.obs.Observability` hub; when given, every
+        layer (simulator, channels, ring members, and — via
+        :class:`~repro.core.vstoto.runtime.VStoTORuntime` — the VS-to-TO
+        automata) instruments itself against it.  Attaching a hub never
+        perturbs the execution (no RNG draws, no scheduled events).
     """
 
     def __init__(
@@ -56,6 +63,7 @@ class TokenRingVS:
         config: Optional[RingConfig] = None,
         seed: int = 0,
         initial_members: Optional[Iterable[ProcId]] = None,
+        obs=None,
     ) -> None:
         self.processors: tuple[ProcId, ...] = tuple(processors)
         self.config = config if config is not None else RingConfig()
@@ -89,6 +97,26 @@ class TokenRingVS:
         self.on_safe: Optional[DeliveryCallback] = None
         self.on_newview: Optional[ViewCallback] = None
         self._started = False
+        self.obs = None
+        self._tracer = None
+        if obs is not None:
+            self.attach_obs(obs)
+        capture.register(self)
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, obs) -> None:
+        """Thread an observability hub through every layer this service
+        owns.  Call before :meth:`start` to catch the whole execution."""
+        if obs is None:
+            return
+        self.obs = obs
+        self.simulator.attach_obs(obs)
+        self.network.attach_obs(obs)
+        for member in self.members.values():
+            member.attach_obs(obs)
+        self._tracer = obs.tracer
+        if self._tracer is not None:
+            self._tracer.set_initial_view(self.initial_view)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -149,6 +177,8 @@ class TokenRingVS:
 
     def _record(self, name: str, *args: Any) -> None:
         self.trace.append(self.simulator.now, act(name, *args))
+        if self._tracer is not None:
+            self._tracer.on_vs_event(self.simulator.now, name, args)
 
     # ------------------------------------------------------------------
     # Trace assembly for the checkers

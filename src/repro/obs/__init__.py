@@ -1,0 +1,92 @@
+"""Unified observability: metrics, lifecycle tracing and profiling.
+
+One :class:`Observability` hub bundles the three concerns and is
+attached to a running stack in one call::
+
+    from repro.obs import Observability
+
+    obs = Observability(profiling=True)
+    vs = TokenRingVS(processors, config, seed=0, obs=obs)
+    ...
+    print(obs.metrics.render_text())
+    write_chrome_trace(obs.tracer, "run.trace.json")
+
+Design contract (asserted by ``benchmarks/bench_observability.py``):
+
+- **Zero perturbation.**  The hub never draws randomness, schedules
+  simulator events or mutates protocol state; an execution with
+  observability attached is event-for-event identical (same RNG stream
+  positions, same event order) to the same seed without it.
+- **Near-zero cost when absent.**  Instrumented hot paths guard on a
+  single pre-bound ``is None`` slot; with no hub attached they pay one
+  branch.
+
+Layers instrument themselves when the hub reaches them:
+:class:`~repro.sim.engine.Simulator` (event counts, queue depth, host
+wall-clock per callback owner), :class:`~repro.net.channel.Channel`
+(per-link sends/drops/in-flight), :class:`~repro.membership.ring.RingMember`
+(tokens, rounds, dedup, retransmissions, formations), and
+:class:`~repro.core.vstoto.runtime.VStoTORuntime` (pending queues, views
+installed, primary residency).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import CallbackProfiler
+from repro.obs.tracing import (
+    FaultAnnotation,
+    LifecycleTracer,
+    MessageSpan,
+    ViewSpan,
+)
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LifecycleTracer",
+    "MessageSpan",
+    "ViewSpan",
+    "FaultAnnotation",
+    "CallbackProfiler",
+]
+
+
+class Observability:
+    """The per-execution observability hub.
+
+    Parameters
+    ----------
+    metrics, tracing:
+        Enable the metrics registry / lifecycle tracer (default on —
+        constructing a hub means you want to observe).
+    profiling:
+        Enable host wall-clock attribution per simulator callback owner
+        (default off: it adds two ``perf_counter`` calls per event).
+    """
+
+    def __init__(
+        self,
+        metrics: bool = True,
+        tracing: bool = True,
+        profiling: bool = False,
+    ) -> None:
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if metrics else None
+        )
+        self.tracer: Optional[LifecycleTracer] = (
+            LifecycleTracer() if tracing else None
+        )
+        self.profiler: Optional[CallbackProfiler] = (
+            CallbackProfiler() if profiling else None
+        )

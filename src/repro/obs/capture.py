@@ -1,0 +1,93 @@
+"""Post-mortem capture: export traces of services from a failed test.
+
+When the environment variable ``REPRO_OBS_CAPTURE`` is set (CI sets it
+for the tier-1 job), every :class:`~repro.membership.service.TokenRingVS`
+registers itself here at construction.  The pytest hook in
+``tests/conftest.py`` calls :func:`export_failed` when a test fails,
+writing each live service's merged trace as JSONL plus a Chrome
+trace-event file under ``REPRO_TRACE_DIR`` (default
+``trace-artifacts/``); CI uploads that directory as a workflow artifact
+so a red run can be debugged in a trace viewer without re-running it.
+
+The registry holds weak references and is cleared between tests, so
+capture changes neither object lifetimes nor execution (registration is
+environment-gated and records construction order only — no RNG, no
+simulator interaction).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import weakref
+
+from repro.obs.export import jsonl_records, timed_trace_chrome
+
+#: set REPRO_OBS_CAPTURE=1 to enable registration (CI does)
+CAPTURE_ENV = "REPRO_OBS_CAPTURE"
+#: where export_failed writes artifacts
+DIR_ENV = "REPRO_TRACE_DIR"
+DEFAULT_DIR = "trace-artifacts"
+
+_services: list[weakref.ReferenceType] = []
+
+
+def capture_enabled() -> bool:
+    return bool(os.environ.get(CAPTURE_ENV))
+
+
+def register(service) -> None:
+    """Remember ``service`` for post-mortem export (no-op unless the
+    capture environment variable is set)."""
+    if capture_enabled():
+        _services.append(weakref.ref(service))
+
+
+def clear() -> None:
+    _services.clear()
+
+
+def live_services() -> list:
+    return [svc for ref in _services if (svc := ref()) is not None]
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text).strip("_")[:120]
+
+
+def export_failed(label: str) -> list[str]:
+    """Export every registered service's trace for failed test
+    ``label``; returns the paths written."""
+    services = live_services()
+    if not services:
+        return []
+    directory = os.environ.get(DIR_ENV, DEFAULT_DIR)
+    os.makedirs(directory, exist_ok=True)
+    written: list[str] = []
+    for index, service in enumerate(services):
+        try:
+            trace = service.merged_trace()
+        except Exception:  # half-built service: capture must never raise
+            continue
+        obs = getattr(service, "obs", None)
+        tracer = getattr(obs, "tracer", None) if obs is not None else None
+        metrics = getattr(obs, "metrics", None) if obs is not None else None
+        base = os.path.join(directory, f"{_slug(label)}.{index}")
+        jsonl_path = base + ".jsonl"
+        with open(jsonl_path, "w") as handle:
+            for record in jsonl_records(
+                tracer=tracer, metrics=metrics, timed_trace=trace
+            ):
+                handle.write(json.dumps(record) + "\n")
+        written.append(jsonl_path)
+        chrome_path = base + ".trace.json"
+        with open(chrome_path, "w") as handle:
+            if tracer is not None:
+                from repro.obs.export import chrome_trace
+
+                json.dump(chrome_trace(tracer), handle)
+            else:
+                json.dump(timed_trace_chrome(trace), handle)
+        written.append(chrome_path)
+    return written

@@ -1,0 +1,332 @@
+"""The metrics registry: labelled counters, gauges and histograms.
+
+Prometheus-style metric families, sized for a discrete-event simulator
+hot path: a family is created once (``registry.counter(...)``) and its
+labelled children are bound once (``family.labels(...)``), so the
+per-event cost of an increment is one attribute add — no dict lookups,
+no string formatting.  Instrumented layers bind their children at
+*attach* time and keep them in slots; with no observability attached
+the instrumentation is a single ``is None`` branch.
+
+Metrics carry no randomness and never touch the simulator, so enabling
+them cannot perturb an execution (the bench asserts this).
+
+Conventions
+-----------
+
+- counters end in ``_total`` and only go up;
+- gauges are instantaneous levels (queue depth, in-flight packets);
+- histograms have fixed, family-wide bucket upper bounds (virtual-time
+  units unless the name says otherwise) plus count and sum.
+
+:meth:`MetricsRegistry.render_text` emits a Prometheus-compatible text
+exposition; :meth:`MetricsRegistry.as_dict` a plain nested-dict snapshot
+for programmatic assertions and the JSONL exporter.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Optional, Sequence
+
+#: Default histogram bucket upper bounds (virtual-time units); chosen to
+#: resolve both sub-δ link delays and multi-π round durations.
+DEFAULT_BUCKETS = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, float("inf")
+)
+
+
+class Counter:
+    """A monotonically increasing count (one labelled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous level (one labelled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket distribution (one labelled child).
+
+    ``buckets`` holds cumulative counts per upper bound (the last bound
+    is always +inf, so ``count == buckets[-1]``).
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        for index in range(
+            bisect_left(self.bounds, value), len(self.bounds)
+        ):
+            self.buckets[index] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricFamily:
+    """A named metric plus its labelled children."""
+
+    KIND = "untyped"
+
+    def __init__(
+        self, name: str, help: str, label_names: tuple[str, ...]
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._children: dict[tuple, object] = {}
+
+    def _new_child(self):
+        raise NotImplementedError
+
+    def labels(self, *values: object):
+        """The child for the given label values (created on first use).
+
+        Values are stringified so processor ids of any hashable type are
+        usable directly."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {len(values)} values"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def samples(self) -> Iterator[tuple[tuple[str, ...], object]]:
+        yield from self._children.items()
+
+
+class CounterFamily(MetricFamily):
+    KIND = "counter"
+
+    def _new_child(self) -> Counter:
+        return Counter()
+
+
+class GaugeFamily(MetricFamily):
+    KIND = "gauge"
+
+    def _new_child(self) -> Gauge:
+        return Gauge()
+
+
+class HistogramFamily(MetricFamily):
+    KIND = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        buckets: Sequence[float],
+    ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be sorted")
+        self.buckets = bounds
+
+    def _new_child(self) -> Histogram:
+        return Histogram(self.buckets)
+
+
+class MetricsRegistry:
+    """A namespace of metric families.
+
+    Re-requesting a family with the same name returns the existing one
+    (so independently attached layers can share families); re-requesting
+    with a different kind or label set is an error.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> CounterFamily:
+        return self._family(CounterFamily, name, help, tuple(labels))
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> GaugeFamily:
+        return self._family(GaugeFamily, name, help, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> HistogramFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = HistogramFamily(name, help, tuple(labels), buckets)
+            self._families[name] = family
+            return family
+        self._check(family, HistogramFamily, name, tuple(labels))
+        return family  # type: ignore[return-value]
+
+    def _family(self, cls, name: str, help: str, label_names: tuple):
+        family = self._families.get(name)
+        if family is None:
+            family = cls(name, help, label_names)
+            self._families[name] = family
+            return family
+        self._check(family, cls, name, label_names)
+        return family
+
+    @staticmethod
+    def _check(family, cls, name: str, label_names: tuple) -> None:
+        if type(family) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {family.KIND}"
+            )
+        if family.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{family.label_names}, not {label_names}"
+            )
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def families(self) -> Iterator[MetricFamily]:
+        yield from self._families.values()
+
+    # ------------------------------------------------------------------
+    # Aggregation / export
+    # ------------------------------------------------------------------
+    def value(self, name: str, *label_values: object) -> float:
+        """The value of one counter/gauge child (0.0 when absent)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(v) for v in label_values)
+        child = family._children.get(key)
+        if child is None:
+            return 0.0
+        return child.value  # type: ignore[union-attr]
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge family across all label sets."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        return sum(child.value for _labels, child in family.samples())
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot: name -> {kind, help, samples}."""
+        out: dict = {}
+        for family in self._families.values():
+            samples = []
+            for label_values, child in family.samples():
+                labels = dict(zip(family.label_names, label_values))
+                if isinstance(child, Histogram):
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": dict(
+                                zip(
+                                    (str(b) for b in child.bounds),
+                                    child.buckets,
+                                )
+                            ),
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "kind": family.KIND,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition."""
+        lines: list[str] = []
+        for family in sorted(self._families.values(), key=lambda f: f.name):
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.KIND}")
+            for label_values, child in sorted(family.samples()):
+                label_text = _format_labels(family.label_names, label_values)
+                if isinstance(child, Histogram):
+                    for bound, cumulative in zip(child.bounds, child.buckets):
+                        le = _format_labels(
+                            family.label_names + ("le",),
+                            label_values + (_bound_text(bound),),
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{le} {cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_count{label_text} {child.count}"
+                    )
+                    lines.append(f"{family.name}_sum{label_text} {child.sum}")
+                else:
+                    lines.append(
+                        f"{family.name}{label_text} {_num(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_labels(
+    names: tuple[str, ...], values: tuple[str, ...]
+) -> str:
+    if not names:
+        return ""
+    body = ",".join(
+        f'{name}="{value}"' for name, value in zip(names, values)
+    )
+    return "{" + body + "}"
+
+
+def _bound_text(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else f"{bound:g}"
+
+
+def _num(value: float) -> str:
+    return f"{value:g}"

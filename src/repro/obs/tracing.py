@@ -1,0 +1,376 @@
+"""Lifecycle tracing: spans for messages, views and fault windows.
+
+The paper's measured quantities are latency decompositions over message
+and view lifecycles; this module records those lifecycles *as they
+happen* instead of scraping them out of timed traces afterwards
+(:mod:`repro.analysis.measure` remains the after-the-fact cross-check —
+the E19 bench asserts both derivations agree on the same execution).
+
+Two span kinds:
+
+- :class:`MessageSpan` — one VS-level message: ``gpsnd`` at the origin,
+  ``gprcv`` per member, ``safe`` per member, plus (when the VStoTO
+  runtime is on top) the TO-level ``bcast`` and per-member ``brcv``
+  bracketing it.  Matching uses per-sender sequence positions within a
+  view, exact because VS guarantees per-sender FIFO within a view (the
+  same matching rule :func:`repro.analysis.measure` uses).
+- :class:`ViewSpan` — one view id: formation proposal (the first
+  ``NewGroup``/one-round announcement for the id), membership
+  announcement, per-member ``newview`` installation, and per-member
+  state-exchange completion (the VStoTO establishment point).
+
+Fault-schedule windows from :mod:`repro.faults` are attached as
+annotations (:class:`FaultAnnotation`), so an exported trace shows what
+the nemesis was doing while a view was forming.
+
+The tracer is *passive*: it never draws randomness, schedules events or
+mutates protocol state, so attaching it cannot perturb an execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf
+from typing import Any, Hashable, Iterable, Optional
+
+ProcId = Hashable
+
+
+@dataclass
+class MessageSpan:
+    """Lifecycle of one VS-level message."""
+
+    payload: Any
+    origin: ProcId
+    viewid: Any
+    #: position among the origin's sends in this view (0-based)
+    seq: int
+    bcast_at: Optional[float] = None
+    gpsnd_at: Optional[float] = None
+    gprcv_at: dict = field(default_factory=dict)   # member -> time
+    safe_at: dict = field(default_factory=dict)    # member -> time
+    brcv_at: dict = field(default_factory=dict)    # member -> time
+
+    def start_time(self) -> float:
+        if self.bcast_at is not None:
+            return self.bcast_at
+        return self.gpsnd_at if self.gpsnd_at is not None else inf
+
+    def end_time(self) -> float:
+        """Latest recorded lifecycle point (-inf when only sent)."""
+        times = [
+            *self.gprcv_at.values(),
+            *self.safe_at.values(),
+            *self.brcv_at.values(),
+        ]
+        return max(times, default=-inf)
+
+    def safe_complete_at(self, members: Iterable[ProcId]) -> Optional[float]:
+        """When the message became safe at every member (None if not)."""
+        times = [self.safe_at.get(m) for m in members]
+        if any(t is None for t in times):
+            return None
+        return max(times)  # type: ignore[type-var]
+
+    def delivered_complete_at(
+        self, members: Iterable[ProcId]
+    ) -> Optional[float]:
+        """When the TO-level delivery completed at every member."""
+        times = [self.brcv_at.get(m) for m in members]
+        if any(t is None for t in times):
+            return None
+        return max(times)  # type: ignore[type-var]
+
+
+@dataclass
+class ViewSpan:
+    """Lifecycle of one view id."""
+
+    viewid: Any
+    members: Optional[frozenset] = None
+    initiator: Optional[ProcId] = None
+    #: first formation attempt (NewGroup broadcast / one-round announce)
+    proposed_at: Optional[float] = None
+    #: membership fixed and Join announced (the createview point)
+    announced_at: Optional[float] = None
+    newview_at: dict = field(default_factory=dict)      # member -> time
+    established_at: dict = field(default_factory=dict)  # member -> time
+
+    def start_time(self) -> float:
+        for t in (self.proposed_at, self.announced_at):
+            if t is not None:
+                return t
+        return min(self.newview_at.values(), default=inf)
+
+    def end_time(self) -> float:
+        times = [*self.newview_at.values(), *self.established_at.values()]
+        return max(times, default=-inf)
+
+    def installed_everywhere_at(self) -> Optional[float]:
+        """When every member had installed the view (None if some never
+        did — e.g. the view was superseded mid-formation)."""
+        if self.members is None or not self.members:
+            return None
+        times = [self.newview_at.get(m) for m in self.members]
+        if any(t is None for t in times):
+            return None
+        return max(times)  # type: ignore[type-var]
+
+
+@dataclass(frozen=True)
+class FaultAnnotation:
+    """One nemesis activation window, for trace annotation."""
+
+    kind: str
+    name: str
+    start: float
+    stop: float
+
+
+class LifecycleTracer:
+    """Incremental span recorder for one execution.
+
+    Feed points (all optional — the tracer degrades gracefully when a
+    layer is absent, e.g. a bare :class:`TokenRingVS` without VStoTO):
+
+    - :meth:`on_vs_event` from the VS service's event recorder;
+    - :meth:`on_to_event` from the VStoTO runtime's recorder;
+    - :meth:`on_formation` / :meth:`on_createview` from ring members;
+    - :meth:`on_established` from the VStoTO runtime;
+    - :meth:`on_fault_window` from an installing fault schedule.
+    """
+
+    def __init__(self) -> None:
+        self.message_spans: list[MessageSpan] = []
+        self.view_spans: dict[Any, ViewSpan] = {}
+        self.faults: list[FaultAnnotation] = []
+        #: events that could not be matched to a span (conformant
+        #: executions leave this at zero; chaos debugging reads it)
+        self.unmatched_events = 0
+        self._current_view: dict[ProcId, Any] = {}   # proc -> View
+        self._view_members: dict[Any, frozenset] = {}
+        # (viewid, origin) -> spans in send order
+        self._sends: dict[tuple, list[MessageSpan]] = {}
+        # (viewid, origin, dst) -> next expected position, per event kind
+        self._recv_pos: dict[tuple, int] = {}
+        self._safe_pos: dict[tuple, int] = {}
+        self._brcv_pos: dict[tuple, int] = {}
+        # TO-level sends not yet matched to a gpsnd: (value, origin) ->
+        # [times]; VStoTO labels each value exactly once at its origin.
+        self._pending_bcast: dict[tuple, list[float]] = {}
+        # (value, origin) -> spans carrying that value, in send order
+        self._value_spans: dict[tuple, list[MessageSpan]] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_initial_view(self, view) -> None:
+        """Seed per-processor current views from the service's v0."""
+        self._view_members.setdefault(view.id, view.set)
+        for p in view.set:
+            self._current_view.setdefault(p, view)
+
+    # ------------------------------------------------------------------
+    # VS-level feed
+    # ------------------------------------------------------------------
+    def on_vs_event(self, time: float, name: str, args: tuple) -> None:
+        if name == "gpsnd":
+            payload, p = args
+            self._on_gpsnd(time, payload, p)
+        elif name == "gprcv":
+            payload, src, dst = args
+            self._on_lifecycle_point(time, payload, src, dst, "gprcv")
+        elif name == "safe":
+            payload, src, dst = args
+            self._on_lifecycle_point(time, payload, src, dst, "safe")
+        elif name == "newview":
+            view, p = args
+            self._on_newview(time, view, p)
+
+    def _on_gpsnd(self, time: float, payload: Any, p: ProcId) -> None:
+        view = self._current_view.get(p)
+        if view is None:
+            return  # sends with no view are ignored by the service
+        key = (view.id, p)
+        spans = self._sends.setdefault(key, [])
+        span = MessageSpan(
+            payload=payload,
+            origin=p,
+            viewid=view.id,
+            seq=len(spans),
+            gpsnd_at=time,
+        )
+        # Link the TO-level bcast that produced this send, if any: the
+        # VStoTO payload is (label, value) with label.origin == p.
+        value = _to_value(payload)
+        if value is not _NO_VALUE:
+            pending = self._pending_bcast.get((value, p))
+            if pending:
+                span.bcast_at = pending.pop(0)
+            self._value_spans.setdefault((value, p), []).append(span)
+        spans.append(span)
+        self.message_spans.append(span)
+
+    def _on_lifecycle_point(
+        self, time: float, payload: Any, src: ProcId, dst: ProcId, kind: str
+    ) -> None:
+        view = self._current_view.get(dst)
+        if view is None:
+            self.unmatched_events += 1
+            return
+        positions = self._recv_pos if kind == "gprcv" else self._safe_pos
+        key = (view.id, src, dst)
+        index = positions.get(key, 0)
+        spans = self._sends.get((view.id, src), ())
+        if index >= len(spans):
+            self.unmatched_events += 1
+            return
+        positions[key] = index + 1
+        span = spans[index]
+        target = span.gprcv_at if kind == "gprcv" else span.safe_at
+        target.setdefault(dst, time)
+
+    def _on_newview(self, time: float, view, p: ProcId) -> None:
+        self._current_view[p] = view
+        self._view_members.setdefault(view.id, view.set)
+        span = self._view_span(view.id)
+        if span.members is None:
+            span.members = view.set
+        span.newview_at.setdefault(p, time)
+
+    # ------------------------------------------------------------------
+    # TO-level feed (VStoTO runtime)
+    # ------------------------------------------------------------------
+    def on_to_event(self, time: float, name: str, args: tuple) -> None:
+        if name == "bcast":
+            value, p = args
+            self._pending_bcast.setdefault((value, p), []).append(time)
+        elif name == "brcv":
+            value, origin, dst = args
+            self._on_brcv(time, value, origin, dst)
+
+    def _on_brcv(
+        self, time: float, value: Any, origin: ProcId, dst: ProcId
+    ) -> None:
+        # The TO order is a single cross-view sequence; match the k-th
+        # brcv of (value, origin) at dst to the k-th span carrying that
+        # value from that origin, across views in send order.
+        key = (value, origin, dst)
+        index = self._brcv_pos.get(key, 0)
+        matches = self._value_spans.get((value, origin), ())
+        if index >= len(matches):
+            self.unmatched_events += 1
+            return
+        self._brcv_pos[key] = index + 1
+        matches[index].brcv_at.setdefault(dst, time)
+
+    # ------------------------------------------------------------------
+    # Protocol-internal feeds
+    # ------------------------------------------------------------------
+    def on_formation(
+        self, time: float, viewid: Any, initiator: ProcId
+    ) -> None:
+        """A formation round started for ``viewid`` (first attempt wins)."""
+        span = self._view_span(viewid)
+        if span.proposed_at is None:
+            span.proposed_at = time
+            span.initiator = initiator
+
+    def on_createview(
+        self, time: float, viewid: Any, members: frozenset
+    ) -> None:
+        """Membership fixed; the Join announcement is going out."""
+        span = self._view_span(viewid)
+        if span.announced_at is None:
+            span.announced_at = time
+        span.members = frozenset(members)
+
+    def on_established(self, time: float, viewid: Any, p: ProcId) -> None:
+        """State exchange completed at ``p`` for ``viewid``."""
+        self._view_span(viewid).established_at.setdefault(p, time)
+
+    def on_fault_window(
+        self, kind: str, name: str, start: float, stop: float
+    ) -> None:
+        self.faults.append(FaultAnnotation(kind, name, start, stop))
+
+    def _view_span(self, viewid: Any) -> ViewSpan:
+        span = self.view_spans.get(viewid)
+        if span is None:
+            span = ViewSpan(viewid=viewid)
+            self.view_spans[viewid] = span
+        return span
+
+    # ------------------------------------------------------------------
+    # Span-derived decompositions (the paper's b and d quantities)
+    # ------------------------------------------------------------------
+    def safe_latencies(self, viewid: Any) -> list[tuple[float, float]]:
+        """(sent_at, all-members-safe_at) per message of ``viewid`` —
+        the span-side derivation of the d = 2π + nδ measurement."""
+        members = self._view_members.get(viewid)
+        if members is None:
+            return []
+        samples = []
+        for span in self.message_spans:
+            if span.viewid != viewid or span.gpsnd_at is None:
+                continue
+            completed = span.safe_complete_at(members)
+            if completed is not None:
+                samples.append((span.gpsnd_at, completed))
+        return samples
+
+    def delivery_latencies(
+        self, group: Iterable[ProcId], after: float = 0.0
+    ) -> list[tuple[float, float]]:
+        """(bcast_at, delivered-at-all_at) per TO message — the span-side
+        derivation of the Theorem 7.2 end-to-end measurement."""
+        group = tuple(group)
+        samples = []
+        for span in self.message_spans:
+            if span.bcast_at is None or span.bcast_at < after:
+                continue
+            completed = span.delivered_complete_at(group)
+            if completed is not None:
+                samples.append((span.bcast_at, completed))
+        return samples
+
+    def stabilization_point(
+        self, group: Iterable[ProcId], stable_at: float
+    ) -> float:
+        """Last ``newview`` at any member of ``group`` after
+        ``stable_at`` — the span-side l' derivation (relative to
+        ``stable_at``; 0.0 when no reconfiguration followed)."""
+        group = frozenset(group)
+        last = stable_at
+        for span in self.view_spans.values():
+            for p, t in span.newview_at.items():
+                if p in group and t > stable_at:
+                    last = max(last, t)
+        return last - stable_at
+
+    def final_view_of(self, group: Iterable[ProcId]):
+        """The common latest view id of ``group`` (None if divergent)."""
+        group = tuple(group)
+        ids = set()
+        for p in group:
+            view = self._current_view.get(p)
+            ids.add(None if view is None else view.id)
+        if len(ids) == 1:
+            return ids.pop()
+        return None
+
+
+_NO_VALUE = object()
+
+
+def _to_value(payload: Any) -> Any:
+    """The TO-level value inside a VS payload, when it has the VStoTO
+    ``(label, value)`` shape (labels have an ``origin`` attribute);
+    ``_NO_VALUE`` otherwise (summaries, raw payloads)."""
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and hasattr(payload[0], "origin")
+    ):
+        return payload[1]
+    return _NO_VALUE

@@ -60,6 +60,39 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._trace_hook: Optional[Callable[[float], None]] = None
+        # Observability slots, pre-bound by attach_obs; with no hub
+        # attached each instrumented path pays one `is None` branch.
+        self._m_scheduled = None
+        self._m_fired = None
+        self._m_cancelled = None
+        self._m_queue_depth = None
+        self._profiler = None
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, obs) -> None:
+        """Bind an :class:`~repro.obs.Observability` hub: event-flow
+        counters, a queue-depth gauge, and (when the hub enables it)
+        host wall-clock attribution per callback owner.  Purely
+        additive — no RNG draws, no event scheduling, virtual time
+        untouched."""
+        if obs is None:
+            return
+        if obs.metrics is not None:
+            metrics = obs.metrics
+            self._m_scheduled = metrics.counter(
+                "sim_events_scheduled_total", "events entered the queue"
+            ).labels()
+            self._m_fired = metrics.counter(
+                "sim_events_fired_total", "events whose callback ran"
+            ).labels()
+            self._m_cancelled = metrics.counter(
+                "sim_events_cancelled_total",
+                "cancelled events discarded at pop time",
+            ).labels()
+            self._m_queue_depth = metrics.gauge(
+                "sim_queue_depth", "queued events after the last fire"
+            ).labels()
+        self._profiler = obs.profiler
 
     # ------------------------------------------------------------------
     @property
@@ -93,6 +126,8 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
         event = _QueuedEvent(time=time, seq=next(self._seq), callback=callback)
         heapq.heappush(self._queue, event)
+        if self._m_scheduled is not None:
+            self._m_scheduled.inc()
         return EventHandle(event)
 
     # ------------------------------------------------------------------
@@ -101,12 +136,20 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                if self._m_cancelled is not None:
+                    self._m_cancelled.inc()
                 continue
             if event.time > self._now and self._trace_hook is not None:
                 self._trace_hook(event.time - self._now)
             self._now = max(self._now, event.time)
-            event.callback()
+            if self._profiler is not None:
+                self._profiler.run(event.callback)
+            else:
+                event.callback()
             self._events_processed += 1
+            if self._m_fired is not None:
+                self._m_fired.inc()
+                self._m_queue_depth.set(len(self._queue))
             return True
         return False
 
@@ -116,6 +159,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                if self._m_cancelled is not None:
+                    self._m_cancelled.inc()
                 continue
             if head.time > time:
                 break
@@ -132,6 +177,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                if self._m_cancelled is not None:
+                    self._m_cancelled.inc()
                 continue
             if head.time > until:
                 break

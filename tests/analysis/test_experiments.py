@@ -2,8 +2,6 @@
 
 import pathlib
 
-import pytest
-
 from repro.analysis.experiments import (
     baseline_table,
     end_to_end_table,

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.analysis.measure import (
     all_members_delivery_latencies,
     safe_latencies_in_final_view,

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.analysis.timeline import decompose_timeline
 from repro.core.quorums import MajorityQuorumSystem
 from repro.core.types import View

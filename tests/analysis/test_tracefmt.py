@@ -1,7 +1,5 @@
 """Tests for the trace timeline renderer."""
 
-import pytest
-
 from repro.analysis.tracefmt import describe_event, format_timeline, summarize_trace
 from repro.core.types import View
 from repro.ioa.actions import act
@@ -37,6 +35,24 @@ class TestDescribeEvent:
     def test_processor_failure(self):
         assert describe_event(act("ugly", "p")) == "ugly(p)"
 
+    def test_fault_actions(self):
+        assert describe_event(act("crash", "p")) == "crash(p)"
+        assert describe_event(act("restart", "p")) == "restart(p)"
+        assert describe_event(act("fault", "loss#0")) == "fault(loss#0)"
+        assert describe_event(act("skew", "p")) == "skew(p)"
+
+    def test_unexpected_arity_falls_back_to_repr(self):
+        # Hand-built traces may not follow the VS signatures; the
+        # renderer must degrade to the action repr, never raise.
+        for action in (
+            act("newview", "only-one-arg"),
+            act("gprcv", "m", "p"),
+            act("gpsnd", "m"),
+            act("bcast", "a", "p", "extra"),
+            act("bad"),
+        ):
+            assert describe_event(action) == str(action)
+
 
 class TestFormatTimeline:
     def test_renders_all_rows(self):
@@ -62,6 +78,19 @@ class TestFormatTimeline:
         row = text.splitlines()[-1]
         header = text.splitlines()[0]
         assert row.find("s") > header.find("q") - 2
+
+    def test_fault_glyphs_render(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("crash", "p"))
+        trace.append(2.0, act("restart", "p"))
+        text = format_timeline(trace, PROCS)
+        assert "✗" in text and "↻" in text
+
+    def test_malformed_events_do_not_break_grid(self):
+        trace = TimedTrace()
+        trace.append(1.0, act("gpsnd"))  # no location argument at all
+        text = format_timeline(trace, PROCS)
+        assert len(text.splitlines()) == 3  # header + rule + the row
 
 
 class TestSummarizeTrace:

@@ -1,7 +1,5 @@
 """Tests for the view-history (Gantt) renderer."""
 
-import pytest
-
 from repro.analysis.tracefmt import format_view_history
 from repro.core.types import View
 from repro.ioa.actions import act

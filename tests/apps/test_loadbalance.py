@@ -1,7 +1,5 @@
 """Tests for the view-aware load-balancing application."""
 
-import pytest
-
 from repro.apps.loadbalance import LoadBalancedWorkers, owner_of
 from repro.core.types import View
 from repro.membership.ring import RingConfig

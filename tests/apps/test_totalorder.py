@@ -1,7 +1,5 @@
 """Tests for the user-facing TotalOrderBroadcast façade."""
 
-import pytest
-
 from repro.apps.totalorder import TotalOrderBroadcast
 from repro.core.quorums import ExplicitQuorumSystem
 from repro.core.to_spec import TO_EXTERNAL, check_to_trace

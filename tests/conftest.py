@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import capture
 from repro.core.quorums import MajorityQuorumSystem
 from repro.core.vstoto import (
     RandomRunConfig,
@@ -50,6 +51,29 @@ def run_random(
     )
     driver.run()
     return driver
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Export traces of failed tests when REPRO_OBS_CAPTURE is set.
+
+    Services built while the capture env var is on register themselves
+    with ``repro.obs.capture``; on a call-phase failure their VS traces
+    are written as JSONL + Chrome trace files under REPRO_TRACE_DIR so
+    CI can upload them as artifacts.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        capture.export_failed(item.nodeid)
+
+
+@pytest.fixture(autouse=True)
+def _clear_obs_capture():
+    """Keep capture registrations scoped to the test that created them."""
+    capture.clear()
+    yield
+    capture.clear()
 
 
 @pytest.fixture

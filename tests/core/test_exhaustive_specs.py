@@ -2,8 +2,6 @@
 machines on tiny configurations: every reachable state — not a random
 sample — satisfies the machine invariants."""
 
-import pytest
-
 from repro.core.to_spec import TOMachine
 from repro.core.types import BOTTOM, View, view_id_less
 from repro.core.vs_spec import VSMachine

@@ -1,7 +1,5 @@
 """Tests for the randomized run harness itself."""
 
-import pytest
-
 from repro.core.quorums import MajorityQuorumSystem, NoQuorumSystem
 from repro.core.vstoto import (
     RandomRunConfig,

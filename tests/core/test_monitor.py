@@ -110,6 +110,58 @@ class TestViolations:
         assert len(mon.violations) == 2
 
 
+class TestPermissiveMode:
+    """strict=False must record violations without raising and keep
+    checking soundly afterwards (the mode every chaos run relies on to
+    produce a complete report instead of dying at the first anomaly)."""
+
+    def test_every_violation_kind_records_instead_of_raising(self):
+        feeds = [
+            lambda m: m.on_newview(View(1, frozenset({"p"})), "q"),
+            lambda m: m.on_newview(View(0, frozenset(PROCS)), "p"),
+            lambda m: m.on_gprcv("ghost", "p", "q"),
+            lambda m: m.on_safe("zzz", "p", "p"),
+        ]
+        for feed in feeds:
+            mon = monitor(strict=False)
+            feed(mon)  # must not raise
+            assert len(mon.violations) == 1
+            assert not mon.ok
+
+    def test_keeps_checking_after_a_violation(self):
+        mon = monitor(strict=False)
+        mon.on_gprcv("ghost", "p", "q")  # violation 1
+        # A clean exchange afterwards is still tracked correctly...
+        mon.on_gpsnd("a", "p")
+        for dst in PROCS:
+            mon.on_gprcv("a", "p", dst)
+        mon.on_safe("a", "p", "p")
+        assert len(mon.violations) == 1
+        # ...and a later genuine violation is still caught.
+        mon.on_safe("never-sent", "p", "q")
+        assert len(mon.violations) == 2
+        assert mon.events_checked == 7
+
+    def test_rejected_event_does_not_corrupt_order_state(self):
+        mon = monitor(strict=False)
+        mon.on_gpsnd("a", "p")
+        mon.on_gprcv("phantom", "q", "p")  # rejected: q never sent
+        assert len(mon.violations) == 1
+        # The phantom receive must not have entered the common order:
+        # the real receive sequence is still accepted at every member.
+        for dst in PROCS:
+            mon.on_gprcv("a", "p", dst)
+        mon.on_safe("a", "p", "p")
+        assert len(mon.violations) == 1
+
+    def test_membership_conflict_recorded_once_per_event(self):
+        mon = monitor(strict=False)
+        mon.on_newview(V1, "p")
+        mon.on_newview(View(1, frozenset({"q", "r"})), "q")
+        assert len(mon.violations) == 1
+        assert any("memberships" in v for v in mon.violations)
+
+
 class TestAttachedToService:
     @pytest.mark.parametrize("seed", range(3))
     def test_live_ring_passes_under_monitor(self, seed):

@@ -1,8 +1,6 @@
 """Tests for the event-driven full-stack runtime (VStoTO over the token
 ring)."""
 
-import pytest
-
 from repro.core.quorums import MajorityQuorumSystem
 from repro.core.to_spec import TO_EXTERNAL, check_to_trace
 from repro.core.vstoto.runtime import VStoTORuntime

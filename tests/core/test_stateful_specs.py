@@ -9,9 +9,7 @@ every step, and full traces are validated at teardown.
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
-    initialize,
     invariant,
-    precondition,
     rule,
 )
 from hypothesis import strategies as st

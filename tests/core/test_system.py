@@ -1,12 +1,10 @@
 """Tests for VStoTO-system composition wiring and derived variables."""
 
-import pytest
-
-from repro.core.types import BOTTOM, Label, View
+from repro.core.types import Label
 from repro.core.vstoto.process import Status
 from repro.ioa.actions import ActionKind, act
 
-from tests.conftest import PROCS3, make_system
+from tests.conftest import PROCS3
 
 
 class TestComposition:

@@ -1,8 +1,6 @@
 """Tests for the timed composition (Section 7): VStoTO'_p processes with
 failure-status inputs inside the abstract VStoTO-system."""
 
-import pytest
-
 from repro.core.quorums import MajorityQuorumSystem
 from repro.core.vstoto import VStoTOSystem
 from repro.core.vstoto.process import TimedVStoTOProcess

@@ -3,7 +3,6 @@ lexicographic label order."""
 
 import copy
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

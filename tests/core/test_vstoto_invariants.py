@@ -3,10 +3,9 @@ executions, and deliberately corrupted states are detected."""
 
 import pytest
 
-from repro.core.types import BOTTOM, Label, View
+from repro.core.types import Label, View
 from repro.core.vstoto.invariants import vstoto_invariant_suite
 from repro.core.vstoto.process import Status
-from repro.core.vstoto.summary import Summary
 
 from tests.conftest import PROCS3, PROCS4, make_system, run_random
 

@@ -35,6 +35,19 @@ class TestChaosRunner:
         assert "retransmissions" in report.stats
         assert len(report.fault_kinds) == 7
 
+    def test_drop_breakdown_sums_to_aggregate(self):
+        """The per-reason breakdown (Network.drop_stats) and the
+        aggregate channel counter (Network.dropped_total) are maintained
+        at different sites; they must never drift apart."""
+        report = run_chaos(
+            PROCS, seed=5, horizon=250.0, intensity=0.8, sends=6, settle=500.0
+        )
+        assert report.drops_total > 0
+        assert sum(report.drops.values()) == report.drops_total
+        assert set(report.drops) == {
+            "bad_at_send", "ugly_loss", "bad_in_flight", "injected"
+        }
+
     def test_explicit_schedule_and_kind_subset(self):
         schedule = FaultSchedule.random(
             3, PROCS, horizon=200.0, kinds=("loss", "token_loss", "delay")

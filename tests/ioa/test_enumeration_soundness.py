@@ -5,8 +5,6 @@ fire transitions its own guard forbids)."""
 
 import random
 
-import pytest
-
 from repro.core.quorums import MajorityQuorumSystem
 from repro.core.to_spec import TOMachine
 from repro.core.vs_spec import VSMachine

@@ -1,10 +1,8 @@
 """Tests for bounded exhaustive exploration."""
 
-import pytest
-
 from repro.ioa.actions import Signature, act
 from repro.ioa.automaton import Automaton
-from repro.ioa.explore import ExplorationResult, explore, freeze
+from repro.ioa.explore import explore, freeze
 
 
 class BoundedCounter(Automaton):

@@ -1,7 +1,5 @@
 """Unit tests for the one-round membership variant (§8 footnote 7)."""
 
-import pytest
-
 from repro.core.vs_spec import VS_EXTERNAL, check_vs_trace
 from repro.membership.ring import RingConfig
 from repro.membership.service import TokenRingVS
@@ -49,8 +47,6 @@ class TestConnectivityEstimate:
 
 class TestOneRoundFormation:
     def test_no_newgroup_traffic(self):
-        from repro.membership.messages import NewGroup
-
         vs = service(seed=2)
         seen_types = set()
         original = vs.network.send

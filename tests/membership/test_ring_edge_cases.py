@@ -1,9 +1,6 @@
 """Edge cases of the membership/token protocol: lost Joins, concurrent
 initiators, stale tokens, epoch uniqueness, direct protocol surgery."""
 
-import pytest
-
-from repro.core.types import View
 from repro.core.vs_spec import VS_EXTERNAL, check_vs_trace
 from repro.membership.messages import Join, NewGroup, Probe, Token
 from repro.membership.ring import RingConfig

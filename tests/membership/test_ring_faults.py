@@ -11,7 +11,7 @@ from repro.faults.injectors import (
     PacketLossInjector,
     TokenLossInjector,
 )
-from repro.membership.messages import Join, NewGroup, Sequenced, Token
+from repro.membership.messages import NewGroup, Sequenced, Token
 from repro.membership.ring import RingConfig
 from repro.membership.service import TokenRingVS
 from repro.net.status import FailureStatus

@@ -1,7 +1,5 @@
 """Token-ring behaviour in a stable, fully connected group."""
 
-import pytest
-
 from repro.membership.ring import RingConfig
 from repro.membership.service import TokenRingVS
 

@@ -1,7 +1,5 @@
 """Unit tests for the deliver-when-safe (Totem-style) ring mode."""
 
-import pytest
-
 from repro.core.vs_spec import VS_EXTERNAL, check_vs_trace
 from repro.membership.ring import RingConfig
 from repro.membership.service import TokenRingVS

@@ -1,7 +1,5 @@
 """Tests for the TokenRingVS façade."""
 
-import pytest
-
 from repro.ioa.actions import act
 from repro.membership.ring import RingConfig
 from repro.membership.service import TokenRingVS

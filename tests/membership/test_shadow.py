@@ -7,7 +7,6 @@ healing and one-round configurations."""
 
 import pytest
 
-from repro.ioa.actions import Action
 from repro.membership.ring import RingConfig
 from repro.membership.service import TokenRingVS
 from repro.membership.shadow import WeakVSShadow

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.net.channel import (
     DROP_REASONS,
     Channel,

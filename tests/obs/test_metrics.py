@@ -1,0 +1,148 @@
+"""The metrics registry: families, children, aggregation, exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        family = registry.counter("events_total", labels=("kind",))
+        family.labels("fire").inc()
+        family.labels("fire").inc(2.5)
+        assert registry.value("events_total", "fire") == 3.5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        child = registry.counter("c_total").labels()
+        with pytest.raises(ValueError):
+            child.inc(-1)
+
+    def test_total_sums_across_labels(self):
+        registry = MetricsRegistry()
+        family = registry.counter("sent_total", labels=("link",))
+        family.labels("a->b").inc(3)
+        family.labels("b->a").inc(4)
+        assert registry.total("sent_total") == 7
+
+    def test_missing_metric_reads_zero(self):
+        registry = MetricsRegistry()
+        assert registry.value("nope_total") == 0.0
+        assert registry.total("nope_total") == 0.0
+        registry.counter("here_total", labels=("x",))
+        assert registry.value("here_total", "unbound") == 0.0
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth").labels()
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert registry.value("depth") == 7
+
+
+class TestHistograms:
+    def test_cumulative_buckets_and_mean(self):
+        hist = Histogram((1.0, 5.0, float("inf")))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.buckets == [2, 3, 4]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(104.2)
+        assert hist.mean == pytest.approx(104.2 / 4)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        hist = Histogram((1.0, float("inf")))
+        hist.observe(1.0)  # le="1.0" is inclusive, Prometheus-style
+        assert hist.buckets == [1, 1]
+
+    def test_inf_bound_appended_when_missing(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("h", buckets=(1.0, 2.0))
+        assert family.buckets[-1] == float("inf")
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(5.0, 1.0))
+
+    def test_default_buckets_sorted_and_end_inf(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[-1] == float("inf")
+
+
+class TestFamilies:
+    def test_same_name_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("shared_total", labels=("p",))
+        second = registry.counter("shared_total", labels=("p",))
+        assert first is second
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_label_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("y_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("y_total", labels=("b",))
+
+    def test_label_arity_checked(self):
+        registry = MetricsRegistry()
+        family = registry.counter("z_total", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            family.labels("only-one")
+
+    def test_child_identity_is_stable(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labels=("p",))
+        assert family.labels(1) is family.labels(1)
+        # label values are stringified, so 1 and "1" are the same child
+        assert family.labels("1") is family.labels(1)
+
+
+class TestExport:
+    def make(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter(
+            "sent_total", help="packets sent", labels=("link",)
+        ).labels("a->b").inc(2)
+        registry.gauge("depth").labels().set(3)
+        registry.histogram("lat", buckets=(1.0,)).labels().observe(0.5)
+        return registry
+
+    def test_as_dict_shape(self):
+        snapshot = self.make().as_dict()
+        assert snapshot["sent_total"]["kind"] == "counter"
+        assert snapshot["sent_total"]["samples"] == [
+            {"labels": {"link": "a->b"}, "value": 2.0}
+        ]
+        hist = snapshot["lat"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"]["1.0"] == 1
+        assert hist["buckets"]["inf"] == 1
+
+    def test_render_text_exposition(self):
+        text = self.make().render_text()
+        assert "# TYPE sent_total counter" in text
+        assert '# HELP sent_total packets sent' in text
+        assert 'sent_total{link="a->b"} 2' in text
+        assert "depth 3" in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_text() == ""

@@ -4,8 +4,6 @@ running the system in production for a long day."""
 
 import random
 
-import pytest
-
 from repro.core.monitor import OnlineVSMonitor
 from repro.core.quorums import MajorityQuorumSystem
 from repro.core.to_spec import TO_EXTERNAL, check_to_trace

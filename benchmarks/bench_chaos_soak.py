@@ -9,17 +9,24 @@ acceptance bar: zero safety violations in every run, and full recovery
 nemesis stops and a stable whole-group layout holds.  Recovery latency
 is reported against the paper's §8-derived TO bound b+d for context;
 reconciling a chaos backlog legitimately takes a small multiple of it.
+
+Seed sweeps here go through :func:`repro.faults.run_chaos_many`; set
+``REPRO_SOAK_WORKERS=N`` to fan them out over N worker processes (the
+merged reports are identical to the sequential loop by construction).
 """
 
+import os
 import statistics
 
 import pytest
 
 from repro.analysis.stats import format_table
-from repro.faults import ALL_FAULT_KINDS, run_chaos
+from repro.faults import ALL_FAULT_KINDS, run_chaos, run_chaos_many
 from repro.membership.ring import RingConfig
 
 PROCS = (1, 2, 3, 4, 5)
+
+SOAK_WORKERS = int(os.environ.get("REPRO_SOAK_WORKERS", "1"))
 
 
 def soak_run(seed, intensity=0.7, kinds=None, config=None):
@@ -35,12 +42,26 @@ def soak_run(seed, intensity=0.7, kinds=None, config=None):
     )
 
 
+def soak_sweep(seeds, intensity=0.7, kinds=None, config=None):
+    """Seed-ordered reports, parallel when REPRO_SOAK_WORKERS > 1."""
+    return run_chaos_many(
+        PROCS,
+        list(seeds),
+        workers=SOAK_WORKERS,
+        horizon=400.0,
+        intensity=intensity,
+        kinds=kinds,
+        sends=20,
+        settle=800.0,
+        config=config,
+    )
+
+
 def test_e18_soak_zero_violations_across_seeds():
     """The headline: 20 seeded schedules, >=5 composed fault kinds each,
     zero VS/TO violations, full post-stabilisation recovery."""
     rows = []
-    for seed in range(20):
-        report = soak_run(seed)
+    for seed, report in zip(range(20), soak_sweep(range(20))):
         assert len(report.fault_kinds) >= 5, (
             f"seed={seed}: only {report.fault_kinds} composed"
         )
@@ -87,8 +108,8 @@ def test_e18_intensity_sweep():
     rows = []
     for intensity in (0.25, 0.5, 0.75, 1.0):
         recoveries, drops, formations = [], [], []
-        for seed in range(5):
-            report = soak_run(40 + seed, intensity=intensity)
+        reports = soak_sweep(range(40, 45), intensity=intensity)
+        for seed, report in zip(range(5), reports):
             assert report.safety_ok, (
                 f"intensity={intensity} seed={seed}: "
                 f"{report.violations[:1] or report.to_reason}"
@@ -137,10 +158,10 @@ def test_e18_hardening_ablation():
             retransmit_attempts=attempts,
         )
         retransmits, formations = [], []
-        for seed in range(5):
-            report = soak_run(
-                70 + seed, intensity=0.8, kinds=loss_kinds, config=config
-            )
+        reports = soak_sweep(
+            range(70, 75), intensity=0.8, kinds=loss_kinds, config=config
+        )
+        for seed, report in zip(range(5), reports):
             assert report.safety_ok, (label, seed)
             assert report.delivered_complete, (label, seed)
             retransmits.append(report.stats["retransmissions"])
@@ -167,15 +188,16 @@ def test_e18_hardening_ablation():
 def test_e18_extended_soak_max_intensity():
     """The long arm: 40 extra seeds at full intensity with a longer
     horizon.  Scheduled CI runs this; tier-1 skips it via the marker."""
-    for seed in range(200, 240):
-        report = run_chaos(
-            PROCS,
-            seed=seed,
-            horizon=500.0,
-            intensity=1.0,
-            sends=25,
-            settle=900.0,
-        )
+    reports = run_chaos_many(
+        PROCS,
+        list(range(200, 240)),
+        workers=SOAK_WORKERS,
+        horizon=500.0,
+        intensity=1.0,
+        sends=25,
+        settle=900.0,
+    )
+    for seed, report in zip(range(200, 240), reports):
         assert report.violations == [], (seed, report.violations[:1])
         assert report.to_ok, (seed, report.to_reason)
         assert report.delivered_complete, seed

@@ -1,0 +1,284 @@
+"""E20 — hot-path scaling: O(1) bookkeeping + delta tokens vs legacy.
+
+Three claims, each measured against a faithful reconstruction of the
+pre-overhaul code paths:
+
+1. **Throughput** — the n=11 E15-style workload runs >= 2x faster
+   (events/sec) with the order-index/content-index/cached-summary
+   process and delta-encoded tokens than with the legacy O(order)
+   scans and full-order-every-hop token encoding.  Both runs process
+   the *same* simulation events and deliver the *same* values in the
+   same order — the optimisations change wall-clock only.
+2. **Token payload** — with delta encoding the mean entries per token
+   forward stays O(appends)-flat as the order grows (4x the sends,
+   ~same payload); legacy payload grows linearly with order length.
+3. **Parallel soak** — the multiprocessing seed sweep merges
+   byte-identically with the sequential loop at any worker count, and
+   (on hosts with >= 4 cores) a 4-worker sweep finishes >= 2x faster.
+
+Run as a script to emit machine-readable results and gate regressions::
+
+    python benchmarks/bench_hotpath.py --profile smoke \
+        --json BENCH_hotpath.json --check benchmarks/BENCH_hotpath_baseline.json
+
+The regression gate compares *ratios* (speedup, payload ratio), which
+are stable across host speeds, not absolute wall-clock numbers.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from repro.core.quorums import MajorityQuorumSystem
+from repro.core.vstoto.legacy import legacy_process_installed
+from repro.core.vstoto.runtime import VStoTORuntime
+from repro.faults.chaos import run_chaos_sweep
+from repro.membership.ring import RingConfig
+from repro.membership.service import TokenRingVS
+from repro.parallel import available_workers
+
+
+def run_stack(n, seed=0, sends=400, *, delta_token=True, legacy_process=False):
+    """The E15 full-stack workload, dialled up: ``sends`` broadcasts at
+    a steady rate over an n-member ring, either with the optimised code
+    paths (default) or the reconstructed legacy ones."""
+    horizon = 40.0 + sends * 1.2
+    processors = tuple(range(1, n + 1))
+    pi = max(10.0, 1.5 * n)
+    service = TokenRingVS(
+        processors,
+        RingConfig(
+            delta=1.0,
+            pi=pi,
+            mu=50.0,
+            work_conserving=True,
+            delta_token=delta_token,
+        ),
+        seed=seed,
+    )
+    if legacy_process:
+        with legacy_process_installed():
+            runtime = VStoTORuntime(service, MajorityQuorumSystem(processors))
+    else:
+        runtime = VStoTORuntime(service, MajorityQuorumSystem(processors))
+    for i in range(sends):
+        runtime.schedule_broadcast(
+            10.0 + (horizon - 60.0) / sends * i, processors[i % n], f"v{i}"
+        )
+    runtime.start()
+    runtime.run_until(horizon)
+    return service, runtime
+
+
+def measure(n, sends, *, legacy, rounds=2):
+    """Best-of-``rounds`` measurement of one configuration."""
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        service, runtime = run_stack(
+            n, sends=sends, delta_token=not legacy, legacy_process=legacy
+        )
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, service, runtime)
+    wall, service, runtime = best
+    stats = service.stats()
+    events = stats["events_processed"]
+    return {
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall),
+        "delivered": len(runtime.deliveries),
+        "payload_per_forward": round(
+            stats["token_entries_sent"] / max(1, stats["token_forwards"]), 2
+        ),
+        "payload_max": stats["token_entries_max"],
+        "deliveries": [
+            (d.time, d.value, d.origin, d.dst) for d in runtime.deliveries
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points
+# ----------------------------------------------------------------------
+def test_e20_throughput_speedup_and_equivalence():
+    """Headline: >= 2x events/sec at n=11, with identical externally
+    visible behaviour (same deliveries, same simulation events)."""
+    new = measure(11, 400, legacy=False)
+    old = measure(11, 400, legacy=True)
+    assert new["deliveries"] == old["deliveries"], (
+        "optimised stack changed delivery behaviour"
+    )
+    assert new["events"] == old["events"], (
+        "optimised stack changed the simulation event sequence"
+    )
+    speedup = old["wall_s"] / new["wall_s"]
+    print(
+        f"\nE20a: n=11, 400 sends — legacy {old['events_per_sec']:,} ev/s, "
+        f"optimised {new['events_per_sec']:,} ev/s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= 2.0, f"hot-path speedup {speedup:.2f}x < 2x"
+
+
+def test_e20_token_payload_flat():
+    """Delta-encoded token payload is O(appends): quadrupling the sends
+    barely moves the mean entries-per-forward, while the legacy payload
+    tracks the order length."""
+    rows = []
+    for sends in (100, 400):
+        new = measure(11, sends, legacy=False, rounds=1)
+        old = measure(11, sends, legacy=True, rounds=1)
+        rows.append((sends, new["payload_per_forward"], old["payload_per_forward"]))
+    print("\nE20b: mean token entries per forward (delta vs legacy)")
+    for sends, delta_payload, legacy_payload in rows:
+        print(f"  sends={sends}: delta={delta_payload}, legacy={legacy_payload}")
+    (_, d100, l100), (_, d400, l400) = rows
+    assert d400 / d100 < 1.5, "delta payload grew with order length"
+    assert l400 / l100 > 2.0, "legacy payload should track order length"
+    assert l400 / d400 > 10.0, "delta encoding should dominate at scale"
+
+
+def test_e20_parallel_soak_byte_identical():
+    """The multiprocessing sweep merges byte-identically with the
+    sequential loop (same seeds, same envelope digests, same order)."""
+    kwargs = dict(horizon=120.0, intensity=0.5, sends=5, settle=240.0)
+    seq = run_chaos_sweep((1, 2, 3, 4, 5), range(4), workers=1, **kwargs)
+    par = run_chaos_sweep((1, 2, 3, 4, 5), range(4), workers=2, **kwargs)
+    assert [e.seed for e in seq] == [e.seed for e in par] == list(range(4))
+    assert [e.digest for e in seq] == [e.digest for e in par]
+    assert all(e.ok for e in seq)
+
+
+@pytest.mark.skipif(
+    available_workers() < 4, reason="needs >= 4 cores to measure speedup"
+)
+def test_e20_parallel_soak_speedup():
+    """On a multicore host, 4 workers finish a 8-seed soak >= 2x faster
+    than the sequential loop (same merged results)."""
+    kwargs = dict(horizon=300.0, intensity=0.7, sends=15, settle=600.0)
+    t0 = time.perf_counter()
+    seq = run_chaos_sweep((1, 2, 3, 4, 5), range(8), workers=1, **kwargs)
+    seq_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    par = run_chaos_sweep((1, 2, 3, 4, 5), range(8), workers=4, **kwargs)
+    par_wall = time.perf_counter() - t0
+    assert [e.digest for e in seq] == [e.digest for e in par]
+    speedup = seq_wall / par_wall
+    print(f"\nE20c: 8-seed soak — sequential {seq_wall:.2f}s, "
+          f"4 workers {par_wall:.2f}s, speedup {speedup:.2f}x")
+    assert speedup >= 2.0, f"parallel soak speedup {speedup:.2f}x < 2x"
+
+
+# ----------------------------------------------------------------------
+# Machine-readable emission + regression gate (CI)
+# ----------------------------------------------------------------------
+PROFILES = {
+    # CI smoke: best-of-2 rounds, moderate workload.
+    "smoke": {"n": 11, "sends": 300, "rounds": 2, "flat_sends": (100, 300)},
+    # Full: the workload the pytest assertions use.
+    "full": {"n": 11, "sends": 400, "rounds": 2, "flat_sends": (100, 400)},
+}
+
+
+def collect(profile: str) -> dict:
+    spec = PROFILES[profile]
+    n, sends, rounds = spec["n"], spec["sends"], spec["rounds"]
+    new = measure(n, sends, legacy=False, rounds=rounds)
+    old = measure(n, sends, legacy=True, rounds=rounds)
+    equivalent = (
+        new["deliveries"] == old["deliveries"] and new["events"] == old["events"]
+    )
+    lo, hi = spec["flat_sends"]
+    flat_lo = measure(n, lo, legacy=False, rounds=1)
+    flat_hi = measure(n, hi, legacy=False, rounds=1)
+    kwargs = dict(horizon=120.0, intensity=0.5, sends=5, settle=240.0)
+    seq = run_chaos_sweep((1, 2, 3, 4, 5), range(4), workers=1, **kwargs)
+    par = run_chaos_sweep((1, 2, 3, 4, 5), range(4), workers=2, **kwargs)
+    for run in (new, old, flat_lo, flat_hi):
+        run.pop("deliveries")  # bulky; equivalence already folded in
+    return {
+        "profile": profile,
+        "workload": {"n": n, "sends": sends},
+        "optimised": new,
+        "legacy": old,
+        "equivalent": equivalent,
+        # The gated metrics: host-speed-independent ratios.
+        "speedup": round(old["wall_s"] / new["wall_s"], 3),
+        "payload_ratio": round(
+            old["payload_per_forward"] / max(new["payload_per_forward"], 0.01), 2
+        ),
+        "payload_flatness": round(
+            flat_hi["payload_per_forward"]
+            / max(flat_lo["payload_per_forward"], 0.01),
+            3,
+        ),
+        "parallel_digest_match": [e.digest for e in seq]
+        == [e.digest for e in par],
+        "host_cores": available_workers(),
+    }
+
+
+#: gated metric -> (direction, tolerance); "min" means a value below
+#: baseline * (1 - tolerance) fails.
+GATES = {
+    "speedup": ("min", 0.20),
+    "payload_ratio": ("min", 0.20),
+}
+
+
+def check_against(current: dict, baseline: dict) -> list[str]:
+    failures = []
+    if not current["equivalent"]:
+        failures.append("legacy/optimised behaviour diverged")
+    if not current["parallel_digest_match"]:
+        failures.append("parallel sweep digests diverged from sequential")
+    for metric, (direction, tolerance) in GATES.items():
+        base = baseline.get(metric)
+        if base is None:
+            continue
+        value = current[metric]
+        floor = base * (1 - tolerance)
+        if direction == "min" and value < floor:
+            failures.append(
+                f"{metric} regressed: {value} < {floor:.3f} "
+                f"(baseline {base}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=PROFILES, default="smoke")
+    parser.add_argument("--json", help="write results to this path")
+    parser.add_argument(
+        "--check", help="baseline JSON to gate regressions against"
+    )
+    args = parser.parse_args(argv)
+    results = collect(args.profile)
+    print(json.dumps(results, indent=2))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+    if args.check:
+        if os.path.exists(args.check):
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+            failures = check_against(results, baseline)
+            if failures:
+                for failure in failures:
+                    print(f"REGRESSION: {failure}", file=sys.stderr)
+                return 1
+            print("regression gate: OK")
+        else:
+            print(f"no baseline at {args.check}; skipping gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

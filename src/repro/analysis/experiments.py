@@ -5,11 +5,17 @@ Each function returns ``(headers, rows)`` ready for
 :func:`repro.analysis.stats.format_table`.  The pytest benches under
 ``benchmarks/`` run richer versions of the same sweeps with assertions;
 these are the compact, user-runnable forms.
+
+The seeded sweeps accept ``workers=N`` to fan individual runs out over
+worker processes via :mod:`repro.parallel`; rows come back in the same
+deterministic order as the sequential loop regardless of worker count.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
+
+from repro.parallel import parallel_map
 
 from repro.analysis.measure import (
     all_members_delivery_latencies,
@@ -32,35 +38,51 @@ Row = Sequence[object]
 Table = tuple[Sequence[str], list[Row]]
 
 
-def stabilization_table(seeds: Sequence[int] = (0, 1, 2)) -> Table:
+_STABILIZATION_CONFIGS = (
+    (2, 1.0, 10.0, 30.0),
+    (3, 1.0, 10.0, 30.0),
+    (5, 1.0, 10.0, 30.0),
+    (3, 1.0, 20.0, 30.0),
+)
+
+
+def _stabilization_cell(item: tuple) -> float:
+    """One (config, seed) split-stabilisation measurement (module-level
+    so it pickles into worker processes)."""
+    n, delta, pi, mu, seed = item
+    processors = tuple(range(1, n + 3))
+    group = processors[:n]
+    vs = TokenRingVS(
+        processors, RingConfig(delta=delta, pi=pi, mu=mu), seed=seed
+    )
+    vs.install_scenario(
+        PartitionScenario().add(60.0, [list(group), list(processors[n:])])
+    )
+    vs.run_until(60.0 + 30 * max(pi, mu))
+    result = stabilization_interval(
+        vs.merged_trace(), group, 60.0, vs.initial_view
+    )
+    return result.l_prime if result.stabilized else 0.0
+
+
+def stabilization_table(
+    seeds: Sequence[int] = (0, 1, 2), workers: int = 1
+) -> Table:
     """E5: split stabilisation l' vs b across (n, δ, π, μ)."""
     headers = ["n", "delta", "pi", "mu", "b(paper)", "measured", "ratio"]
+    cells = [
+        (n, delta, pi, mu, seed)
+        for n, delta, pi, mu in _STABILIZATION_CONFIGS
+        for seed in seeds
+    ]
+    measured = parallel_map(_stabilization_cell, cells, workers=workers)
     rows: list[Row] = []
-    for n, delta, pi, mu in (
-        (2, 1.0, 10.0, 30.0),
-        (3, 1.0, 10.0, 30.0),
-        (5, 1.0, 10.0, 30.0),
-        (3, 1.0, 20.0, 30.0),
-    ):
+    for index, (n, delta, pi, mu) in enumerate(_STABILIZATION_CONFIGS):
         bound = VSBounds(delta, pi, mu).b(n)
-        worst = 0.0
-        for seed in seeds:
-            processors = tuple(range(1, n + 3))
-            group = processors[:n]
-            vs = TokenRingVS(
-                processors, RingConfig(delta=delta, pi=pi, mu=mu), seed=seed
-            )
-            vs.install_scenario(
-                PartitionScenario().add(
-                    60.0, [list(group), list(processors[n:])]
-                )
-            )
-            vs.run_until(60.0 + 30 * max(pi, mu))
-            result = stabilization_interval(
-                vs.merged_trace(), group, 60.0, vs.initial_view
-            )
-            if result.stabilized:
-                worst = max(worst, result.l_prime)
+        worst = max(
+            measured[index * len(seeds) : (index + 1) * len(seeds)],
+            default=0.0,
+        )
         rows.append([n, delta, pi, mu, bound, worst, worst / bound])
     return headers, rows
 
@@ -118,24 +140,23 @@ def _full_stack(n: int, seed: int):
     return processors, service, runtime
 
 
-def end_to_end_table(seeds: Sequence[int] = (0, 1)) -> Table:
+def _end_to_end_row(item: tuple) -> Row:
+    n, seed = item
+    processors, service, runtime = _full_stack(n, seed)
+    for i in range(15):
+        runtime.schedule_broadcast(20.0 + 18.0 * i, processors[i % n], f"e{i}")
+    runtime.start()
+    runtime.run_until(600.0)
+    samples = all_members_delivery_latencies(runtime.merged_trace(), processors)
+    summary = summarize(s.latency for s in samples)
+    return [n, seed, summary.mean, summary.p95, summary.max]
+
+
+def end_to_end_table(seeds: Sequence[int] = (0, 1), workers: int = 1) -> Table:
     """E7: steady-state bcast→all-delivered latency on the full stack."""
     headers = ["n", "seed", "mean", "p95", "max"]
-    rows: list[Row] = []
-    for n in (3, 5):
-        for seed in seeds:
-            processors, service, runtime = _full_stack(n, seed)
-            for i in range(15):
-                runtime.schedule_broadcast(
-                    20.0 + 18.0 * i, processors[i % n], f"e{i}"
-                )
-            runtime.start()
-            runtime.run_until(600.0)
-            samples = all_members_delivery_latencies(
-                runtime.merged_trace(), processors
-            )
-            summary = summarize(s.latency for s in samples)
-            rows.append([n, seed, summary.mean, summary.p95, summary.max])
+    cells = [(n, seed) for n in (3, 5) for seed in seeds]
+    rows: list[Row] = parallel_map(_end_to_end_row, cells, workers=workers)
     return headers, rows
 
 
@@ -175,39 +196,39 @@ def baseline_table(sigmas: Sequence[float] = (2.0, 5.0, 10.0)) -> Table:
     return headers, rows
 
 
-def timeline_table(seeds: Sequence[int] = (0, 1, 2)) -> Table:
+def _timeline_row(seed: int) -> Row:
+    bounds = VSBounds(1.0, 10.0, 30.0)
+    processors, service, runtime = _full_stack(5, seed)
+    service.install_scenario(
+        PartitionScenario()
+        .add(40.0, [[1, 2, 3], [4, 5]])
+        .add(300.0, [[1, 2, 3, 4, 5]])
+    )
+    for i in range(10):
+        runtime.schedule_broadcast(10.0 + 23.0 * i, processors[i % 5], i)
+    runtime.start()
+    runtime.run_until(800.0)
+    timeline = decompose_timeline(
+        service.merged_trace(),
+        processors,
+        300.0,
+        is_summary,
+        service.initial_view,
+    )
+    return [
+        seed,
+        timeline.alpha1_length,
+        bounds.b(5),
+        timeline.alpha3_length,
+        timeline.total_stabilization,
+        bounds.b(5) + bounds.d_impl(5, True),
+    ]
+
+
+def timeline_table(seeds: Sequence[int] = (0, 1, 2), workers: int = 1) -> Table:
     """E12: the Figure 12 decomposition."""
     headers = ["seed", "alpha1", "b", "alpha3", "total", "b+d"]
-    bounds = VSBounds(1.0, 10.0, 30.0)
-    rows: list[Row] = []
-    for seed in seeds:
-        processors, service, runtime = _full_stack(5, seed)
-        service.install_scenario(
-            PartitionScenario()
-            .add(40.0, [[1, 2, 3], [4, 5]])
-            .add(300.0, [[1, 2, 3, 4, 5]])
-        )
-        for i in range(10):
-            runtime.schedule_broadcast(10.0 + 23.0 * i, processors[i % 5], i)
-        runtime.start()
-        runtime.run_until(800.0)
-        timeline = decompose_timeline(
-            service.merged_trace(),
-            processors,
-            300.0,
-            is_summary,
-            service.initial_view,
-        )
-        rows.append(
-            [
-                seed,
-                timeline.alpha1_length,
-                bounds.b(5),
-                timeline.alpha3_length,
-                timeline.total_stabilization,
-                bounds.b(5) + bounds.d_impl(5, True),
-            ]
-        )
+    rows: list[Row] = parallel_map(_timeline_row, list(seeds), workers=workers)
     return headers, rows
 
 
@@ -274,10 +295,10 @@ def observability_table(seeds: Sequence[int] = (0, 1, 2)) -> Table:
     return headers, rows
 
 
-def chaos_table(seeds: Sequence[int] = (0, 1, 2, 3)) -> Table:
+def chaos_table(seeds: Sequence[int] = (0, 1, 2, 3), workers: int = 1) -> Table:
     """E18: compact chaos soak — composed nemesis, safety verdicts and
     structured drop accounting (full sweep: ``bench_chaos_soak.py``)."""
-    from repro.faults import run_chaos
+    from repro.faults import run_chaos_many
 
     headers = [
         "seed",
@@ -295,15 +316,16 @@ def chaos_table(seeds: Sequence[int] = (0, 1, 2, 3)) -> Table:
         "recovery",
     ]
     rows: list[Row] = []
-    for seed in seeds:
-        report = run_chaos(
-            (1, 2, 3, 4, 5),
-            seed=seed,
-            horizon=300.0,
-            intensity=0.7,
-            sends=12,
-            settle=700.0,
-        )
+    reports = run_chaos_many(
+        (1, 2, 3, 4, 5),
+        list(seeds),
+        workers=workers,
+        horizon=300.0,
+        intensity=0.7,
+        sends=12,
+        settle=700.0,
+    )
+    for seed, report in zip(seeds, reports):
         rows.append(
             [
                 seed,

@@ -44,6 +44,10 @@ class _ViewState:
     received: dict = field(default_factory=dict)    # dest -> count
     received_from: dict = field(default_factory=dict)  # (dest, src) -> count
     safed: dict = field(default_factory=dict)       # dest -> count
+    #: sender -> number of that sender's entries in common_order; a
+    #: running cursor so extending the order is O(1) instead of a
+    #: rescan of the whole order per receive.
+    order_rank: dict = field(default_factory=dict)
 
 
 class OnlineVSMonitor:
@@ -141,11 +145,7 @@ class OnlineVSMonitor:
                 return
         else:
             # dst extends the common order; validate against src's sends.
-            rank = sum(
-                1
-                for existing, sender in state.common_order
-                if sender == src
-            )
+            rank = state.order_rank.get(src, 0)
             sent = state.sent.get(src, [])
             if rank >= len(sent) or sent[rank] != payload:
                 self._fail(
@@ -154,6 +154,7 @@ class OnlineVSMonitor:
                 )
                 return
             state.common_order.append(entry)
+            state.order_rank[src] = rank + 1
         state.received[dst] = index + 1
         key = (dst, src)
         state.received_from[key] = state.received_from.get(key, 0) + 1

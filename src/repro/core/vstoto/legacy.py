@@ -1,0 +1,71 @@
+"""The pre-overhaul VStoTO hot paths, kept as a living reference.
+
+:class:`LegacyVStoTOProcess` reconstructs the original O(order) code
+paths — linear ``label in order`` scans, per-call content-dict rebuilds,
+uncached summaries and copied ``buildorder`` prefixes — by overriding
+exactly the indexed helpers that the optimised
+:class:`~repro.core.vstoto.process.VStoTOProcess` introduced.  It exists
+so the benchmark suite (E20, ``benchmarks/bench_hotpath.py``) can
+measure the optimisation and so the equivalence tests can assert that
+optimised and legacy stacks produce *identical* externally visible
+behaviour (same traces, same deliveries, same simulation events).
+
+:func:`legacy_process_installed` patches the class the runtime
+instantiates for the duration of a ``with`` block; combined with
+``RingConfig(delta_token=False)`` it reproduces the full pre-overhaul
+stack.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.core.types import BOTTOM
+from repro.core.vstoto import runtime as _runtime_mod
+from repro.core.vstoto.process import VStoTOProcess
+from repro.core.vstoto.summary import Summary
+
+
+class LegacyVStoTOProcess(VStoTOProcess):
+    """Behaviourally identical to :class:`VStoTOProcess`; only the
+    asymptotics differ (O(order)/O(content) where the base class is
+    O(1)/O(Δ))."""
+
+    def _order_contains(self, label):
+        return label in self.order
+
+    def _order_append(self, label):
+        self.order.append(label)
+
+    def _replace_order(self, labels):
+        self.order = labels
+
+    def _content_index(self):
+        return {lab: value for lab, value in self.content}
+
+    def _content_add(self, label, value):
+        self.content.add((label, value))
+
+    def state_summary(self):
+        return Summary(
+            con=frozenset(self.content),
+            ord=tuple(self.order),
+            next=self.nextconfirm,
+            high=self.highprimary,
+        )
+
+    def _record_buildorder(self):
+        if self.current is not BOTTOM:
+            self.buildorder[self.current.id] = tuple(self.order)
+
+
+@contextlib.contextmanager
+def legacy_process_installed():
+    """Make :class:`~repro.core.vstoto.runtime.VStoTORuntime` construct
+    legacy processes for the duration of the block."""
+    saved = _runtime_mod.VStoTOProcess
+    _runtime_mod.VStoTOProcess = LegacyVStoTOProcess
+    try:
+        yield
+    finally:
+        _runtime_mod.VStoTOProcess = saved

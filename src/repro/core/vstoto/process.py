@@ -41,6 +41,7 @@ from typing import Any, Hashable, Iterator, Optional
 from repro.core.quorums import QuorumSystem
 from repro.core.types import BOTTOM, Label, View, ViewId
 from repro.core.vstoto.summary import (
+    SharedOrderPrefix,
     Summary,
     fullorder,
     maxnextconfirm,
@@ -117,7 +118,78 @@ class VStoTOProcess(Automaton):
         self.safe_labels: set[Label] = set()
         # --- history variables (Section 6) ---
         self.established: dict[ViewId, bool] = {initial_view.id: True} if in_p0 else {}
-        self.buildorder: dict[ViewId, tuple[Label, ...]] = {}
+        # Values are tuple-like label sequences (SharedOrderPrefix or,
+        # after a snapshot restore, plain tuples).
+        self.buildorder: dict[ViewId, Any] = {}
+        # --- derived indexes (not part of the Fig. 9 state) ---
+        # Each cache records the identity and length of the structure it
+        # was built from; direct reassignment of ``order``/``content``
+        # (tests, snapshot restore) invalidates it and forces a rebuild,
+        # so the indexes can never silently go stale.
+        self._order_set: set[Label] = set()
+        self._order_set_len: int = 0
+        self._order_set_src: Any = self.order
+        self._content_map: dict[Label, Any] = {}
+        self._content_map_len: int = 0
+        self._content_map_src: Any = self.content
+        self._summary_cache: Optional[Summary] = None
+        self._summary_key: Any = None
+
+    # ------------------------------------------------------------------
+    # Derived indexes (hot-path bookkeeping; all self-healing)
+    # ------------------------------------------------------------------
+    def _order_contains(self, label: Label) -> bool:
+        """O(1) replacement for ``label in self.order``."""
+        if (
+            self._order_set_src is not self.order
+            or self._order_set_len != len(self.order)
+        ):
+            self._order_set = set(self.order)
+            self._order_set_len = len(self.order)
+            self._order_set_src = self.order
+        return label in self._order_set
+
+    def _order_append(self, label: Label) -> None:
+        """Append to ``order`` keeping the membership index in sync."""
+        if (
+            self._order_set_src is not self.order
+            or self._order_set_len != len(self.order)
+        ):
+            self._order_set = set(self.order)
+            self._order_set_src = self.order
+        self.order.append(label)
+        self._order_set.add(label)
+        self._order_set_len = len(self.order)
+
+    def _replace_order(self, labels: list[Label]) -> None:
+        """Wholesale order replacement (state-exchange adoption)."""
+        self.order = labels
+        self._order_set = set(labels)
+        self._order_set_len = len(labels)
+        self._order_set_src = labels
+
+    def _content_index(self) -> dict[Label, Any]:
+        """Label → value view of ``content`` (O(1) amortised lookups)."""
+        if (
+            self._content_map_src is not self.content
+            or self._content_map_len != len(self.content)
+        ):
+            mapping: dict[Label, Any] = {}
+            for label, value in self.content:
+                mapping[label] = value
+            self._content_map = mapping
+            self._content_map_len = len(self.content)
+            self._content_map_src = self.content
+        return self._content_map
+
+    def _content_add(self, label: Label, value: Any) -> None:
+        """Add a (label, value) pair keeping the index in sync."""
+        index = self._content_index()
+        before = len(self.content)
+        self.content.add((label, value))
+        if len(self.content) != before:
+            index[label] = value
+            self._content_map_len = len(self.content)
 
     # ------------------------------------------------------------------
     # Derived variables
@@ -132,24 +204,43 @@ class VStoTOProcess(Automaton):
 
     def state_summary(self) -> Summary:
         """⟨content, order, nextconfirm, highprimary⟩ — the summary this
-        process sends during state exchange."""
-        return Summary(
-            con=frozenset(self.content),
-            ord=tuple(self.order),
-            next=self.nextconfirm,
-            high=self.highprimary,
+        process sends during state exchange.
+
+        Cached: the drain loops re-enumerate enabled actions many times
+        while status is SEND, and building a Summary copies content and
+        order.  The cache key pins the identity *and* length of both
+        structures, so any mutation or reassignment misses the cache.
+        """
+        key = (
+            id(self.content),
+            len(self.content),
+            id(self.order),
+            len(self.order),
+            self.nextconfirm,
+            self.highprimary,
         )
+        if self._summary_cache is None or self._summary_key != key:
+            self._summary_cache = Summary(
+                con=frozenset(self.content),
+                ord=tuple(self.order),
+                next=self.nextconfirm,
+                high=self.highprimary,
+            )
+            self._summary_key = key
+        return self._summary_cache
 
     def content_lookup(self, label: Label) -> Optional[Any]:
         """The value paired with ``label`` in content, if any."""
-        for lab, value in self.content:
-            if lab == label:
-                return value
-        return None
+        return self._content_index().get(label)
 
     def _record_buildorder(self) -> None:
         if self.current is not BOTTOM:
-            self.buildorder[self.current.id] = tuple(self.order)
+            # O(1): share the live list as an immutable prefix instead of
+            # copying it; ``order`` is append-only within a view, so the
+            # prefix is stable.
+            self.buildorder[self.current.id] = SharedOrderPrefix(
+                self.order, len(self.order)
+            )
 
     # ------------------------------------------------------------------
     # Preconditions
@@ -211,7 +302,7 @@ class VStoTOProcess(Automaton):
             a, p = action.args
             if p == self.proc_id:
                 label = Label(self.current.id, self.nextseqno, self.proc_id)
-                self.content.add((label, a))
+                self._content_add(label, a)
                 self.buffer.append(label)
                 self.nextseqno += 1
                 self.delay.pop(0)
@@ -229,9 +320,9 @@ class VStoTOProcess(Automaton):
                     self._receive_summary(q, m)
                 else:
                     label, value = m
-                    self.content.add((label, value))
-                    if self.primary and label not in self.order:
-                        self.order.append(label)
+                    self._content_add(label, value)
+                    if self.primary and not self._order_contains(label):
+                        self._order_append(label)
                         self._record_buildorder()
         elif name == "safe":
             m, q, p = action.args
@@ -269,7 +360,13 @@ class VStoTOProcess(Automaton):
 
     def _receive_summary(self, sender: ProcId, summary: Summary) -> None:
         """Effect of ``gprcv(x)_{q,p}`` for a summary x (Fig. 10)."""
-        self.content |= set(summary.con)
+        index = self._content_index()
+        before = len(self.content)
+        self.content |= summary.con
+        if len(self.content) != before:
+            for label, value in summary.con:
+                index[label] = value
+            self._content_map_len = len(self.content)
         self.gotstate[sender] = summary
         if (
             self.current is not BOTTOM
@@ -278,10 +375,10 @@ class VStoTOProcess(Automaton):
         ):
             self.nextconfirm = maxnextconfirm(self.gotstate)
             if self.primary:
-                self.order = list(fullorder(self.gotstate))
+                self._replace_order(list(fullorder(self.gotstate)))
                 self.highprimary = self.current.id
             else:
-                self.order = list(shortorder(self.gotstate))
+                self._replace_order(list(shortorder(self.gotstate)))
                 self.highprimary = maxprimary(self.gotstate)
             self.status = Status.NORMAL
             # History variables (Section 6): establishment happens here.
@@ -299,10 +396,9 @@ class VStoTOProcess(Automaton):
             yield act("gpsnd", self.state_summary(), p)
         if self.status is Status.NORMAL and self.buffer:
             head = self.buffer[0]
-            for lab, value in self.content:
-                if lab == head:
-                    yield act("gpsnd", (head, value), p)
-                    break
+            index = self._content_index()
+            if head in index:
+                yield act("gpsnd", (head, index[head]), p)
         if (
             self.primary
             and self.nextconfirm <= len(self.order)
@@ -311,16 +407,26 @@ class VStoTOProcess(Automaton):
             yield act("confirm", p)
         if self.nextreport < self.nextconfirm and self.nextreport <= len(self.order):
             label = self.order[self.nextreport - 1]
-            for lab, value in self.content:
-                if lab == label:
-                    yield act("brcv", value, label.origin, p)
-                    break
+            index = self._content_index()
+            if label in index:
+                yield act("brcv", index[label], label.origin, p)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         snap = super().snapshot()
         snap.pop("quorums", None)  # shared, immutable config
+        # Derived indexes are rebuildable caches, not Fig. 9 state:
+        # excluding them keeps snapshots (and the exhaustive explorer's
+        # state fingerprints) identical to the pre-index encoding.
+        for key in [k for k in snap if k.startswith("_")]:
+            del snap[key]
         snap["status"] = self.status.value
+        # Materialise shared prefixes so snapshots never alias live
+        # state and freeze() canonicalises them like the tuples they
+        # replaced.
+        snap["buildorder"] = {
+            viewid: tuple(labels) for viewid, labels in snap["buildorder"].items()
+        }
         return snap
 
 

@@ -27,7 +27,7 @@ from repro.core.quorums import QuorumSystem
 from repro.core.types import BOTTOM, View
 from repro.core.vstoto.process import Status, VStoTOProcess
 from repro.ioa.actions import Action, act
-from repro.ioa.timed import TimedTrace
+from repro.ioa.timed import IncrementalStatusMerger, TimedTrace
 from repro.membership.service import TokenRingVS
 
 ProcId = Hashable
@@ -80,6 +80,9 @@ class VStoTORuntime:
         service.on_safe = self._on_safe
         service.on_newview = self._on_newview
         self.trace = TimedTrace()
+        self._merger = IncrementalStatusMerger(
+            self.trace, lambda: service.network.oracle.history
+        )
         self.deliveries: list[Delivery] = []
         self._draining: set[ProcId] = set()
         # Observability slots (bound by attach_obs; `is None` guarded).
@@ -277,26 +280,6 @@ class VStoTORuntime:
     # ------------------------------------------------------------------
     def merged_trace(self) -> TimedTrace:
         """TO external events merged with failure-status history (the
-        input shape for TOPropertyChecker)."""
-        events: list[tuple[float, int, Action]] = [
-            (event.time, index, event.action)
-            for index, event in enumerate(self.trace.events)
-        ]
-        base = len(events)
-        for index, status_event in enumerate(
-            self.service.network.oracle.history
-        ):
-            target = status_event.target
-            args = target if isinstance(target, tuple) else (target,)
-            events.append(
-                (
-                    status_event.time,
-                    base + index,
-                    act(status_event.status.value, *args),
-                )
-            )
-        events.sort(key=lambda item: (item[0], item[1]))
-        merged = TimedTrace()
-        for time, _index, action in events:
-            merged.append(time, action)
-        return merged
+        input shape for TOPropertyChecker).  Incremental: only events
+        recorded since the previous call are merged in."""
+        return self._merger.merged()

@@ -15,7 +15,7 @@ to summaries).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Hashable, Mapping, Tuple
+from typing import Any, FrozenSet, Hashable, Iterator, Mapping, Sequence, Tuple
 
 from repro.core.types import BOTTOM, Label, ViewId, view_id_max
 
@@ -23,6 +23,74 @@ ProcId = Hashable
 
 #: A (label, value) pair, the element type of ``con``.
 ContentPair = Tuple[Label, Any]
+
+
+class SharedOrderPrefix(Sequence):
+    """An immutable length-``length`` prefix of an append-only list,
+    shared rather than copied.
+
+    ``VStoTOProcess.order`` is only ever appended to or wholesale
+    replaced, so the first ``length`` elements of a given backing list
+    never change — a ``(backing, length)`` pair is a stable O(1)
+    snapshot where ``tuple(order)`` would copy O(len(order)).  The class
+    behaves like the tuple it replaces (equality, hashing, slicing,
+    iteration), so history variables built from it (``buildorder``)
+    remain directly comparable against tuples in the invariant checks.
+    """
+
+    __slots__ = ("_backing", "_length", "_hash")
+
+    def __init__(self, backing: list, length: int) -> None:
+        if length > len(backing):
+            raise ValueError(
+                f"prefix length {length} exceeds backing length {len(backing)}"
+            )
+        self._backing = backing
+        self._length = length
+        self._hash: Any = None
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(self._backing[: self._length][index])
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        return self._backing[index]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._backing[: self._length])
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, SharedOrderPrefix):
+            if other._length != self._length:
+                return False
+            other = other._backing[: other._length]
+        elif isinstance(other, (tuple, list)):
+            other = list(other)
+        else:
+            return NotImplemented
+        return self._backing[: self._length] == list(other)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(self._backing[: self._length]))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return repr(tuple(self._backing[: self._length]))
+
+    def __reduce__(self):
+        # Pickle/deepcopy as a detached copy: snapshots taken for
+        # invariant checking must not alias live process state.
+        return (_rebuild_prefix, (list(self._backing[: self._length]),))
+
+
+def _rebuild_prefix(items: list) -> "SharedOrderPrefix":
+    return SharedOrderPrefix(items, len(items))
 
 
 @dataclass(frozen=True)

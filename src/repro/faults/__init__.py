@@ -17,7 +17,13 @@ express at packet granularity.  This package supplies:
   (must be zero), recovery time and drop diagnostics.
 """
 
-from repro.faults.chaos import ChaosReport, ChaosRunner, run_chaos
+from repro.faults.chaos import (
+    ChaosReport,
+    ChaosRunner,
+    run_chaos,
+    run_chaos_many,
+    run_chaos_sweep,
+)
 from repro.faults.injectors import (
     ChaosContext,
     CrashRestartInjector,
@@ -49,4 +55,6 @@ __all__ = [
     "TimerSkewInjector",
     "TokenLossInjector",
     "run_chaos",
+    "run_chaos_many",
+    "run_chaos_sweep",
 ]

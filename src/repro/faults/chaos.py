@@ -23,6 +23,8 @@ form is surfaced by ``python -m repro.report``.
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Optional, Sequence
 
@@ -165,6 +167,21 @@ class ChaosRunner:
         self.runtime.run_until(stabilization + self.settle)
         return self._report(stabilization, values)
 
+    @classmethod
+    def run_many(
+        cls,
+        processors: Iterable[ProcId],
+        seeds: Sequence[int],
+        *,
+        workers: int = 1,
+        **kwargs: Any,
+    ) -> "list[ChaosReport]":
+        """Run one randomly-scheduled chaos soak per seed, fanned out
+        over ``workers`` processes, merged in seed order.  The merged
+        reports are identical to a sequential loop regardless of worker
+        count; keyword knobs are those of :func:`run_chaos`."""
+        return run_chaos_many(processors, seeds, workers=workers, **kwargs)
+
     # ------------------------------------------------------------------
     def _report(
         self, stabilization: float, values: Sequence[Any]
@@ -240,3 +257,89 @@ def run_chaos(
         obs=obs,
     )
     return runner.run()
+
+
+# ----------------------------------------------------------------------
+# Parallel multi-seed soaking (repro.parallel)
+# ----------------------------------------------------------------------
+def _chaos_envelope_worker(
+    seed: int,
+    *,
+    processors: tuple[ProcId, ...],
+    horizon: float,
+    intensity: float,
+    kinds: Optional[Sequence[str]],
+    sends: int,
+    settle: float,
+    config: Optional[RingConfig],
+):
+    """One seeded chaos run wrapped in a RunEnvelope (module-level so it
+    pickles into worker processes)."""
+    from repro.parallel import make_envelope
+
+    t0 = time.perf_counter()
+    report = run_chaos(
+        processors,
+        seed=seed,
+        horizon=horizon,
+        intensity=intensity,
+        kinds=kinds,
+        sends=sends,
+        settle=settle,
+        config=config,
+    )
+    return make_envelope(
+        seed,
+        report,
+        ok=report.ok,
+        stats=report.stats,
+        violations=report.violations,
+        wall_s=time.perf_counter() - t0,
+    )
+
+
+def run_chaos_sweep(
+    processors: Iterable[ProcId],
+    seeds: Sequence[int],
+    *,
+    workers: int = 1,
+    horizon: float = 400.0,
+    intensity: float = 0.5,
+    kinds: Optional[Sequence[str]] = None,
+    sends: int = 20,
+    settle: float = 600.0,
+    config: Optional[RingConfig] = None,
+):
+    """Run :func:`run_chaos` for every seed, optionally across worker
+    processes, returning :class:`repro.parallel.RunEnvelope` objects in
+    seed order.  The merged result is identical to the sequential loop
+    (``workers=1``) by construction; the envelopes' digests make that
+    checkable."""
+    from repro.parallel import run_seed_sweep
+
+    worker = functools.partial(
+        _chaos_envelope_worker,
+        processors=tuple(processors),
+        horizon=horizon,
+        intensity=intensity,
+        kinds=tuple(kinds) if kinds is not None else None,
+        sends=sends,
+        settle=settle,
+        config=config,
+    )
+    return run_seed_sweep(worker, seeds, workers=workers)
+
+
+def run_chaos_many(
+    processors: Iterable[ProcId],
+    seeds: Sequence[int],
+    *,
+    workers: int = 1,
+    **kwargs: Any,
+) -> list[ChaosReport]:
+    """Seed-ordered chaos reports, fanned out over ``workers`` processes
+    (see :func:`run_chaos_sweep` for the keyword knobs)."""
+    return [
+        env.result
+        for env in run_chaos_sweep(processors, seeds, workers=workers, **kwargs)
+    ]

@@ -22,9 +22,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import inf
-from typing import Iterable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
-from repro.ioa.actions import Action
+from repro.ioa.actions import Action, act
 from repro.ioa.automaton import Automaton
 
 
@@ -113,3 +113,98 @@ class TimedTrace:
 
     def __iter__(self) -> Iterator[TimedEvent]:
         return iter(self.events)
+
+
+def status_event_action(status_event: Any) -> Action:
+    """Convert an oracle failure-status event (duck-typed: ``time``,
+    ``status``, ``target``) into the trace action the property checkers
+    expect."""
+    target = status_event.target
+    args = target if isinstance(target, tuple) else (target,)
+    return act(status_event.status.value, *args)
+
+
+class IncrementalStatusMerger:
+    """Incrementally maintain the merge of a primary :class:`TimedTrace`
+    with a secondary time-monotonic event stream.
+
+    Reproduces exactly the ordering of the batch construction it
+    replaces — sort by ``(time, index)`` with every primary event
+    indexed before every secondary event — so at equal times all primary
+    events precede all secondary events, and each stream keeps its own
+    internal order.  Both streams are recorded at the simulator's
+    non-decreasing clock, so every *new* event's time is >= every
+    already-merged event's time; the only repair an update needs is
+    re-merging tail secondary events that share a timestamp with newly
+    arrived primary events.  Repeated calls with no new events return
+    the cached trace in O(1); previously returned traces are never
+    mutated.
+
+    The merger self-heals: if either source shrank (a test reset the
+    trace), the merge is rebuilt from scratch.
+    """
+
+    def __init__(
+        self,
+        primary: TimedTrace,
+        secondary: Callable[[], Sequence[Any]],
+        convert: Callable[[Any], Action] = status_event_action,
+    ) -> None:
+        self._primary = primary
+        self._secondary = secondary
+        self._convert = convert
+        #: merged (time, stream, action) triples; stream 0 = primary.
+        self._events: list[tuple[float, int, Action]] = []
+        self._p_idx = 0
+        self._s_idx = 0
+        self._cache: Optional[TimedTrace] = None
+
+    def merged(self) -> TimedTrace:
+        primary = self._primary.events
+        secondary = self._secondary()
+        if len(primary) < self._p_idx or len(secondary) < self._s_idx:
+            self._events = []
+            self._p_idx = 0
+            self._s_idx = 0
+            self._cache = None
+        if (
+            self._cache is not None
+            and self._p_idx == len(primary)
+            and self._s_idx == len(secondary)
+        ):
+            return self._cache
+        new_primary = [(e.time, 0, e.action) for e in primary[self._p_idx :]]
+        self._p_idx = len(primary)
+        new_secondary = [
+            (s.time, 1, self._convert(s)) for s in secondary[self._s_idx :]
+        ]
+        self._s_idx = len(secondary)
+        if new_primary:
+            # Tail repair: already-merged secondary events at (or after)
+            # the first new primary time must sort after it.
+            t0 = new_primary[0][0]
+            reordered: list[tuple[float, int, Action]] = []
+            while (
+                self._events
+                and self._events[-1][1] == 1
+                and self._events[-1][0] >= t0
+            ):
+                reordered.append(self._events.pop())
+            reordered.reverse()
+            new_secondary = reordered + new_secondary
+        out = self._events
+        i = j = 0
+        while i < len(new_primary) and j < len(new_secondary):
+            if new_secondary[j][0] < new_primary[i][0]:
+                out.append(new_secondary[j])
+                j += 1
+            else:
+                out.append(new_primary[i])
+                i += 1
+        out.extend(new_primary[i:])
+        out.extend(new_secondary[j:])
+        merged = TimedTrace()
+        for time, _stream, action in out:
+            merged.append(time, action)
+        self._cache = merged
+        return merged

@@ -47,16 +47,25 @@ class Token:
 
     - ``members``: the view membership (lets a processor that missed the
       Join install the view from the token, tolerating reordering);
-    - ``order``: the view's message sequence, entries are
-      (payload, origin) pairs — this is ``queue[g]`` made concrete;
+    - ``order``: a *window* of the view's message sequence, entries are
+      (payload, origin) pairs — this is ``queue[g]`` made concrete.  The
+      window covers logical positions ``base .. base + len(order)``;
+      with delta encoding a forwarder trims it to what its successor has
+      not yet acknowledged, so a steady-state hop carries O(new entries)
+      instead of the whole history.  ``base == 0`` (the default) makes
+      ``order`` the full sequence — the legacy full-copy encoding;
     - ``delivered``: per-member count of order entries that member had
       passed to its client when the token last left it (the basis for
-      the safe indication);
+      the safe indication).  All counts (``delivered``/``safed``/
+      ``seen``) are absolute positions in the logical sequence, never
+      window-relative, so trimming does not disturb them;
     - ``hop``: position in the circulation (diagnostics).
     """
 
     viewid: RingViewId
     members: Tuple[ProcId, ...] = ()
+    #: logical position of ``order[0]`` in the view's full sequence
+    base: int = 0
     order: list = field(default_factory=list)
     delivered: dict = field(default_factory=dict)
     safed: dict = field(default_factory=dict)
@@ -66,11 +75,18 @@ class Token:
     trail: list = field(default_factory=list)
     hop: int = 0
 
+    @property
+    def total(self) -> int:
+        """Length of the view's full logical sequence as this token
+        knows it (the position just past the window's last entry)."""
+        return self.base + len(self.order)
+
     def copy(self) -> "Token":
         """Per-hop copy so in-flight tokens never alias member state."""
         return Token(
             viewid=self.viewid,
             members=self.members,
+            base=self.base,
             order=list(self.order),
             delivered=dict(self.delivered),
             safed=dict(self.safed),

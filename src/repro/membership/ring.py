@@ -85,6 +85,7 @@ class RingConfig:
         one_round: bool = False,
         retransmit_attempts: int = 1,
         retransmit_backoff: Optional[float] = None,
+        delta_token: bool = True,
     ) -> None:
         if delta <= 0 or pi <= 0 or mu <= 0:
             raise ValueError("delta, pi and mu must be positive")
@@ -124,6 +125,14 @@ class RingConfig:
         #: (the formation was superseded or the view replaced).
         self.retransmit_attempts = retransmit_attempts
         self._retransmit_backoff = retransmit_backoff
+        #: Delta-encode the circulating token: each forwarder trims the
+        #: order window to what its successor has not yet acknowledged
+        #: (``token.seen``), so a steady-state hop carries O(appends)
+        #: entries instead of the view's whole history.  False restores
+        #: the legacy full-order-every-hop encoding (the literal
+        #: ``queue[g]``-on-the-token reading of Section 8); both modes
+        #: deliver identical sequences.
+        self.delta_token = delta_token
 
     @property
     def alive_window(self) -> float:
@@ -193,6 +202,13 @@ class RingMember(NetworkNode):
         self.delivered_idx: int = 0
         self.safe_idx: int = 0
         self.held_token: Optional[Token] = None
+        #: Local replica of the current view's full message order.  With
+        #: delta-encoded tokens each hop carries only a window of the
+        #: sequence; the replica is what deliveries read from and what a
+        #: forwarder re-expands windows from.  Invariant: after this
+        #: member processes a token it is not behind on, ``log`` equals
+        #: the full logical order known to that token.
+        self.log: list = []
 
         # Connectivity estimate for the one-round protocol.
         self.last_heard: dict[ProcId, float] = {}
@@ -229,6 +245,10 @@ class RingMember(NetworkNode):
         self.duplicates_suppressed = 0
         self.retransmissions = 0
         self.restarts = 0
+        self.token_forwards = 0
+        self.token_entries_sent = 0
+        self.token_entries_max = 0
+        self.token_resyncs = 0
 
         # Observability slots (bound by attach_obs; `is None` guarded).
         self._m_tokens = None
@@ -435,6 +455,7 @@ class RingMember(NetworkNode):
         self.delivered_idx = 0
         self.safe_idx = 0
         self.held_token = None
+        self.log = []
         self.last_heard = {}
         self._seen_seq = {}
         self._seen_floor = {}
@@ -644,6 +665,7 @@ class RingMember(NetworkNode):
         self.delivered_idx = 0
         self.safe_idx = 0
         self.held_token = None
+        self.log = []
         self.service.emit_newview(self.view, self.proc_id)
         self._launch_timer.stop()
         if self.is_leader:
@@ -716,7 +738,22 @@ class RingMember(NetworkNode):
 
     def _process_token(self, token: Token) -> None:
         """Deliver new entries, append buffered sends, update counts and
-        emit safe notifications."""
+        emit safe notifications.
+
+        The token carries a *window* of the view's order starting at
+        logical position ``token.base``; this member's ``log`` replica
+        holds the prefix it has already absorbed.  Normally (and always
+        with legacy full-copy tokens, where base is 0) the window
+        overlaps the log, the log is extended with the new suffix and
+        this member's buffered sends are appended to both.  When the
+        window starts *beyond* the log — possible only for a member
+        whose acknowledged position the trimmer did not know, e.g. after
+        white-box state surgery; honest circulations always trim to the
+        recipient's own ``seen`` entry — the member cannot interpret the
+        window: it re-advertises its true position in ``token.seen`` and
+        takes nothing, and the next circulation re-expands from there (a
+        full-order resync for this member).
+        """
         self.tokens_processed += 1
         if self._m_tokens is not None:
             self._m_tokens.inc()
@@ -728,26 +765,39 @@ class RingMember(NetworkNode):
             if member != self.proc_id:
                 self.last_heard[member] = now
         token.trail.append(self.proc_id)
-        # Append this member's buffered messages for the current view —
-        # the concrete counterpart of VS-machine's internal vs-order.
-        for entry_viewid, payload in self.buffered:
-            if entry_viewid == viewid:
-                token.order.append((payload, self.proc_id))
-                self._notify_order(payload, viewid)
-        self.buffered = [e for e in self.buffered if e[0] != viewid]
-        token.seen[self.proc_id] = len(token.order)
+        if token.base > len(self.log):
+            # Behind the window: request resync by advertising the true
+            # position; no appends, no new deliveries this pass.
+            self.token_resyncs += 1
+        else:
+            start = len(self.log) - token.base
+            if start < len(token.order):
+                self.log.extend(token.order[start:])
+            if len(self.log) == token.total:
+                # Fully caught up: append this member's buffered
+                # messages for the current view — the concrete
+                # counterpart of VS-machine's internal vs-order.
+                for entry_viewid, payload in self.buffered:
+                    if entry_viewid == viewid:
+                        entry = (payload, self.proc_id)
+                        token.order.append(entry)
+                        self.log.append(entry)
+                        self._notify_order(payload, viewid)
+                self.buffered = [e for e in self.buffered if e[0] != viewid]
+        token.seen[self.proc_id] = len(self.log)
         if self.config.deliver_when_safe:
             # Totem-style: deliver only entries every member has seen.
             deliverable = token.seen_prefix_length(token.members)
         else:
-            deliverable = len(token.order)
-        for payload, origin in token.order[self.delivered_idx : deliverable]:
+            deliverable = token.total
+        deliverable = min(deliverable, len(self.log))
+        for payload, origin in self.log[self.delivered_idx : deliverable]:
             self.service.emit_gprcv(payload, origin, self.proc_id)
         self.delivered_idx = max(self.delivered_idx, deliverable)
         token.delivered[self.proc_id] = self.delivered_idx
         # Safe notifications for the prefix every member has delivered.
-        safe_upto = token.safe_prefix_length(token.members)
-        for payload, origin in token.order[self.safe_idx : safe_upto]:
+        safe_upto = min(token.safe_prefix_length(token.members), len(self.log))
+        for payload, origin in self.log[self.safe_idx : safe_upto]:
             self.service.emit_safe(payload, origin, self.proc_id)
         self.safe_idx = max(self.safe_idx, safe_upto)
         token.safed[self.proc_id] = self.safe_idx
@@ -756,7 +806,7 @@ class RingMember(NetworkNode):
     def _token_has_work(self, token: Token) -> bool:
         """Work-conserving mode: is any entry not yet known safe at
         every member?  While true the leader relaunches immediately."""
-        total = len(token.order)
+        total = token.total
         if total == 0:
             return False
         if token.safe_prefix_length(token.members) < total:
@@ -768,7 +818,26 @@ class RingMember(NetworkNode):
         if successor == self.proc_id:
             self.held_token = token
             return
-        self._send(successor, token.copy())
+        self._send(successor, self._encode_for(successor, token))
+
+    def _encode_for(self, successor: ProcId, token: Token) -> Token:
+        """The successor's copy of the token.  With delta encoding a
+        caught-up forwarder re-expands the window from its own log,
+        starting at the successor's acknowledged position — O(appends)
+        per hop in the steady state instead of O(order).  A forwarder
+        that is itself behind (so its log cannot produce arbitrary
+        suffixes) passes the window through unchanged, as does legacy
+        mode."""
+        out = token.copy()
+        if self.config.delta_token and len(self.log) == token.total:
+            ack = min(max(token.seen.get(successor, 0), 0), len(self.log))
+            out.base = ack
+            out.order = list(self.log[ack:])
+        self.token_forwards += 1
+        self.token_entries_sent += len(out.order)
+        if len(out.order) > self.token_entries_max:
+            self.token_entries_max = len(out.order)
+        return out
 
     def _on_token_timeout(self) -> None:
         if not self._alive():

@@ -17,8 +17,8 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable, Iterable, Optional
 
 from repro.core.types import View
-from repro.ioa.actions import Action, act
-from repro.ioa.timed import TimedTrace
+from repro.ioa.actions import act
+from repro.ioa.timed import IncrementalStatusMerger, TimedTrace
 from repro.membership.ring import RingConfig, RingMember
 from repro.net.channel import ChannelConfig
 from repro.obs import capture
@@ -93,6 +93,9 @@ class TokenRingVS:
             self.members[p] = member
             self.network.register(member)
         self.trace = TimedTrace()
+        self._merger = IncrementalStatusMerger(
+            self.trace, lambda: self.network.oracle.history
+        )
         self.on_gprcv: Optional[DeliveryCallback] = None
         self.on_safe: Optional[DeliveryCallback] = None
         self.on_newview: Optional[ViewCallback] = None
@@ -186,26 +189,11 @@ class TokenRingVS:
     def merged_trace(self) -> TimedTrace:
         """The VS event trace merged with failure-status events from the
         oracle history, in time order — the shape both property checkers
-        consume."""
-        events: list[tuple[float, int, Action]] = []
-        for index, event in enumerate(self.trace.events):
-            events.append((event.time, index, event.action))
-        base = len(events)
-        for index, status_event in enumerate(self.network.oracle.history):
-            target = status_event.target
-            args = target if isinstance(target, tuple) else (target,)
-            events.append(
-                (
-                    status_event.time,
-                    base + index,
-                    act(status_event.status.value, *args),
-                )
-            )
-        events.sort(key=lambda item: (item[0], item[1]))
-        merged = TimedTrace()
-        for time, _index, action in events:
-            merged.append(time, action)
-        return merged
+        consume.  Incremental: only events recorded since the previous
+        call are merged in (O(new) amortised instead of an O(n log n)
+        re-sort), which keeps periodic conformance sweeps cheap on long
+        runs."""
+        return self._merger.merged()
 
     def stats(self) -> dict[str, Any]:
         """Aggregate protocol statistics (diagnostics for benchmarks)."""
@@ -225,6 +213,19 @@ class TokenRingVS:
                 m.retransmissions for m in self.members.values()
             ),
             "restarts": sum(m.restarts for m in self.members.values()),
+            "token_forwards": sum(
+                m.token_forwards for m in self.members.values()
+            ),
+            "token_entries_sent": sum(
+                m.token_entries_sent for m in self.members.values()
+            ),
+            "token_entries_max": max(
+                (m.token_entries_max for m in self.members.values()),
+                default=0,
+            ),
+            "token_resyncs": sum(
+                m.token_resyncs for m in self.members.values()
+            ),
             "drops": self.network.drop_stats(),
             "events_processed": self.simulator.events_processed,
         }

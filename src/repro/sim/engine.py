@@ -28,19 +28,28 @@ class _QueuedEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: True once the event left the queue (fired or discarded); a cancel
+    #: after this point must not touch the simulator's live counters.
+    done: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _QueuedEvent) -> None:
+    def __init__(self, event: _QueuedEvent, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Cancel the event if it has not fired yet (idempotent)."""
-        self._event.cancelled = True
+        """Cancel the event if it has not fired yet (idempotent: the
+        live-event counter is decremented exactly once)."""
+        event = self._event
+        if event.cancelled or event.done:
+            return
+        event.cancelled = True
+        self._sim._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -59,6 +68,14 @@ class Simulator:
         self._queue: list[_QueuedEvent] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        # Live (not-cancelled) queue entries, maintained on schedule /
+        # cancel / pop so :attr:`pending` is O(1) instead of a queue scan.
+        self._pending = 0
+        # Cancelled entries still sitting in the heap (lazy deletion);
+        # when they outnumber the live ones the heap is compacted so
+        # heavy timer churn (ring watchdogs) cannot leak memory.
+        self._cancelled_in_queue = 0
+        self._compactions = 0
         self._trace_hook: Optional[Callable[[float], None]] = None
         # Observability slots, pre-bound by attach_obs; with no hub
         # attached each instrumented path pays one `is None` branch.
@@ -106,8 +123,40 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled queued events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled queued events (O(1))."""
+        return self._pending
+
+    def stats(self) -> dict[str, int]:
+        """Queue bookkeeping counters (diagnostics for benchmarks)."""
+        return {
+            "events_processed": self._events_processed,
+            "pending": self._pending,
+            "cancelled_in_queue": self._cancelled_in_queue,
+            "queue_len": len(self._queue),
+            "compactions": self._compactions,
+        }
+
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        """Called by :meth:`EventHandle.cancel` exactly once per event."""
+        self._pending -= 1
+        self._cancelled_in_queue += 1
+        # Compact when cancelled entries outnumber live ones: the pop
+        # order is the total order (time, seq), so dropping dead entries
+        # and re-heapifying cannot change which event fires next.
+        if self._cancelled_in_queue > len(self._queue) // 2 and len(self._queue) > 8:
+            self._compact()
+
+    def _compact(self) -> None:
+        for event in self._queue:
+            if event.cancelled:
+                event.done = True
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        if self._m_cancelled is not None:
+            self._m_cancelled.inc(self._cancelled_in_queue)
+        self._cancelled_in_queue = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     def schedule(
@@ -126,19 +175,23 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
         event = _QueuedEvent(time=time, seq=next(self._seq), callback=callback)
         heapq.heappush(self._queue, event)
+        self._pending += 1
         if self._m_scheduled is not None:
             self._m_scheduled.inc()
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process the next event; returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.done = True
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 if self._m_cancelled is not None:
                     self._m_cancelled.inc()
                 continue
+            self._pending -= 1
             if event.time > self._now and self._trace_hook is not None:
                 self._trace_hook(event.time - self._now)
             self._now = max(self._now, event.time)
@@ -159,6 +212,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                head.done = True
+                self._cancelled_in_queue -= 1
                 if self._m_cancelled is not None:
                     self._m_cancelled.inc()
                 continue
@@ -177,6 +232,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                head.done = True
+                self._cancelled_in_queue -= 1
                 if self._m_cancelled is not None:
                     self._m_cancelled.inc()
                 continue
@@ -200,4 +257,8 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (used between benchmark iterations)."""
+        for event in self._queue:
+            event.done = True
         self._queue.clear()
+        self._pending = 0
+        self._cancelled_in_queue = 0

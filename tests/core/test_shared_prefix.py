@@ -1,0 +1,62 @@
+"""`SharedOrderPrefix` — the copy-free ``buildorder`` snapshot.
+
+It must behave exactly like the tuple it replaced (equality, hashing,
+indexing, slicing, iteration) while sharing the backing list, and must
+stay stable as the backing list is appended to.
+"""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.core.vstoto.summary import SharedOrderPrefix
+
+
+def test_behaves_like_the_prefix_tuple():
+    backing = ["a", "b", "c", "d"]
+    prefix = SharedOrderPrefix(backing, 3)
+    assert len(prefix) == 3
+    assert list(prefix) == ["a", "b", "c"]
+    assert prefix[0] == "a" and prefix[2] == "c" and prefix[-1] == "c"
+    assert prefix[1:] == ("b", "c")
+    with pytest.raises(IndexError):
+        prefix[3]
+
+
+def test_equality_and_hash_match_tuple_semantics():
+    backing = ["a", "b", "c"]
+    prefix = SharedOrderPrefix(backing, 2)
+    assert prefix == ("a", "b")
+    assert prefix == ["a", "b"]
+    assert prefix != ("a", "b", "c")
+    assert prefix == SharedOrderPrefix(["a", "b", "x"], 2)
+    assert hash(prefix) == hash(("a", "b"))
+    assert prefix != 42
+
+
+def test_stable_under_backing_appends():
+    """The whole point: ``order`` is append-only, so a recorded prefix
+    never changes as the live list grows."""
+    backing = ["a"]
+    prefix = SharedOrderPrefix(backing, 1)
+    backing.extend(["b", "c", "d"])
+    assert list(prefix) == ["a"]
+    assert prefix == ("a",)
+    later = SharedOrderPrefix(backing, 3)
+    assert later == ("a", "b", "c")
+
+
+def test_length_cannot_exceed_backing():
+    with pytest.raises(ValueError):
+        SharedOrderPrefix(["a"], 2)
+
+
+def test_pickle_and_deepcopy_detach_from_backing():
+    backing = ["a", "b", "c"]
+    prefix = SharedOrderPrefix(backing, 2)
+    for clone in (pickle.loads(pickle.dumps(prefix)), copy.deepcopy(prefix)):
+        assert clone == ("a", "b")
+        backing[0] = "MUTATED"
+        assert clone == ("a", "b")  # detached: snapshot cannot alias
+        backing[0] = "a"

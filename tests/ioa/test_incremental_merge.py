@@ -1,0 +1,118 @@
+"""`IncrementalStatusMerger` — incremental primary/secondary trace merge.
+
+The merger must reproduce, at every point in time, exactly what a
+fresh batch merge of the same two sources would produce — including at
+equal timestamps (all primary events precede all secondary events) —
+while answering unchanged queries from cache and self-healing when a
+source is reset.
+"""
+
+from dataclasses import dataclass
+
+from repro.ioa.actions import act
+from repro.ioa.timed import IncrementalStatusMerger, TimedTrace
+
+
+@dataclass
+class _Status:
+    """Duck-typed like the oracle's status events."""
+
+    time: float
+    status: "_Kind"
+    target: object
+
+
+@dataclass
+class _Kind:
+    value: str
+
+
+def _status(time, name, target):
+    return _Status(time, _Kind(name), target)
+
+
+def _batch_reference(primary, secondary_events):
+    """The original batch construction the merger replaces."""
+    fresh = IncrementalStatusMerger(primary, lambda: secondary_events)
+    return [(e.time, e.action) for e in fresh.merged().events]
+
+
+def _events(trace):
+    return [(e.time, e.action) for e in trace.events]
+
+
+def test_matches_batch_merge_at_every_step():
+    primary = TimedTrace()
+    secondary: list = []
+    merger = IncrementalStatusMerger(primary, lambda: secondary)
+    assert _events(merger.merged()) == []
+
+    primary.append(1.0, act("newview", "v1"))
+    assert _events(merger.merged()) == _batch_reference(primary, secondary)
+
+    secondary.append(_status(1.5, "good", (1, 2)))
+    secondary.append(_status(2.0, "bad", 3))
+    assert _events(merger.merged()) == _batch_reference(primary, secondary)
+
+    primary.append(2.5, act("gprcv", "m"))
+    primary.append(2.5, act("safe", "m"))
+    assert _events(merger.merged()) == _batch_reference(primary, secondary)
+
+
+def test_equal_times_order_primary_before_secondary():
+    """At equal timestamps every primary event precedes every secondary
+    one — even when the secondary event was merged *before* the primary
+    arrived (tail repair)."""
+    primary = TimedTrace()
+    secondary: list = []
+    merger = IncrementalStatusMerger(primary, lambda: secondary)
+
+    secondary.append(_status(5.0, "good", 1))
+    assert _events(merger.merged()) == [(5.0, act("good", 1))]
+
+    # A primary event at the same time arrives later; it must sort first.
+    primary.append(5.0, act("newview", "v2"))
+    assert _events(merger.merged()) == [
+        (5.0, act("newview", "v2")),
+        (5.0, act("good", 1)),
+    ]
+    assert _events(merger.merged()) == _batch_reference(primary, secondary)
+
+
+def test_unchanged_query_returns_cached_object():
+    primary = TimedTrace()
+    secondary: list = []
+    merger = IncrementalStatusMerger(primary, lambda: secondary)
+    primary.append(1.0, act("newview", "v1"))
+    first = merger.merged()
+    assert merger.merged() is first  # O(1) cache hit
+    primary.append(2.0, act("gprcv", "m"))
+    second = merger.merged()
+    assert second is not first
+    # Previously returned traces are never mutated.
+    assert _events(first) == [(1.0, act("newview", "v1"))]
+
+
+def test_self_heals_when_a_source_shrinks():
+    primary = TimedTrace()
+    secondary: list = []
+    merger = IncrementalStatusMerger(primary, lambda: secondary)
+    primary.append(1.0, act("newview", "v1"))
+    secondary.append(_status(2.0, "good", 1))
+    merger.merged()
+    # A test reset: the secondary stream is emptied.  The merger notices
+    # the shrink (fewer events than already merged) and rebuilds.
+    secondary.clear()
+    assert _events(merger.merged()) == [(1.0, act("newview", "v1"))]
+    secondary.append(_status(3.0, "bad", 2))
+    assert _events(merger.merged()) == _batch_reference(primary, secondary)
+
+
+def test_tuple_targets_expand_to_action_args():
+    primary = TimedTrace()
+    secondary = [_status(1.0, "good", (1, 2, 3)), _status(2.0, "ugly", 7)]
+    merger = IncrementalStatusMerger(primary, lambda: secondary)
+    assert _events(merger.merged()) == [
+        (1.0, act("good", 1, 2, 3)),
+        (2.0, act("ugly", 7)),
+    ]

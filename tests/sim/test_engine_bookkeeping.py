@@ -1,0 +1,95 @@
+"""Queue bookkeeping: O(1) ``pending``, idempotent cancel, compaction."""
+
+from repro.sim.engine import Simulator
+
+
+def test_pending_is_live_count():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    handles[0].cancel()
+    handles[3].cancel()
+    assert sim.pending == 3
+    sim.run_until(10.0)
+    assert sim.pending == 0
+    assert sim.events_processed == 3
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    fired = []
+    keeper = sim.schedule(1.0, lambda: fired.append("keeper"))
+    victim = sim.schedule(2.0, lambda: fired.append("victim"))
+    victim.cancel()
+    victim.cancel()
+    victim.cancel()
+    # The live counter must decrement exactly once.
+    assert sim.pending == 1
+    assert sim.stats()["cancelled_in_queue"] == 1
+    sim.run_until(5.0)
+    assert fired == ["keeper"]
+    assert keeper.cancelled is False
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run_until(2.0)
+    assert sim.pending == 0
+    handle.cancel()  # fired already: counters must not go negative
+    assert sim.pending == 0
+    assert sim.stats()["cancelled_in_queue"] == 0
+
+
+def test_cancel_after_clear_is_a_noop():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.clear()
+    handle.cancel()
+    assert sim.pending == 0
+    assert sim.stats()["cancelled_in_queue"] == 0
+
+
+def test_compaction_reclaims_cancelled_entries():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+    for handle in handles[:15]:
+        handle.cancel()
+    stats = sim.stats()
+    # 15 cancellations against a 20-entry heap must have compacted at
+    # least once (the threshold trips mid-loop), live count is exact,
+    # and the heap only holds live + not-yet-reclaimed entries.
+    assert stats["compactions"] >= 1
+    assert stats["pending"] == 5
+    assert stats["queue_len"] == stats["pending"] + stats["cancelled_in_queue"]
+    assert stats["queue_len"] < 20
+    sim.run_until(100.0)
+    assert sim.events_processed == 5
+
+
+def test_firing_order_survives_compaction():
+    sim = Simulator()
+    fired = []
+    handles = {}
+    for i in range(30):
+        time = float(30 - i)  # scheduled in reverse time order
+        handles[time] = sim.schedule(time, lambda t=time: fired.append(t))
+    for time, handle in handles.items():
+        if int(time) % 3 != 0:
+            handle.cancel()
+    sim.run_until(100.0)
+    survivors = sorted(t for t in handles if int(t) % 3 == 0)
+    assert fired == survivors
+    assert sim.stats()["compactions"] >= 1
+
+
+def test_stats_counts_processed_and_pending():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.schedule(50.0, lambda: None)
+    sim.run_until(10.0)
+    stats = sim.stats()
+    assert stats["events_processed"] == 2
+    assert stats["pending"] == 1
+    assert stats["queue_len"] == 1

@@ -1,0 +1,109 @@
+"""E21 — lint-speed budget: full-repo static analysis stays cheap.
+
+The ``repro.lint`` gate runs on every CI push, so its cost is part of
+the project's iteration loop.  This benchmark times a full analysis of
+``src/`` (the gated tree) and of the whole repo (src + tests +
+benchmarks), and fails ``--check`` if the gated scan exceeds the
+wall-clock budget.
+
+The budget is absolute (seconds), unlike E20's ratio gates: the
+analyzer is pure Python over a bounded file set, and 5 s on any modern
+host leaves an order-of-magnitude headroom over the ~0.5 s observed
+locally.  A breach means an accidentally quadratic rule, not a slow
+runner.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py \
+        --json BENCH_lint.json --check
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Hard wall-clock budget for one full scan of the gated tree (src/).
+BUDGET_SECONDS = 5.0
+
+
+def timed_scan(paths, rounds=3):
+    """Best-of-``rounds`` full analysis; returns (seconds, result)."""
+    from repro.lint import analyze_paths
+
+    best = None
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = analyze_paths(paths)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def run_benchmark(rounds=3):
+    src_seconds, src_result = timed_scan([REPO / "src"], rounds=rounds)
+    repo_seconds, repo_result = timed_scan(
+        [REPO / "src", REPO / "tests", REPO / "benchmarks"], rounds=rounds
+    )
+    return {
+        "experiment": "E21",
+        "budget_seconds": BUDGET_SECONDS,
+        "rounds": rounds,
+        "src": {
+            "seconds": round(src_seconds, 4),
+            "files": src_result.files_scanned,
+            "findings": len(src_result.findings),
+            "suppressed": len(src_result.suppressed),
+            "ms_per_file": round(1000 * src_seconds / src_result.files_scanned, 3),
+        },
+        "repo": {
+            "seconds": round(repo_seconds, 4),
+            "files": repo_result.files_scanned,
+            "ms_per_file": round(1000 * repo_seconds / repo_result.files_scanned, 3),
+        },
+        "within_budget": src_seconds <= BUDGET_SECONDS,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", help="write results to this path")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"fail if the src/ scan exceeds the {BUDGET_SECONDS:.0f}s budget",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    results = run_benchmark(rounds=args.rounds)
+
+    print(
+        f"E21 lint speed: src {results['src']['seconds']:.3f}s over "
+        f"{results['src']['files']} files "
+        f"({results['src']['ms_per_file']:.2f} ms/file); "
+        f"repo {results['repo']['seconds']:.3f}s over "
+        f"{results['repo']['files']} files"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.check and not results["within_budget"]:
+        print(
+            f"FAIL: src scan took {results['src']['seconds']:.3f}s, "
+            f"budget is {BUDGET_SECONDS:.1f}s"
+        )
+        return 1
+    if args.check:
+        print(f"gate ok: within {BUDGET_SECONDS:.1f}s budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ deterministic order as the sequential loop regardless of worker count.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.parallel import parallel_map
 

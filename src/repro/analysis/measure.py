@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import inf
-from typing import Hashable, Iterable, Optional, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 from repro.core.types import View
 from repro.ioa.timed import TimedTrace
@@ -33,19 +33,19 @@ class StabilizationResult:
     #: measured l' — last newview at the group after l, minus l
     l_prime: float
     #: the common final view, when stabilised
-    final_view: Optional[View]
+    final_view: View | None
 
 
 def stabilization_interval(
     trace: TimedTrace,
     group: Iterable[ProcId],
     scenario_stable_at: float,
-    initial_view: Optional[View] = None,
+    initial_view: View | None = None,
 ) -> StabilizationResult:
     """Measure l' for ``group`` given that the failure pattern is known
     (from the scenario) to be stable from ``scenario_stable_at`` on."""
     group = frozenset(group)
-    latest_view: dict[ProcId, Optional[View]] = {
+    latest_view: dict[ProcId, View | None] = {
         p: (initial_view if initial_view and p in initial_view.set else None)
         for p in group
     }
@@ -85,7 +85,7 @@ def safe_latencies_in_final_view(
     trace: TimedTrace,
     group: Sequence[ProcId],
     final_view: View,
-    initial_view: Optional[View] = None,
+    initial_view: View | None = None,
 ) -> list[LatencySample]:
     """Per-message latency from ``gpsnd`` (while in the final view) to
     the last corresponding ``safe`` event across the group.
@@ -93,7 +93,7 @@ def safe_latencies_in_final_view(
     Matching uses per-sender sequence positions within the view, which
     is exact because VS guarantees per-sender FIFO within a view.
     """
-    current: dict[ProcId, Optional[View]] = {}
+    current: dict[ProcId, View | None] = {}
     send_times: dict[ProcId, list[float]] = {}
     safe_times: dict[tuple[ProcId, ProcId], list[float]] = {}
     for event in trace.events:

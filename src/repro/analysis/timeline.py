@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import inf
-from typing import Hashable, Iterable, Optional
+from collections.abc import Hashable, Iterable
 
 from repro.core.types import View
 from repro.ioa.timed import TimedTrace
@@ -39,7 +39,7 @@ class Timeline:
     vs_settled_at: float
     #: end of α₃: all state-exchange summaries of the final view safe
     exchange_safe_at: float
-    final_view: Optional[View]
+    final_view: View | None
 
     @property
     def alpha1_length(self) -> float:
@@ -62,7 +62,7 @@ def decompose_timeline(
     group: Iterable[ProcId],
     scenario_stable_at: float,
     summary_predicate,
-    initial_view: Optional[View] = None,
+    initial_view: View | None = None,
 ) -> Timeline:
     """Reconstruct the Figure 12 boundaries.
 
@@ -71,7 +71,7 @@ def decompose_timeline(
     :func:`repro.core.vstoto.process.is_summary`).
     """
     group = frozenset(group)
-    latest_view: dict[ProcId, Optional[View]] = {
+    latest_view: dict[ProcId, View | None] = {
         p: (initial_view if initial_view and p in initial_view.set else None)
         for p in group
     }
@@ -93,7 +93,7 @@ def decompose_timeline(
     # in the final view.
     needed = {(src, dst) for src in group for dst in group}
     exchange_safe_at = -inf
-    current: dict[ProcId, Optional[View]] = {}
+    current: dict[ProcId, View | None] = {}
     for event in trace.events:
         name = event.action.name
         if name == "newview":

@@ -9,7 +9,7 @@ Figure 12 style timeline diagrams.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 from repro.ioa.timed import TimedTrace
 
@@ -64,7 +64,7 @@ def describe_event(action) -> str:
 def format_timeline(
     trace: TimedTrace,
     processors: Sequence[ProcId],
-    names: Optional[Iterable[str]] = None,
+    names: Iterable[str] | None = None,
     limit: int = 200,
 ) -> str:
     """Render the trace as a per-processor event grid.

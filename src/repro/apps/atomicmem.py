@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional
+from collections.abc import Callable, Hashable
+from typing import Any
 
 from repro.apps.totalorder import TotalOrderBroadcast
 
@@ -39,7 +40,7 @@ class PendingOp:
     key: Any
     value: Any
     issued_at: float
-    callback: Optional[Callable[[Any], None]]
+    callback: Callable[[Any], None] | None
 
 
 @dataclass(frozen=True)
@@ -107,7 +108,7 @@ class AtomicMemory:
         self,
         p: ProcId,
         key: Any,
-        callback: Optional[Callable[[Any], None]] = None,
+        callback: Callable[[Any], None] | None = None,
     ) -> int:
         """Issue an atomic read; returns the operation id.  The value is
         reported through ``callback`` (and :attr:`ops`) when the read's

@@ -20,7 +20,8 @@ saves two storage writes per message on the critical path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, Optional
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 from repro.apps.totalorder import TotalOrderBroadcast
 from repro.core.quorums import QuorumSystem
@@ -51,8 +52,8 @@ class StableStorageBroadcast:
         self,
         processors: Iterable[ProcId],
         storage_latency: float = 5.0,
-        config: Optional[RingConfig] = None,
-        quorums: Optional[QuorumSystem] = None,
+        config: RingConfig | None = None,
+        quorums: QuorumSystem | None = None,
         seed: int = 0,
     ) -> None:
         if storage_latency < 0:

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional
+from collections.abc import Hashable
+from typing import Any
 
 from repro.core.types import View
 from repro.membership.service import TokenRingVS
@@ -76,7 +77,7 @@ class LoadBalancedWorkers:
             p: {} for p in self.processors
         }
         #: per-member current view (as reported by VS)
-        self.views: dict[ProcId, Optional[View]] = {
+        self.views: dict[ProcId, View | None] = {
             p: (service.initial_view if p in service.initial_view.set else None)
             for p in self.processors
         }

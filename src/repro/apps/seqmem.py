@@ -15,7 +15,8 @@ write order at the position the read actually observed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, Optional
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 from repro.apps.totalorder import TotalOrderBroadcast
 
@@ -119,7 +120,7 @@ class SequentiallyConsistentMemory:
 
 def check_sequential_consistency(
     memory: SequentiallyConsistentMemory,
-    processors: Optional[Iterable[ProcId]] = None,
+    processors: Iterable[ProcId] | None = None,
 ) -> tuple[bool, str]:
     """Verify the recorded histories are sequentially consistent.
 

@@ -13,7 +13,8 @@ this class and the TO specification to reason about its application.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Iterable, Optional
+from collections.abc import Callable, Hashable, Iterable
+from typing import Any
 
 from repro.core.quorums import MajorityQuorumSystem, QuorumSystem
 from repro.core.vstoto.runtime import Delivery, VStoTORuntime
@@ -54,10 +55,10 @@ class TotalOrderBroadcast:
     def __init__(
         self,
         processors: Iterable[ProcId],
-        config: Optional[RingConfig] = None,
-        quorums: Optional[QuorumSystem] = None,
+        config: RingConfig | None = None,
+        quorums: QuorumSystem | None = None,
         seed: int = 0,
-        on_deliver: Optional[DeliverCallback] = None,
+        on_deliver: DeliverCallback | None = None,
     ) -> None:
         self.processors = tuple(processors)
         self.config = (

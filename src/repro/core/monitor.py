@@ -23,7 +23,8 @@ Checked online, per event:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 from repro.core.types import BOTTOM, View, view_id_less
 
@@ -186,23 +187,23 @@ class OnlineVSMonitor:
         state.safed[dst] = index + 1
 
     # ------------------------------------------------------------------
-    def attach(self, service) -> None:
+    def attach(self, service: Any) -> None:
         """Install the monitor in front of a TokenRingVS's callbacks,
         preserving any existing sinks."""
         old_gprcv, old_safe = service.on_gprcv, service.on_safe
         old_newview = service.on_newview
 
-        def gprcv(payload, src, dst):
+        def gprcv(payload: Any, src: ProcId, dst: ProcId) -> None:
             self.on_gprcv(payload, src, dst)
             if old_gprcv:
                 old_gprcv(payload, src, dst)
 
-        def safe(payload, src, dst):
+        def safe(payload: Any, src: ProcId, dst: ProcId) -> None:
             self.on_safe(payload, src, dst)
             if old_safe:
                 old_safe(payload, src, dst)
 
-        def newview(view, p):
+        def newview(view: View, p: ProcId) -> None:
             self.on_newview(view, p)
             if old_newview:
                 old_newview(view, p)
@@ -212,7 +213,7 @@ class OnlineVSMonitor:
         service.on_newview = newview
         original_gpsnd = service.gpsnd
 
-        def gpsnd(p, payload):
+        def gpsnd(p: ProcId, payload: Any) -> None:
             self.on_gpsnd(payload, p)
             original_gpsnd(p, payload)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from itertools import combinations
-from typing import FrozenSet, Hashable, Iterable, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 ProcId = Hashable
 
@@ -33,7 +33,7 @@ class MajorityQuorumSystem(QuorumSystem):
     """Q = all majorities of P: any set of more than |P|/2 processors."""
 
     def __init__(self, processors: Iterable[ProcId]) -> None:
-        self.processors: FrozenSet[ProcId] = frozenset(processors)
+        self.processors: frozenset[ProcId] = frozenset(processors)
         if not self.processors:
             raise ValueError("empty processor set")
         self.threshold = len(self.processors) // 2 + 1
@@ -48,7 +48,7 @@ class ExplicitQuorumSystem(QuorumSystem):
     intersection requirement the paper assumes."""
 
     def __init__(self, quorums: Sequence[Iterable[ProcId]]) -> None:
-        self.quorums: tuple[FrozenSet[ProcId], ...] = tuple(
+        self.quorums: tuple[frozenset[ProcId], ...] = tuple(
             frozenset(q) for q in quorums
         )
         if not self.quorums:

@@ -24,7 +24,8 @@ evaluates the conditional performance property of Fig. 5 on timed traces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Iterator, Optional, Sequence
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.ioa.actions import Action, Signature, act
 from repro.ioa.automaton import Automaton
@@ -262,7 +263,7 @@ def _premise_holds(
 
 def find_stabilization_point(
     trace: TimedTrace, group: Iterable[ProcId], all_procs: Sequence[ProcId]
-) -> Optional[float]:
+) -> float | None:
     """The earliest l such that the premise of the conditional property
     holds for Q = group with split point l, or None if it never does."""
     group = frozenset(group)

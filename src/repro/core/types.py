@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import total_ordering
-from typing import Any, FrozenSet, Hashable, Iterable
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 ProcId = Hashable
 ViewId = Any  # any value totally ordered within one run
@@ -33,9 +34,9 @@ class Bottom:
     :func:`view_id_less`.
     """
 
-    _instance: "Bottom | None" = None
+    _instance: Bottom | None = None
 
-    def __new__(cls) -> "Bottom":
+    def __new__(cls) -> Bottom:
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
@@ -43,10 +44,10 @@ class Bottom:
     def __repr__(self) -> str:
         return "⊥"
 
-    def __deepcopy__(self, memo: dict) -> "Bottom":
+    def __deepcopy__(self, memo: dict) -> Bottom:
         return self
 
-    def __copy__(self) -> "Bottom":
+    def __copy__(self) -> Bottom:
         return self
 
 
@@ -80,7 +81,7 @@ class View:
     """
 
     id: ViewId
-    set: FrozenSet[ProcId]
+    set: frozenset[ProcId]
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "set", frozenset(self.set))
@@ -106,7 +107,7 @@ class Label:
     def _key(self) -> tuple:
         return (self.id, self.seqno, self.origin)
 
-    def __lt__(self, other: "Label") -> bool:
+    def __lt__(self, other: Label) -> bool:
         if not isinstance(other, Label):
             return NotImplemented
         return self._key() < other._key()

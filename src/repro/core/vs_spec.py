@@ -16,7 +16,8 @@ location precedes the destination, as in the paper's ``gprcv(m)_{p,q}``):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable, Iterator, Optional, Sequence
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.core.types import BOTTOM, View, ViewId, view_id_less
 from repro.ioa.actions import Action, Signature, act
@@ -59,7 +60,7 @@ class VSMachine(Automaton):
     def __init__(
         self,
         processors: Iterable[ProcId],
-        initial_members: Optional[Iterable[ProcId]] = None,
+        initial_members: Iterable[ProcId] | None = None,
         g0: ViewId = 0,
         name: str = "VS-machine",
     ) -> None:
@@ -106,7 +107,7 @@ class VSMachine(Automaton):
     def get_next_safe(self, p: ProcId, g: ViewId) -> int:
         return self.next_safe.get((p, g), 1)
 
-    def offer_view(self, members: Iterable[ProcId], vid: Optional[ViewId] = None) -> View:
+    def offer_view(self, members: Iterable[ProcId], vid: ViewId | None = None) -> View:
         """Queue a candidate view for the internal createview action."""
         if vid is None:
             existing = list(self.created) + [v.id for v in self.view_candidates]
@@ -472,7 +473,7 @@ class VSPropertyReport:
     #: measured l' — time after l until the last newview at Q plus view
     #: agreement (the membership-stabilisation interval, compare b)
     l_prime_measured: float = 0.0
-    final_view: Optional[View] = None
+    final_view: View | None = None
     #: worst observed send→all-safe latency relative to max(t, l + l')
     max_safe_latency: float = 0.0
     obligations: int = 0

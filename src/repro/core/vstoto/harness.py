@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional
+from collections.abc import Hashable
+from typing import Any
 
 from repro.core.vstoto.invariants import vstoto_invariant_suite
 from repro.core.vstoto.simulation import VStoTOSimulation
@@ -73,7 +74,7 @@ class RandomRunDriver:
         config: RandomRunConfig,
         check_invariants: bool = False,
         check_simulation: bool = False,
-        invariant_suite: Optional[InvariantSuite] = None,
+        invariant_suite: InvariantSuite | None = None,
     ) -> None:
         self.system = system
         self.config = config
@@ -104,7 +105,7 @@ class RandomRunDriver:
             self.system.offer_view(self._random_view_members())
             self.stats.views_offered += 1
 
-    def _maybe_bcast(self) -> Optional[Action]:
+    def _maybe_bcast(self) -> Action | None:
         if self.stats.bcasts_injected >= self.config.max_bcasts:
             return None
         if self.rng.random() >= self.config.bcast_probability:
@@ -132,7 +133,7 @@ class RandomRunDriver:
             self._apply(action, step)
         return self.stats
 
-    def _force_bcast(self) -> Optional[Action]:
+    def _force_bcast(self) -> Action | None:
         """When the system quiesces, inject one more value if the budget
         allows, otherwise signal completion."""
         if self.stats.bcasts_injected >= self.config.max_bcasts:

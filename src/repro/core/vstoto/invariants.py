@@ -9,6 +9,7 @@ form the runtime analogue of the paper's mechanically checked proofs.
 
 from __future__ import annotations
 
+from typing import Any
 
 from repro.core.types import BOTTOM, Label, view_id_less
 from repro.core.vstoto.process import Status, is_summary
@@ -16,12 +17,12 @@ from repro.core.vstoto.system import VStoTOSystem
 from repro.ioa.invariants import Invariant, InvariantSuite
 
 
-def _le(a, b) -> bool:
+def _le(a: Any, b: Any) -> bool:
     """a <= b over G_bot."""
     return a == b or (a is BOTTOM and b is BOTTOM) or view_id_less(a, b)
 
 
-def _lt(a, b) -> bool:
+def _lt(a: Any, b: Any) -> bool:
     return view_id_less(a, b)
 
 

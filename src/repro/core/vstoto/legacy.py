@@ -19,8 +19,10 @@ stack.
 from __future__ import annotations
 
 import contextlib
+from collections.abc import Iterator
+from typing import Any
 
-from repro.core.types import BOTTOM
+from repro.core.types import BOTTOM, Label
 from repro.core.vstoto import runtime as _runtime_mod
 from repro.core.vstoto.process import VStoTOProcess
 from repro.core.vstoto.summary import Summary
@@ -31,22 +33,22 @@ class LegacyVStoTOProcess(VStoTOProcess):
     asymptotics differ (O(order)/O(content) where the base class is
     O(1)/O(Δ))."""
 
-    def _order_contains(self, label):
+    def _order_contains(self, label: Label) -> bool:
         return label in self.order
 
-    def _order_append(self, label):
+    def _order_append(self, label: Label) -> None:
         self.order.append(label)
 
-    def _replace_order(self, labels):
+    def _replace_order(self, labels: list[Label]) -> None:
         self.order = labels
 
-    def _content_index(self):
+    def _content_index(self) -> dict[Label, Any]:
         return {lab: value for lab, value in self.content}
 
-    def _content_add(self, label, value):
+    def _content_add(self, label: Label, value: Any) -> None:
         self.content.add((label, value))
 
-    def state_summary(self):
+    def state_summary(self) -> Summary:
         return Summary(
             con=frozenset(self.content),
             ord=tuple(self.order),
@@ -54,13 +56,13 @@ class LegacyVStoTOProcess(VStoTOProcess):
             high=self.highprimary,
         )
 
-    def _record_buildorder(self):
+    def _record_buildorder(self) -> None:
         if self.current is not BOTTOM:
             self.buildorder[self.current.id] = tuple(self.order)
 
 
 @contextlib.contextmanager
-def legacy_process_installed():
+def legacy_process_installed() -> Iterator[None]:
     """Make :class:`~repro.core.vstoto.runtime.VStoTORuntime` construct
     legacy processes for the duration of the block."""
     saved = _runtime_mod.VStoTOProcess

@@ -36,7 +36,8 @@ where the paper inserts them; they do not influence behaviour.
 from __future__ import annotations
 
 import enum
-from typing import Any, Hashable, Iterator, Optional
+from collections.abc import Hashable, Iterator
+from typing import Any
 
 from repro.core.quorums import QuorumSystem
 from repro.core.types import BOTTOM, Label, View, ViewId
@@ -132,7 +133,7 @@ class VStoTOProcess(Automaton):
         self._content_map: dict[Label, Any] = {}
         self._content_map_len: int = 0
         self._content_map_src: Any = self.content
-        self._summary_cache: Optional[Summary] = None
+        self._summary_cache: Summary | None = None
         self._summary_key: Any = None
 
     # ------------------------------------------------------------------
@@ -229,7 +230,7 @@ class VStoTOProcess(Automaton):
             self._summary_key = key
         return self._summary_cache
 
-    def content_lookup(self, label: Label) -> Optional[Any]:
+    def content_lookup(self, label: Label) -> Any | None:
         """The value paired with ``label`` in content, if any."""
         return self._content_index().get(label)
 

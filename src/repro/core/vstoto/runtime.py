@@ -21,7 +21,8 @@ consumes for the Theorem 7.1/7.2 experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional
+from collections.abc import Callable, Hashable
+from typing import Any
 
 from repro.core.quorums import QuorumSystem
 from repro.core.types import BOTTOM, View
@@ -66,7 +67,7 @@ class VStoTORuntime:
         self,
         service: TokenRingVS,
         quorums: QuorumSystem,
-        on_deliver: Optional[DeliverCallback] = None,
+        on_deliver: DeliverCallback | None = None,
     ) -> None:
         self.service = service
         self.quorums = quorums
@@ -100,7 +101,7 @@ class VStoTORuntime:
         service.network.oracle.add_listener(self._on_status_change)
 
     # ------------------------------------------------------------------
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: Any) -> None:
         """Bind TO-layer metrics: views installed, pending-queue depths
         after each drain, and primary/non-primary residency time (how
         much virtual time each processor spends able to confirm an
@@ -165,7 +166,7 @@ class VStoTORuntime:
         for p in self.processors:
             self._flush_residency(p, now)
 
-    def _on_status_change(self, event) -> None:
+    def _on_status_change(self, event: Any) -> None:
         target = event.target
         if isinstance(target, tuple) or target not in self.procs:
             return

@@ -15,14 +15,15 @@ to summaries).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Hashable, Iterator, Mapping, Sequence, Tuple
+from collections.abc import Hashable, Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.core.types import BOTTOM, Label, ViewId, view_id_max
 
 ProcId = Hashable
 
 #: A (label, value) pair, the element type of ``con``.
-ContentPair = Tuple[Label, Any]
+ContentPair = tuple[Label, Any]
 
 
 class SharedOrderPrefix(Sequence):
@@ -52,7 +53,7 @@ class SharedOrderPrefix(Sequence):
     def __len__(self) -> int:
         return self._length
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> Any:
         if isinstance(index, slice):
             return tuple(self._backing[: self._length][index])
         if index < 0:
@@ -83,13 +84,13 @@ class SharedOrderPrefix(Sequence):
     def __repr__(self) -> str:
         return repr(tuple(self._backing[: self._length]))
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         # Pickle/deepcopy as a detached copy: snapshots taken for
         # invariant checking must not alias live process state.
         return (_rebuild_prefix, (list(self._backing[: self._length]),))
 
 
-def _rebuild_prefix(items: list) -> "SharedOrderPrefix":
+def _rebuild_prefix(items: list) -> SharedOrderPrefix:
     return SharedOrderPrefix(items, len(items))
 
 
@@ -97,8 +98,8 @@ def _rebuild_prefix(items: list) -> "SharedOrderPrefix":
 class Summary:
     """A state-exchange summary: ⟨con, ord, next, high⟩."""
 
-    con: FrozenSet[ContentPair]
-    ord: Tuple[Label, ...]
+    con: frozenset[ContentPair]
+    ord: tuple[Label, ...]
     next: int
     high: ViewId  # an element of G_bot
 
@@ -109,7 +110,7 @@ class Summary:
             raise ValueError(f"next must be >= 1, got {self.next}")
 
     @property
-    def confirm(self) -> Tuple[Label, ...]:
+    def confirm(self) -> tuple[Label, ...]:
         """``x.confirm``: the prefix of ``x.ord`` of length
         ``min(x.next - 1, length(x.ord))``."""
         return self.ord[: min(self.next - 1, len(self.ord))]
@@ -121,7 +122,7 @@ class Summary:
         )
 
 
-def summary_confirm(x: Summary) -> Tuple[Label, ...]:
+def summary_confirm(x: Summary) -> tuple[Label, ...]:
     """Free-function form of :attr:`Summary.confirm`."""
     return x.confirm
 
@@ -129,7 +130,7 @@ def summary_confirm(x: Summary) -> Tuple[Label, ...]:
 GotState = Mapping[ProcId, Summary]
 
 
-def knowncontent(gotstate: GotState) -> FrozenSet[ContentPair]:
+def knowncontent(gotstate: GotState) -> frozenset[ContentPair]:
     """``knowncontent(Y) = union of Y(q).con over q in dom(Y)``."""
     pairs: set[ContentPair] = set()
     for summary in gotstate.values():
@@ -144,7 +145,7 @@ def maxprimary(gotstate: GotState) -> ViewId:
     return view_id_max(summary.high for summary in gotstate.values())
 
 
-def reps(gotstate: GotState) -> FrozenSet[ProcId]:
+def reps(gotstate: GotState) -> frozenset[ProcId]:
     """``reps(Y)``: members whose summary attains maxprimary(Y)."""
     top = maxprimary(gotstate)
     return frozenset(
@@ -169,13 +170,13 @@ def chosenrep(gotstate: GotState) -> ProcId:
     return max(candidates, key=lambda q: (str(q), repr(q)))
 
 
-def shortorder(gotstate: GotState) -> Tuple[Label, ...]:
+def shortorder(gotstate: GotState) -> tuple[Label, ...]:
     """``shortorder(Y) = Y(chosenrep(Y)).ord`` — the order adopted when
     the new view is not primary."""
     return gotstate[chosenrep(gotstate)].ord
 
 
-def fullorder(gotstate: GotState) -> Tuple[Label, ...]:
+def fullorder(gotstate: GotState) -> tuple[Label, ...]:
     """``fullorder(Y)``: shortorder(Y) followed by the remaining labels
     of dom(knowncontent(Y)) in label order — the order adopted when the
     new view is primary."""
@@ -194,7 +195,7 @@ def maxnextconfirm(gotstate: GotState) -> int:
     return max(summary.next for summary in gotstate.values())
 
 
-def content_as_function(pairs: FrozenSet[ContentPair]) -> dict[Label, Any]:
+def content_as_function(pairs: frozenset[ContentPair]) -> dict[Label, Any]:
     """Interpret a content set as a function label → value.
 
     Lemma 6.5 guarantees *allcontent* is a function in every reachable

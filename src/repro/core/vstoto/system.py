@@ -26,7 +26,8 @@ Derived variables (Section 6):
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Optional
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 from repro.core.quorums import QuorumSystem
 from repro.core.types import BOTTOM, Label, View, ViewId
@@ -64,7 +65,7 @@ class VStoTOSystem(Composition):
         self,
         processors: Iterable[ProcId],
         quorums: QuorumSystem,
-        initial_members: Optional[Iterable[ProcId]] = None,
+        initial_members: Iterable[ProcId] | None = None,
         g0: ViewId = 0,
         timed: bool = False,
     ) -> None:

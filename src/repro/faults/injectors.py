@@ -24,7 +24,7 @@ with the modelled good/bad/ugly statuses instead of replacing them.
 from __future__ import annotations
 
 import random
-from typing import Hashable, Iterable, Optional, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 from repro.membership.messages import Sequenced, Token
 from repro.net.channel import Packet, PacketFate
@@ -60,8 +60,8 @@ class FaultInjector:
         self.name = name
         self.active = False
         self.activations = 0
-        self._ctx: Optional[ChaosContext] = None
-        self._rng: Optional[random.Random] = None
+        self._ctx: ChaosContext | None = None
+        self._rng: random.Random | None = None
 
     @property
     def kind(self) -> str:
@@ -109,7 +109,7 @@ class PacketInjector(FaultInjector):
     def __init__(
         self,
         name: str,
-        links: Optional[Iterable[tuple[ProcId, ProcId]]] = None,
+        links: Iterable[tuple[ProcId, ProcId]] | None = None,
     ) -> None:
         super().__init__(name)
         self.links = tuple(links) if links is not None else None
@@ -120,7 +120,7 @@ class PacketInjector(FaultInjector):
 
     def _intercept(
         self, packet: Packet, fate: PacketFate
-    ) -> Optional[PacketFate]:
+    ) -> PacketFate | None:
         if not self.active or fate.dropped or not self._applies(packet):
             return None
         perturbed = self._perturb(packet, fate)
@@ -133,7 +133,7 @@ class PacketInjector(FaultInjector):
 
     def _perturb(
         self, packet: Packet, fate: PacketFate
-    ) -> Optional[PacketFate]:
+    ) -> PacketFate | None:
         raise NotImplementedError
 
 
@@ -244,7 +244,7 @@ class TimerSkewInjector(FaultInjector):
         name: str,
         skew_min: float = 0.7,
         skew_max: float = 1.5,
-        targets: Optional[Sequence[ProcId]] = None,
+        targets: Sequence[ProcId] | None = None,
     ) -> None:
         super().__init__(name)
         if skew_min <= 0 or skew_max < skew_min:
@@ -286,7 +286,7 @@ class CrashRestartInjector(FaultInjector):
         name: str,
         min_down: float = 20.0,
         max_down: float = 60.0,
-        targets: Optional[Sequence[ProcId]] = None,
+        targets: Sequence[ProcId] | None = None,
     ) -> None:
         super().__init__(name)
         if min_down <= 0 or max_down < min_down:

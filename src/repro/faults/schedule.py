@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Hashable, Optional, Sequence
+from collections.abc import Hashable, Sequence
 
 from repro.faults.injectors import (
     ChaosContext,
@@ -71,7 +71,7 @@ class FaultSchedule:
 
     def add(
         self, injector: FaultInjector, start: float, stop: float
-    ) -> "FaultSchedule":
+    ) -> FaultSchedule:
         self.windows.append(FaultWindow(start, stop, injector))
         return self
 
@@ -129,9 +129,9 @@ class FaultSchedule:
         processors: Sequence[ProcId],
         horizon: float = 400.0,
         intensity: float = 0.5,
-        kinds: Optional[Sequence[str]] = None,
+        kinds: Sequence[str] | None = None,
         windows_per_kind: int = 2,
-    ) -> "FaultSchedule":
+    ) -> FaultSchedule:
         """A seeded adversarial schedule composing the given ``kinds``.
 
         ``intensity`` in (0, 1] scales fault rates and outage lengths.

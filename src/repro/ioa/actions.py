@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 
 class ActionKind(enum.Enum):
@@ -118,7 +119,7 @@ class Signature:
     def contains(self, name: str) -> bool:
         return name in self.all_names
 
-    def hide(self, names: Iterable[str]) -> "Signature":
+    def hide(self, names: Iterable[str]) -> Signature:
         """Return a signature with the given output names made internal.
 
         Hiding is how the paper forms *VStoTO-system*: the ``gpsnd``,

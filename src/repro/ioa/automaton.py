@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from repro.ioa.actions import Action, ActionKind, Signature
 

@@ -22,7 +22,8 @@ Compatibility requirements enforced here:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.ioa.actions import Action, ActionKind, Signature
 from repro.ioa.automaton import Automaton, TransitionError

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Protocol, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, Protocol
 
 from repro.ioa.actions import Action, ActionKind
 from repro.ioa.automaton import Automaton
@@ -106,7 +107,7 @@ class Execution:
 
     automaton_name: str
     actions: list[Action] = field(default_factory=list)
-    initial_snapshot: Optional[Any] = None
+    initial_snapshot: Any | None = None
     snapshots: list[Any] = field(default_factory=list)
 
     def trace(self, external_names: Iterable[str]) -> list[Action]:
@@ -122,9 +123,9 @@ def run_automaton(
     automaton: Automaton,
     scheduler: Scheduler,
     max_steps: int,
-    input_source: Optional[Callable[[int], Optional[Action]]] = None,
+    input_source: Callable[[int], Action | None] | None = None,
     record_snapshots: bool = False,
-    on_step: Optional[Callable[[int, Action], None]] = None,
+    on_step: Callable[[int, Action], None] | None = None,
 ) -> Execution:
     """Drive ``automaton`` for up to ``max_steps`` transitions.
 
@@ -140,7 +141,7 @@ def run_automaton(
     if record_snapshots:
         execution.initial_snapshot = automaton.snapshot()
     for step_index in range(max_steps):
-        action: Optional[Action] = None
+        action: Action | None = None
         if input_source is not None:
             action = input_source(step_index)
             if action is not None:

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
+from typing import Any
 
 from repro.ioa.actions import Action
 from repro.ioa.automaton import Automaton
@@ -61,7 +62,7 @@ class ExplorationResult:
     truncated: bool
     #: (state snapshot, action sequence reaching it) for the first
     #: invariant violation, if any
-    violation: Optional[tuple[dict, tuple[Action, ...]]] = None
+    violation: tuple[dict, tuple[Action, ...]] | None = None
     deepest_level: int = 0
 
     @property
@@ -69,7 +70,7 @@ class ExplorationResult:
         return self.violation is None
 
 
-def restore_composition(composition, snapshot: dict[str, Any]) -> None:
+def restore_composition(composition: Any, snapshot: dict[str, Any]) -> None:
     """Restore hook for :class:`repro.ioa.composition.Composition`
     snapshots ({component name: component snapshot})."""
     for component in composition.components:
@@ -79,10 +80,10 @@ def restore_composition(composition, snapshot: dict[str, Any]) -> None:
 def explore(
     automaton: Automaton,
     inputs_for: Callable[[Automaton], Iterable[Action]] = lambda a: (),
-    check: Optional[Callable[[Automaton], bool]] = None,
+    check: Callable[[Automaton], bool] | None = None,
     max_states: int = 50_000,
     max_depth: int = 10_000,
-    restore: Optional[Callable[[Automaton, dict], None]] = None,
+    restore: Callable[[Automaton, dict], None] | None = None,
 ) -> ExplorationResult:
     """Breadth-first exploration from the automaton's current state.
 

@@ -11,7 +11,8 @@ of the paper's PVS mechanical checking (see DESIGN.md substitutions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
 
 Predicate = Callable[[Any], bool]
 
@@ -83,11 +84,11 @@ class InvariantSuite:
     def __len__(self) -> int:
         return len(self.invariants)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Invariant]:
         return iter(self.invariants)
 
 
-def all_hold(suite: InvariantSuite, states: Iterable[Any]) -> Optional[tuple[int, Invariant]]:
+def all_hold(suite: InvariantSuite, states: Iterable[Any]) -> tuple[int, Invariant] | None:
     """Check a suite over many states; return (index, invariant) of the
     first violation, or None when all hold."""
     for index, state in enumerate(states):

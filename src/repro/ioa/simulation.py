@@ -22,7 +22,8 @@ A mismatch raises :class:`SimulationError` with a state diff.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.ioa.actions import Action, ActionKind
 from repro.ioa.automaton import Automaton

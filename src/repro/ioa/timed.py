@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import inf
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.ioa.actions import Action, act
 from repro.ioa.automaton import Automaton
@@ -77,7 +78,7 @@ class TimedTrace:
             )
         self.events.append(TimedEvent(time, action))
 
-    def project(self, names: Iterable[str]) -> "TimedTrace":
+    def project(self, names: Iterable[str]) -> TimedTrace:
         """Restrict to events whose action name is in ``names``."""
         keep = frozenset(names)
         return TimedTrace(
@@ -97,10 +98,10 @@ class TimedTrace:
 
     def last_event_named(
         self, name: str, before: float = inf
-    ) -> Optional[TimedEvent]:
+    ) -> TimedEvent | None:
         """The latest event with the given action name strictly before
         ``before`` (used to evaluate failure status 'after' a prefix)."""
-        result: Optional[TimedEvent] = None
+        result: TimedEvent | None = None
         for event in self.events:
             if event.time >= before:
                 break
@@ -157,7 +158,7 @@ class IncrementalStatusMerger:
         self._events: list[tuple[float, int, Action]] = []
         self._p_idx = 0
         self._s_idx = 0
-        self._cache: Optional[TimedTrace] = None
+        self._cache: TimedTrace | None = None
 
     def merged(self) -> TimedTrace:
         primary = self._primary.events

@@ -1,0 +1,57 @@
+"""repro-lint: determinism & IOA-discipline static analysis.
+
+The verification story of this reproduction rests on two properties that
+ordinary linters cannot see:
+
+1. **Determinism** — every execution is replayed from seeds, compared
+   against golden digests, and merged byte-identically across worker
+   processes.  One unseeded RNG draw, wall-clock read, or unordered
+   ``set`` iteration leaking into a trace or message silently
+   invalidates all of that.
+2. **IOA discipline** — the TO/VS/VStoTO machines transcribe the
+   paper's precondition/effect figures (Figs. 3, 6, 8-10).  The model
+   requires preconditions to be pure predicates and effects to be
+   deterministic state transformations; a mutating precondition or an
+   I/O-performing effect is a transcription bug even when every test
+   still passes.
+
+This package is a self-contained AST analyzer (stdlib :mod:`ast` +
+:mod:`tokenize`, no third-party dependencies) enforcing both, plus
+snapshot safety for derived caches and the typing discipline that the
+CI ``mypy`` gate assumes.  Run it as::
+
+    python -m repro.lint src
+    python -m repro.lint src --format json
+    python -m repro.lint --list-rules
+
+Findings are suppressed line-by-line with ``# repro-lint:
+ignore[RULE]`` comments; each suppression silences only the rules it
+names (``ignore[*]`` silences all) on its own physical line.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    ALL_RULES,
+    FileContext,
+    LintResult,
+    Rule,
+    analyze_paths,
+    iter_python_files,
+    rule_by_id,
+)
+from repro.lint.model import Finding
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "analyze_paths",
+    "iter_python_files",
+    "rule_by_id",
+    "__version__",
+]

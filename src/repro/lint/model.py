@@ -1,0 +1,37 @@
+"""Finding data model for repro-lint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One analyzer finding, anchored to a source location.
+
+    The field order (path, line, col, rule) doubles as the sort order
+    used by every reporter, so output is stable across runs and across
+    platforms regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        """Render in the conventional ``path:line:col: RULE message`` shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """A JSON-serialisable dict (stable key order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }

@@ -1,0 +1,45 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult`.
+
+Both reporters order findings identically (path, line, col, rule) so
+output is byte-stable across runs — the same discipline the analyzer
+enforces on the code it scans.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult, all_rules
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """Human-readable ``path:line:col: RULE message`` lines + summary."""
+    lines = [finding.format() for finding in result.findings]
+    if show_suppressed:
+        lines.extend(
+            f"{finding.format()} (suppressed)" for finding in result.suppressed
+        )
+    total = len(result.findings)
+    noun = "finding" if total == 1 else "findings"
+    lines.append(
+        f"{total} {noun} ({len(result.suppressed)} suppressed) "
+        f"in {result.files_scanned} files"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (schema version 1)."""
+    payload = {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "counts": result.counts,
+        "findings": [finding.to_json() for finding in result.findings],
+        "suppressed": [finding.to_json() for finding in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_rule_list() -> str:
+    """``--list-rules`` output: one ``ID  summary`` line per rule."""
+    return "\n".join(f"{rule.id}  {rule.summary}" for rule in all_rules())

@@ -1,0 +1,55 @@
+"""Rule registry for repro-lint.
+
+Rule families:
+
+- ``DET00x`` — determinism hazards (unseeded RNG, wall-clock reads,
+  unordered iteration, identity-based ordering, environment reads);
+- ``IOA00x`` — I/O-automaton discipline for the paper's
+  precondition/effect transcriptions (Figs. 3, 6, 8-10);
+- ``SNAP001`` — snapshot/pickle safety for derived-cache attributes;
+- ``TYP001`` — typing discipline backing the CI ``mypy`` strict gate.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.determinism import (
+    EnvironReadRule,
+    IdentityOrderingRule,
+    UnseededRandomRule,
+    UnsortedSetIterationRule,
+    WallClockRule,
+)
+from repro.lint.rules.ioa import (
+    EffectPurityRule,
+    PreconditionPurityRule,
+    SignatureCoverageRule,
+)
+from repro.lint.rules.snapshot import DerivedCacheSnapshotRule
+from repro.lint.rules.typing_discipline import UntypedDefRule
+
+ALL_RULE_CLASSES = (
+    UnseededRandomRule,
+    WallClockRule,
+    UnsortedSetIterationRule,
+    IdentityOrderingRule,
+    EnvironReadRule,
+    PreconditionPurityRule,
+    EffectPurityRule,
+    SignatureCoverageRule,
+    DerivedCacheSnapshotRule,
+    UntypedDefRule,
+)
+
+__all__ = [
+    "ALL_RULE_CLASSES",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "UnsortedSetIterationRule",
+    "IdentityOrderingRule",
+    "EnvironReadRule",
+    "PreconditionPurityRule",
+    "EffectPurityRule",
+    "SignatureCoverageRule",
+    "DerivedCacheSnapshotRule",
+    "UntypedDefRule",
+]

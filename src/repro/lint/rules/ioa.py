@@ -1,0 +1,375 @@
+"""I/O-automaton discipline rules (IOA001-IOA003).
+
+The paper specifies every machine in precondition/effect style
+(Figs. 3, 6, 8-10): a precondition is a *predicate* over the state — it
+may read anything and change nothing — and an effect is a deterministic
+state transformation — it may mutate the automaton but must not touch
+the outside world (I/O, global RNG, the host clock).  This codebase
+transcribes that style as ``is_enabled`` / ``enabled_actions``
+(precondition side) and ``apply`` (effect side) on
+:class:`repro.ioa.automaton.Automaton` subclasses.  These rules hold
+the transcription to the model's contract; they are scoped to
+``repro.ioa.*`` and ``repro.core.*``, where the paper's machines live.
+
+Known limitation (by design, to stay syntactic): mutations through a
+local alias (``q = self.queue; q.append(x)``) are not tracked — the
+discipline guarded here is direct attribute access, which is how every
+figure transcription in this repo is written.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import FileContext, Rule
+from repro.lint.model import Finding
+from repro.lint.rules.common import (
+    MUTATOR_METHODS,
+    WALL_CLOCK_CALLS,
+    module_matches,
+    rooted_at,
+    walk_functions,
+)
+
+#: Modules where the paper's machines (and their harnesses) live.
+IOA_SCOPE = ("repro.ioa", "repro.core")
+
+#: Names binding automaton state inside transition methods.
+_STATE_ROOTS = frozenset({"self", "state"})
+
+
+def _is_precondition_side(name: str) -> bool:
+    """Precondition-side functions: predicate + enumeration code."""
+    return (
+        name in ("is_enabled", "enabled_actions", "can_advance")
+        or name.startswith(("pre_", "_pre_"))
+        or name.endswith("_enabled")
+    )
+
+
+def _is_effect_side(name: str) -> bool:
+    return name == "apply" or name.startswith(("eff_", "_eff_"))
+
+
+def _walk_body(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/classes
+    (nested scopes get their own visit from :func:`walk_functions`)."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class PreconditionPurityRule(Rule):
+    """IOA001: preconditions must not mutate automaton state.
+
+    In the I/O-automaton model a precondition is a predicate; the
+    figures' ``Precondition:`` blocks never assign.  A mutating
+    ``is_enabled`` (or enumeration helper) makes enabledness depend on
+    how often the scheduler *asked*, which breaks both the paper
+    semantics and replay determinism (schedulers probe enabledness a
+    data-dependent number of times).
+    """
+
+    id = "IOA001"
+    summary = "precondition-side code mutates automaton state"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not module_matches(ctx.module, IOA_SCOPE):
+            return
+        for func, _cls in walk_functions(ctx.tree):
+            if not _is_precondition_side(func.name):
+                continue
+            for node in _walk_body(func):
+                yield from self._check_stmt(ctx, func, node)
+
+    def _check_stmt(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.AST,
+    ) -> Iterator[Finding]:
+        where = f"in precondition-side {func.name}()"
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                return  # bare annotation, no state change
+            for target in targets:
+                if isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and rooted_at(target, _STATE_ROOTS):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"assignment to automaton state {where}; preconditions "
+                        "are predicates (paper Figs. 3/6/8-10) and must not "
+                        "write state",
+                    )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and rooted_at(target, _STATE_ROOTS):
+                    yield self.finding(
+                        ctx, node, f"del on automaton state {where}"
+                    )
+        elif isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr in MUTATOR_METHODS
+                and rooted_at(func_expr.value, _STATE_ROOTS)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{func_expr.attr}() on automaton state {where}; "
+                    "preconditions must not mutate",
+                )
+
+
+class EffectPurityRule(Rule):
+    """IOA002: effects must not perform I/O or global RNG.
+
+    Effects mutate the automaton and nothing else.  Printing, file or
+    OS access, wall-clock reads, and module-level ``random`` draws make
+    a transition depend on (or leak into) the outside world; randomness
+    an effect legitimately needs arrives as an explicitly seeded RNG
+    parameter (``rng.choice(...)`` on a passed stream is fine and is
+    what the fault injectors do).
+    """
+
+    id = "IOA002"
+    summary = "effect-side code performs I/O or global RNG"
+
+    _IO_BUILTINS = frozenset({"print", "input", "open", "breakpoint"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not module_matches(ctx.module, IOA_SCOPE):
+            return
+        for func, _cls in walk_functions(ctx.tree):
+            if not _is_effect_side(func.name):
+                continue
+            for node in _walk_body(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_call(ctx, func, node)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.Call,
+    ) -> Iterator[Finding]:
+        where = f"in effect-side {func.name}()"
+        callee = node.func
+        if (
+            isinstance(callee, ast.Name)
+            and callee.id in self._IO_BUILTINS
+            and ctx.resolve(callee) is None
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"{callee.id}() {where}; effects are pure state "
+                "transformations — route diagnostics through repro.obs",
+            )
+            return
+        resolved = ctx.resolve(callee)
+        if resolved is None:
+            return
+        if resolved in WALL_CLOCK_CALLS:
+            yield self.finding(
+                ctx, node, f"wall-clock read {resolved}() {where}"
+            )
+        elif resolved.startswith("random."):
+            yield self.finding(
+                ctx,
+                node,
+                f"{resolved}() {where}; effects may only draw randomness "
+                "from an explicitly passed seeded RNG",
+            )
+        elif resolved.startswith(("os.", "sys.", "subprocess.", "socket.")):
+            yield self.finding(
+                ctx, node, f"{resolved}() {where}; effects must not touch the OS"
+            )
+
+
+class SignatureCoverageRule(Rule):
+    """IOA003: every registered action name has dispatch coverage.
+
+    When a class builds ``self.signature = Signature(inputs=...,
+    outputs=..., internals=...)`` from statically resolvable string
+    sets, every registered action name must appear in the class's
+    transition code (a string literal in a dispatch comparison, or
+    membership in a referenced name-set constant), here or in a base
+    class in the same module.  A signature name with no dispatch is a
+    transcription hole: ``step()`` would accept the action and silently
+    no-op its effect.  Classes whose signatures are built dynamically
+    (composition) are skipped.
+    """
+
+    id = "IOA003"
+    summary = "registered action name lacks precondition/effect dispatch"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not module_matches(ctx.module, IOA_SCOPE):
+            return
+        constants = _module_string_constants(ctx.tree)
+        classes = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        handled_cache: dict[str, frozenset[str]] = {}
+        for cls in classes.values():
+            sig_calls = list(_signature_calls(cls))
+            if not sig_calls:
+                continue
+            registered: set[str] = set()
+            resolvable = True
+            for call in sig_calls:
+                names = _resolve_signature_call(call, constants)
+                if names is None:
+                    resolvable = False
+                    break
+                registered |= names
+            if not resolvable or not registered:
+                continue
+            handled = _handled_names(cls, classes, constants, handled_cache)
+            for name in sorted(registered - handled):
+                yield self.finding(
+                    ctx,
+                    sig_calls[0],
+                    f"action {name!r} is registered in {cls.name}'s signature "
+                    "but never dispatched in precondition/effect code",
+                )
+
+
+def _signature_calls(cls: ast.ClassDef) -> Iterator[ast.Call]:
+    """``self.signature = Signature(...)`` assignments in ``cls``."""
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        callee = node.value.func
+        callee_name = (
+            callee.id
+            if isinstance(callee, ast.Name)
+            else callee.attr
+            if isinstance(callee, ast.Attribute)
+            else None
+        )
+        if callee_name != "Signature":
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "signature"
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield node.value
+
+
+def _module_string_constants(tree: ast.Module) -> dict[str, frozenset[str]]:
+    """Module-level ``NAME = <string-set expr>`` constants, resolved."""
+    out: dict[str, frozenset[str]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                value = _eval_string_set(node.value, out)
+                if value is not None:
+                    out[target.id] = value
+    return out
+
+
+def _eval_string_set(
+    node: ast.AST, constants: dict[str, frozenset[str]]
+) -> frozenset[str] | None:
+    """Statically evaluate an expression to a set of strings, or None."""
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        names: list[str] = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.append(element.value)
+            else:
+                return None
+        return frozenset(names)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return frozenset({node.value})
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("frozenset", "set")
+            and len(node.args) <= 1
+            and not node.keywords
+        ):
+            if not node.args:
+                return frozenset()
+            return _eval_string_set(node.args[0], constants)
+        return None
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _eval_string_set(node.left, constants)
+        right = _eval_string_set(node.right, constants)
+        if left is not None and right is not None:
+            return left | right
+        return None
+    return None
+
+
+def _resolve_signature_call(
+    call: ast.Call, constants: dict[str, frozenset[str]]
+) -> frozenset[str] | None:
+    """All action names registered by one ``Signature(...)`` call, or
+    None when any argument is not statically resolvable."""
+    names: set[str] = set()
+    args: list[ast.expr] = list(call.args)
+    args.extend(kw.value for kw in call.keywords if kw.arg is not None)
+    if any(kw.arg is None for kw in call.keywords):
+        return None  # **kwargs: not resolvable
+    for arg in args:
+        value = _eval_string_set(arg, constants)
+        if value is None:
+            return None
+        names |= value
+    return frozenset(names)
+
+
+def _handled_names(
+    cls: ast.ClassDef,
+    classes: dict[str, ast.ClassDef],
+    constants: dict[str, frozenset[str]],
+    cache: dict[str, frozenset[str]],
+) -> frozenset[str]:
+    """String literals (and referenced name-set constants) appearing in
+    the class's transition code, plus those of same-module bases."""
+    if cls.name in cache:
+        return cache[cls.name]
+    cache[cls.name] = frozenset()  # cycle guard
+    skip = {id(sub) for call in _signature_calls(cls) for sub in ast.walk(call)}
+    handled: set[str] = set()
+    for node in ast.walk(cls):
+        if id(node) in skip:
+            continue
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            handled.add(node.value)
+        elif isinstance(node, ast.Name) and node.id in constants:
+            handled |= constants[node.id]
+    for base in cls.bases:
+        if isinstance(base, ast.Name) and base.id in classes:
+            handled |= _handled_names(classes[base.id], classes, constants, cache)
+    result = frozenset(handled)
+    cache[cls.name] = result
+    return result

@@ -1,0 +1,134 @@
+"""Snapshot/cache-safety rule (SNAP001).
+
+PR 3's hot-path work introduced derived caches (the self-healing
+order/content indexes on ``VStoTOProcess``, ``SharedOrderPrefix``'s
+lazy hash, ``IncrementalStatusMerger``'s merge cursor) and fixed, by
+hand, the snapshot-restore bugs they caused: a cache that survives
+``pickle``/``deepcopy``/direct state reassignment intact is a cache
+that silently serves stale answers after a restore.  This rule makes
+that class of bug structurally impossible to reintroduce.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.engine import FileContext, Rule
+from repro.lint.model import Finding
+from repro.lint.rules.common import module_matches
+
+#: Modules whose objects flow through snapshot()/pickle/deepcopy.
+SNAPSHOT_SCOPE = ("repro.ioa", "repro.core")
+
+#: Dunder hooks that make pickling/copying cache-aware.
+_PICKLE_HOOKS = frozenset(
+    {"__getstate__", "__setstate__", "__reduce__", "__reduce_ex__", "__deepcopy__"}
+)
+
+#: Documented-invalidation markers: the class explains how its caches
+#: detect staleness (the PR-3 idiom: identity+length keys that
+#: "invalidate" on reassignment, or a merge that "self-heals"/"is
+#: rebuilt from scratch" when a source shrank).
+_INVALIDATION_DOC = re.compile(r"invalidat|self-heal|rebuilt from scratch", re.I)
+
+#: Attribute names that signal a *derived* cache (as opposed to plain
+#: private mutable state): the PR-3 naming idiom — ``_summary_cache``,
+#: ``_order_set``/``_order_set_src``/``_order_set_len``,
+#: ``_content_map``, ``_hash``, ``IncrementalStatusMerger._cache`` and
+#: its ``_p_idx``/``_s_idx`` cursors.
+_CACHE_NAME = re.compile(
+    r"cache|memo|_src$|_key$|_hash$|_len$|_idx$|_set$|_map$|_index$"
+)
+
+
+def _self_underscore_attrs(node: ast.AST) -> set[str]:
+    """Names of ``self._x``-style attributes assigned under ``node``."""
+    out: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                child.targets if isinstance(child, ast.Assign) else [child.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr.startswith("_")
+                    and not target.attr.startswith("__")
+                ):
+                    out.add(target.attr)
+    return out
+
+
+class DerivedCacheSnapshotRule(Rule):
+    """SNAP001: derived-cache attributes need snapshot-safety.
+
+    Detection: a class initialises a private (underscore) attribute
+    with a cache-idiom name (``*cache*``, ``*memo*``, ``*_src``,
+    ``*_key``, ``*_hash``, ``*_len``, ``*_idx``, ``*_set``, ``*_map``,
+    ``*_index``) in ``__init__`` *and* reassigns it in some other
+    method — the lazily-(re)built cache signature.  Plain private
+    mutable state (``self._clock``, ...) is not flagged; only
+    attributes that *cache a view of other state* can go stale.  Such
+    a class must either define
+    pickle/copy hooks (``__getstate__``+``__setstate__``,
+    ``__reduce__``, ``__deepcopy__``) that detach or drop the caches,
+    or document its invalidation protocol in the class body (a
+    docstring/comment explaining how stale caches are detected —
+    matched on "invalidat…"/"self-heal…"/"rebuilt from scratch").
+    """
+
+    id = "SNAP001"
+    summary = "derived-cache attributes without snapshot-safety or documented invalidation"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not module_matches(ctx.module, SNAPSHOT_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        init: ast.FunctionDef | None = None
+        methods: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        defined = set()
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defined.add(stmt.name)
+                if stmt.name == "__init__":
+                    init = stmt if isinstance(stmt, ast.FunctionDef) else None
+                else:
+                    methods.append(stmt)
+        if init is None:
+            return
+        init_attrs = _self_underscore_attrs(init)
+        if not init_attrs:
+            return
+        candidate_attrs = {
+            attr for attr in init_attrs if _CACHE_NAME.search(attr)
+        }
+        if not candidate_attrs:
+            return
+        cache_attrs: set[str] = set()
+        for method in methods:
+            cache_attrs |= candidate_attrs & _self_underscore_attrs(method)
+        if not cache_attrs:
+            return
+        if "__getstate__" in defined and "__setstate__" in defined:
+            return
+        if defined & (_PICKLE_HOOKS - {"__getstate__", "__setstate__"}):
+            return
+        if _INVALIDATION_DOC.search(ctx.source_segment(cls)):
+            return
+        attrs = ", ".join(sorted(cache_attrs))
+        yield self.finding(
+            ctx,
+            cls,
+            f"class {cls.name} carries derived-cache attributes ({attrs}) but "
+            "defines no __getstate__/__setstate__/__reduce__/__deepcopy__ and "
+            "documents no invalidation protocol; a snapshot restore would "
+            "resurrect stale caches (the PR-3 bug class)",
+        )

@@ -10,10 +10,11 @@ an epoch as high-order part").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Tuple
+from collections.abc import Hashable
+from typing import Any
 
 ProcId = Hashable
-RingViewId = Tuple[int, Any]  # (epoch, initiator); compared lexicographically
+RingViewId = tuple[int, Any]  # (epoch, initiator); compared lexicographically
 
 
 @dataclass(frozen=True)
@@ -37,7 +38,7 @@ class Join:
     """Round 3: the initiator announces the final membership."""
 
     viewid: RingViewId
-    members: Tuple[ProcId, ...]
+    members: tuple[ProcId, ...]
 
 
 @dataclass
@@ -63,7 +64,7 @@ class Token:
     """
 
     viewid: RingViewId
-    members: Tuple[ProcId, ...] = ()
+    members: tuple[ProcId, ...] = ()
     #: logical position of ``order[0]`` in the view's full sequence
     base: int = 0
     order: list = field(default_factory=list)
@@ -81,7 +82,7 @@ class Token:
         knows it (the position just past the window's last entry)."""
         return self.base + len(self.order)
 
-    def copy(self) -> "Token":
+    def copy(self) -> Token:
         """Per-hop copy so in-flight tokens never alias member state."""
         return Token(
             viewid=self.viewid,
@@ -95,14 +96,14 @@ class Token:
             hop=self.hop,
         )
 
-    def seen_prefix_length(self, members: Tuple[ProcId, ...]) -> int:
+    def seen_prefix_length(self, members: tuple[ProcId, ...]) -> int:
         """Entries every member has *seen* (had on its token pass) —
         the Totem-style gating condition for safe-before-deliver."""
         if not members:
             return 0
         return min(self.seen.get(m, 0) for m in members)
 
-    def safe_prefix_length(self, members: Tuple[ProcId, ...]) -> int:
+    def safe_prefix_length(self, members: tuple[ProcId, ...]) -> int:
         """Entries delivered at *every* member per the token's counts."""
         if not members:
             return 0

@@ -42,7 +42,8 @@ a nemesis run one member's timers fast or slow.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Hashable, Optional, Protocol
+from collections.abc import Callable, Hashable
+from typing import Any, Protocol
 
 from repro.core.types import View
 from repro.membership.messages import (
@@ -84,7 +85,7 @@ class RingConfig:
         deliver_when_safe: bool = False,
         one_round: bool = False,
         retransmit_attempts: int = 1,
-        retransmit_backoff: Optional[float] = None,
+        retransmit_backoff: float | None = None,
         delta_token: bool = True,
     ) -> None:
         if delta <= 0 or pi <= 0 or mu <= 0:
@@ -179,7 +180,7 @@ class RingMember(NetworkNode):
         proc_id: ProcId,
         service: RingService,
         config: RingConfig,
-        initial_view: Optional[View],
+        initial_view: View | None,
     ) -> None:
         super().__init__(proc_id)
         self.service = service
@@ -188,12 +189,12 @@ class RingMember(NetworkNode):
         self._oracle = service.network.oracle
 
         # Membership state.
-        self.view: Optional[View] = initial_view
+        self.view: View | None = initial_view
         self.max_epoch: int = initial_view.id[0] if initial_view else 0
-        self.committed: Optional[RingViewId] = (
+        self.committed: RingViewId | None = (
             initial_view.id if initial_view else None
         )
-        self._forming_viewid: Optional[RingViewId] = None
+        self._forming_viewid: RingViewId | None = None
         self._forming_accepts: set[ProcId] = set()
         self._forming_deadline = None  # EventHandle
 
@@ -201,7 +202,7 @@ class RingMember(NetworkNode):
         self.buffered: list[tuple[RingViewId, Any]] = []
         self.delivered_idx: int = 0
         self.safe_idx: int = 0
-        self.held_token: Optional[Token] = None
+        self.held_token: Token | None = None
         #: Local replica of the current view's full message order.  With
         #: delta-encoded tokens each hop carries only a window of the
         #: sequence; the replica is what deliveries read from and what a
@@ -218,7 +219,7 @@ class RingMember(NetworkNode):
         # durable word of "stable storage") so a restarted processor can
         # never re-announce or re-install a view from before its crash —
         # which would break per-location view-id monotonicity.
-        self._max_installed: Optional[RingViewId] = (
+        self._max_installed: RingViewId | None = (
             initial_view.id if initial_view else None
         )
 
@@ -258,7 +259,7 @@ class RingMember(NetworkNode):
         self._m_retrans = None
         self._m_formations = None
         self._tracer = None
-        self._round_started: Optional[float] = None
+        self._round_started: float | None = None
 
         # Timers.
         self._watchdog = WatchdogTimer(self._sim, self._on_token_timeout)

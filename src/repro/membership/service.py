@@ -14,7 +14,8 @@ This is the implementation whose traces are checked against VS-machine
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Iterable, Optional
+from collections.abc import Callable, Hashable, Iterable
+from typing import Any
 
 from repro.core.types import View
 from repro.ioa.actions import act
@@ -60,9 +61,9 @@ class TokenRingVS:
     def __init__(
         self,
         processors: Iterable[ProcId],
-        config: Optional[RingConfig] = None,
+        config: RingConfig | None = None,
         seed: int = 0,
-        initial_members: Optional[Iterable[ProcId]] = None,
+        initial_members: Iterable[ProcId] | None = None,
         obs=None,
     ) -> None:
         self.processors: tuple[ProcId, ...] = tuple(processors)
@@ -96,9 +97,9 @@ class TokenRingVS:
         self._merger = IncrementalStatusMerger(
             self.trace, lambda: self.network.oracle.history
         )
-        self.on_gprcv: Optional[DeliveryCallback] = None
-        self.on_safe: Optional[DeliveryCallback] = None
-        self.on_newview: Optional[ViewCallback] = None
+        self.on_gprcv: DeliveryCallback | None = None
+        self.on_safe: DeliveryCallback | None = None
+        self.on_newview: ViewCallback | None = None
         self._started = False
         self.obs = None
         self._tracer = None
@@ -153,7 +154,7 @@ class TokenRingVS:
         self._record("gpsnd", payload, p)
         self.members[p].gpsnd(payload)
 
-    def current_view(self, p: ProcId) -> Optional[View]:
+    def current_view(self, p: ProcId) -> View | None:
         return self.members[p].view
 
     def schedule_send(self, time: float, p: ProcId, payload: Any) -> None:

@@ -23,7 +23,8 @@ strict VS-machine, the whole Section 8 argument —
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from collections.abc import Hashable
+from typing import Any
 
 from repro.core.types import View
 from repro.core.vs_spec import VSMachine, WeakVSMachine

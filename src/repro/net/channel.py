@@ -22,7 +22,7 @@ Beyond the oracle, each channel carries an ordered list of *packet
 interceptors* — the hook the :mod:`repro.faults` nemesis layer uses to
 perturb individual packets (drop, duplicate, delay, reorder-by-holding)
 in ways the status oracle does not model.  An interceptor is a callable
-``(Packet, PacketFate) -> Optional[PacketFate]``; it sees the fate the
+``(Packet, PacketFate) -> PacketFate | None``; it sees the fate the
 oracle (and any earlier interceptor) decided and may return a replacement
 fate, or ``None`` to leave the packet alone.  Interceptors run only for
 packets that survived the oracle's send-time verdict, so fault injection
@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional
+from collections.abc import Callable, Hashable
+from typing import Any
 
 from repro.net.status import FailureOracle, FailureStatus
 from repro.sim.engine import Simulator
@@ -71,14 +72,14 @@ class PacketFate:
     """
 
     delays: tuple[float, ...]
-    drop_reason: Optional[str] = None
+    drop_reason: str | None = None
 
     @property
     def dropped(self) -> bool:
         return not self.delays
 
 
-PacketInterceptor = Callable[[Packet, PacketFate], Optional[PacketFate]]
+PacketInterceptor = Callable[[Packet, PacketFate], PacketFate | None]
 
 
 @dataclass(frozen=True)
@@ -131,7 +132,7 @@ class Channel:
         # branch per send/arrival when no hub is attached).
         self._m_sent = None
         self._m_delivered = None
-        self._m_drops: Optional[dict[str, Any]] = None
+        self._m_drops: dict[str, Any] | None = None
         self._m_in_flight = None
 
     @property

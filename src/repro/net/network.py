@@ -18,7 +18,8 @@ Protocol code (the membership/token layer) subclasses or registers a
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Optional
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 from repro.net.channel import (
     DROP_REASONS,
@@ -64,8 +65,8 @@ class Network:
         self,
         processors: Iterable[ProcId],
         simulator: Simulator,
-        rngs: Optional[RngRegistry] = None,
-        config: Optional[ChannelConfig] = None,
+        rngs: RngRegistry | None = None,
+        config: ChannelConfig | None = None,
         ugly_proc_max_delay: float = 50.0,
     ) -> None:
         self.processors: tuple[ProcId, ...] = tuple(processors)
@@ -109,7 +110,7 @@ class Network:
     def add_interceptor(
         self,
         interceptor: PacketInterceptor,
-        links: Optional[Iterable[tuple[ProcId, ProcId]]] = None,
+        links: Iterable[tuple[ProcId, ProcId]] | None = None,
     ) -> None:
         """Install ``interceptor`` on every channel (default) or on the
         given directed ``links`` only.  See :mod:`repro.net.channel` for

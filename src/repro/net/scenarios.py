@@ -13,7 +13,7 @@ stabilisation interval l' relative to it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Optional, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 from repro.net.network import Network
 from repro.net.status import FailureStatus
@@ -69,7 +69,7 @@ class PartitionScenario:
         groups: Sequence[Sequence[ProcId]],
         ugly_links: Iterable[tuple[ProcId, ProcId]] = (),
         ugly_processors: Iterable[ProcId] = (),
-    ) -> "PartitionScenario":
+    ) -> PartitionScenario:
         event = ScenarioEvent(
             time=time,
             groups=tuple(tuple(g) for g in groups),
@@ -114,7 +114,7 @@ class PartitionScenario:
 
 def stable_partition(
     processors: Sequence[ProcId],
-    groups: Optional[Sequence[Sequence[ProcId]]] = None,
+    groups: Sequence[Sequence[ProcId]] | None = None,
     at: float = 0.0,
 ) -> PartitionScenario:
     """A scenario with a single layout: everyone in one group by default,

@@ -32,7 +32,6 @@ installed, primary residency).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.obs.metrics import (
     Counter,
@@ -81,12 +80,12 @@ class Observability:
         tracing: bool = True,
         profiling: bool = False,
     ) -> None:
-        self.metrics: Optional[MetricsRegistry] = (
+        self.metrics: MetricsRegistry | None = (
             MetricsRegistry() if metrics else None
         )
-        self.tracer: Optional[LifecycleTracer] = (
+        self.tracer: LifecycleTracer | None = (
             LifecycleTracer() if tracing else None
         )
-        self.profiler: Optional[CallbackProfiler] = (
+        self.profiler: CallbackProfiler | None = (
             CallbackProfiler() if profiling else None
         )

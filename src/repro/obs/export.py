@@ -19,7 +19,8 @@ which makes typical δ/π/μ executions comfortably scrubbably sized.
 from __future__ import annotations
 
 import json
-from typing import Any, Hashable, Iterable, Optional, TextIO
+from collections.abc import Hashable, Iterable
+from typing import Any, TextIO
 
 from repro.obs.tracing import LifecycleTracer
 
@@ -252,7 +253,7 @@ def timed_trace_chrome(trace, label: str = "events") -> dict:
 # JSONL
 # ----------------------------------------------------------------------
 def jsonl_records(
-    tracer: Optional[LifecycleTracer] = None,
+    tracer: LifecycleTracer | None = None,
     metrics=None,
     profiler=None,
     timed_trace=None,

@@ -27,7 +27,7 @@ for programmatic assertions and the JSONL exporter.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterator, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 #: Default histogram bucket upper bounds (virtual-time units); chosen to
 #: resolve both sub-δ link delays and multi-π round durations.
@@ -227,7 +227,7 @@ class MetricsRegistry:
                 f"{family.label_names}, not {label_names}"
             )
 
-    def get(self, name: str) -> Optional[MetricFamily]:
+    def get(self, name: str) -> MetricFamily | None:
         return self._families.get(name)
 
     def families(self) -> Iterator[MetricFamily]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable
+from collections.abc import Callable
 
 
 @dataclass

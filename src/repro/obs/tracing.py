@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import inf
-from typing import Any, Hashable, Iterable, Optional
+from collections.abc import Hashable, Iterable
+from typing import Any
 
 ProcId = Hashable
 
@@ -45,8 +46,8 @@ class MessageSpan:
     viewid: Any
     #: position among the origin's sends in this view (0-based)
     seq: int
-    bcast_at: Optional[float] = None
-    gpsnd_at: Optional[float] = None
+    bcast_at: float | None = None
+    gpsnd_at: float | None = None
     gprcv_at: dict = field(default_factory=dict)   # member -> time
     safe_at: dict = field(default_factory=dict)    # member -> time
     brcv_at: dict = field(default_factory=dict)    # member -> time
@@ -65,7 +66,7 @@ class MessageSpan:
         ]
         return max(times, default=-inf)
 
-    def safe_complete_at(self, members: Iterable[ProcId]) -> Optional[float]:
+    def safe_complete_at(self, members: Iterable[ProcId]) -> float | None:
         """When the message became safe at every member (None if not)."""
         times = [self.safe_at.get(m) for m in members]
         if any(t is None for t in times):
@@ -74,7 +75,7 @@ class MessageSpan:
 
     def delivered_complete_at(
         self, members: Iterable[ProcId]
-    ) -> Optional[float]:
+    ) -> float | None:
         """When the TO-level delivery completed at every member."""
         times = [self.brcv_at.get(m) for m in members]
         if any(t is None for t in times):
@@ -87,12 +88,12 @@ class ViewSpan:
     """Lifecycle of one view id."""
 
     viewid: Any
-    members: Optional[frozenset] = None
-    initiator: Optional[ProcId] = None
+    members: frozenset | None = None
+    initiator: ProcId | None = None
     #: first formation attempt (NewGroup broadcast / one-round announce)
-    proposed_at: Optional[float] = None
+    proposed_at: float | None = None
     #: membership fixed and Join announced (the createview point)
-    announced_at: Optional[float] = None
+    announced_at: float | None = None
     newview_at: dict = field(default_factory=dict)      # member -> time
     established_at: dict = field(default_factory=dict)  # member -> time
 
@@ -106,7 +107,7 @@ class ViewSpan:
         times = [*self.newview_at.values(), *self.established_at.values()]
         return max(times, default=-inf)
 
-    def installed_everywhere_at(self) -> Optional[float]:
+    def installed_everywhere_at(self) -> float | None:
         """When every member had installed the view (None if some never
         did — e.g. the view was superseded mid-formation)."""
         if self.members is None or not self.members:

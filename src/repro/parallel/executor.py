@@ -24,7 +24,8 @@ import json
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -95,8 +96,8 @@ def make_envelope(
     result: Any,
     *,
     ok: bool = True,
-    stats: Optional[dict] = None,
-    violations: Optional[list] = None,
+    stats: dict | None = None,
+    violations: list | None = None,
     wall_s: float = 0.0,
 ) -> RunEnvelope:
     """Wrap a run result, stamping its canonical digest."""

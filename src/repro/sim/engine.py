@@ -19,7 +19,8 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from math import inf
-from typing import Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 
 @dataclass(order=True)
@@ -38,7 +39,7 @@ class EventHandle:
 
     __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _QueuedEvent, sim: "Simulator") -> None:
+    def __init__(self, event: _QueuedEvent, sim: Simulator) -> None:
         self._event = event
         self._sim = sim
 
@@ -76,7 +77,7 @@ class Simulator:
         # heavy timer churn (ring watchdogs) cannot leak memory.
         self._cancelled_in_queue = 0
         self._compactions = 0
-        self._trace_hook: Optional[Callable[[float], None]] = None
+        self._trace_hook: Callable[[float], None] | None = None
         # Observability slots, pre-bound by attach_obs; with no hub
         # attached each instrumented path pays one `is None` branch.
         self._m_scheduled = None
@@ -86,7 +87,7 @@ class Simulator:
         self._profiler = None
 
     # ------------------------------------------------------------------
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: Any) -> None:
         """Bind an :class:`~repro.obs.Observability` hub: event-flow
         counters, a queue-depth gauge, and (when the hub enables it)
         host wall-clock attribution per callback owner.  Purely
@@ -245,7 +246,7 @@ class Simulator:
             self.run_until(until)
 
     # ------------------------------------------------------------------
-    def on_time_passage(self, hook: Optional[Callable[[float], None]]) -> None:
+    def on_time_passage(self, hook: Callable[[float], None] | None) -> None:
         """Install a hook invoked with each positive time advance (the
         ``nu(t)`` steps of the timed model); pass None to remove."""
         self._trace_hook = hook

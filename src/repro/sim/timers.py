@@ -10,7 +10,7 @@ The Section 8 implementation needs two timer shapes:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.sim.engine import EventHandle, Simulator
 
@@ -30,7 +30,7 @@ class PeriodicTimer:
         self._sim = simulator
         self.period = period
         self._callback = callback
-        self._handle: Optional[EventHandle] = None
+        self._handle: EventHandle | None = None
         self._running = False
         self._start_immediately = start_immediately
 
@@ -69,7 +69,7 @@ class WatchdogTimer:
     def __init__(self, simulator: Simulator, on_expire: Callable[[], None]) -> None:
         self._sim = simulator
         self._on_expire = on_expire
-        self._handle: Optional[EventHandle] = None
+        self._handle: EventHandle | None = None
 
     def arm(self, timeout: float) -> None:
         self.disarm()

@@ -7,6 +7,8 @@ while answering unchanged queries from cache and self-healing when a
 source is reset.
 """
 
+from __future__ import annotations
+
 from dataclasses import dataclass
 
 from repro.ioa.actions import act
@@ -18,7 +20,7 @@ class _Status:
     """Duck-typed like the oracle's status events."""
 
     time: float
-    status: "_Kind"
+    status: _Kind
     target: object
 
 

@@ -1,0 +1,43 @@
+"""Fixture: DET001 fires on unseeded/process-global random use.
+
+Marked lines must be reported; the suppression comments demonstrate
+scoping. This file is analyzed, never imported.
+"""
+
+import random
+
+
+def draw_global() -> float:
+    return random.random()  # lint-expect[DET001]
+
+
+def shuffle_global(items: list) -> None:
+    random.shuffle(items)  # lint-expect[DET001]
+
+
+def reseed_global() -> None:
+    random.seed(42)  # lint-expect[DET001]
+
+
+def unseeded_instance() -> random.Random:
+    return random.Random()  # lint-expect[DET001]
+
+
+def entropy_instance() -> random.Random:
+    return random.SystemRandom()  # lint-expect[DET001]
+
+
+def seeded_instance_is_clean(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def suppressed_same_rule() -> float:
+    return random.random()  # repro-lint: ignore[DET001]
+
+
+def suppressed_wrong_rule() -> float:
+    return random.random()  # repro-lint: ignore[DET002]  # lint-expect[DET001]
+
+
+def suppressed_star() -> float:
+    return random.random()  # repro-lint: ignore[*]

@@ -1,0 +1,33 @@
+"""Fixture: DET002 fires on wall-clock reads.  Analyzed, never imported."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def host_now() -> float:
+    return time.time()  # lint-expect[DET002]
+
+
+def host_perf() -> float:
+    return perf_counter()  # lint-expect[DET002]
+
+
+def host_monotonic_ns() -> int:
+    return time.monotonic_ns()  # lint-expect[DET002]
+
+
+def host_datetime() -> datetime:
+    return datetime.now()  # lint-expect[DET002]
+
+
+def virtual_time_is_clean(simulator: object) -> float:
+    return simulator.now  # type: ignore[attr-defined]
+
+
+def suppressed() -> float:
+    return time.time()  # repro-lint: ignore[DET002]
+
+
+def suppressed_wrong_rule() -> float:
+    return time.time()  # repro-lint: ignore[DET001]  # lint-expect[DET002]

@@ -1,0 +1,55 @@
+"""Fixture: DET003 fires on unordered iteration feeding ordered output."""
+
+
+def keys_to_list(mapping: dict) -> list:
+    return list(mapping.keys())  # lint-expect[DET003]
+
+
+def set_to_tuple(items: set) -> tuple:
+    return tuple(set(items))  # lint-expect[DET003]
+
+
+def literal_set_comprehension() -> list:
+    return [x for x in {"a", "b", "c"}]  # lint-expect[DET003]
+
+
+def join_over_keys(mapping: dict) -> str:
+    return ",".join(mapping.keys())  # lint-expect[DET003]
+
+
+def loop_appends(mapping: dict) -> list:
+    out: list = []
+    for key in mapping.keys():  # lint-expect[DET003]
+        out.append(key)
+    return out
+
+
+def generator_over_set(items: set):
+    for item in frozenset(items):  # noqa: UP028  # lint-expect[DET003]
+        yield item
+
+
+def sorted_is_clean(mapping: dict) -> list:
+    return list(sorted(mapping.keys()))
+
+
+def sorted_loop_is_clean(items: set) -> list:
+    out: list = []
+    for item in sorted(items):
+        out.append(item)
+    return out
+
+
+def aggregation_is_clean(items: set) -> int:
+    total = 0
+    for item in {i for i in items}:
+        total += item
+    return total
+
+
+def suppressed(mapping: dict) -> list:
+    return list(mapping.keys())  # repro-lint: ignore[DET003]
+
+
+def suppressed_wrong_rule(mapping: dict) -> list:
+    return list(mapping.keys())  # repro-lint: ignore[DET004]  # lint-expect[DET003]

@@ -1,0 +1,33 @@
+"""Fixture: DET004 fires on id()/hash()-keyed ordering."""
+
+
+def sort_by_id(items: list) -> list:
+    return sorted(items, key=id)  # lint-expect[DET004]
+
+
+def sort_by_hash_lambda(items: list) -> list:
+    return sorted(items, key=lambda item: hash(item))  # lint-expect[DET004]
+
+
+def min_by_id_lambda(items: list) -> object:
+    return min(items, key=lambda item: (id(item), 0))  # lint-expect[DET004]
+
+
+def inplace_sort_by_hash(items: list) -> None:
+    items.sort(key=hash)  # lint-expect[DET004]
+
+
+def value_key_is_clean(items: list) -> list:
+    return sorted(items, key=lambda item: str(item))
+
+
+def plain_sort_is_clean(items: list) -> list:
+    return sorted(items)
+
+
+def suppressed(items: list) -> list:
+    return sorted(items, key=id)  # repro-lint: ignore[DET004]
+
+
+def suppressed_wrong_rule(items: list) -> list:
+    return sorted(items, key=id)  # repro-lint: ignore[DET003]  # lint-expect[DET004]

@@ -1,0 +1,54 @@
+"""Fixture: IOA001 fires on preconditions that mutate automaton state.
+
+The module pragma below places this file in the rule's scope
+(``repro.core.*``); the file is analyzed, never imported.
+"""
+# repro-lint: module=repro.core.fixture_ioa001
+
+from typing import Any
+
+
+class MutatingMachine:
+    def __init__(self) -> None:
+        self.count = 0
+        self.pending: list[Any] = []
+        self.index: dict[str, int] = {}
+
+    def is_enabled(self, action: Any) -> bool:
+        self.count += 1  # lint-expect[IOA001]
+        self.pending.append(action)  # lint-expect[IOA001]
+        self.index["probe"] = 1  # lint-expect[IOA001]
+        del self.index["probe"]  # lint-expect[IOA001]
+        return True
+
+    def _probe_enabled(self) -> bool:
+        self.pending.pop(0)  # lint-expect[IOA001]
+        return bool(self.pending)
+
+    def enabled_actions(self) -> Any:
+        self.count = 0  # lint-expect[IOA001]
+        return iter(())
+
+    def apply(self, action: Any) -> None:
+        self.count += 1  # effects may mutate: clean
+
+
+class CleanMachine:
+    def __init__(self) -> None:
+        self.pending: list[Any] = []
+
+    def is_enabled(self, action: Any) -> bool:
+        local = list(self.pending)
+        local.append(action)  # local mutation: clean
+        return bool(local) and self.pending[0] == action
+
+    def suppressed_is_enabled(self) -> bool:
+        return True
+
+    def probe_enabled(self) -> bool:
+        self.pending.append(1)  # repro-lint: ignore[IOA001]
+        return True
+
+    def other_enabled(self) -> bool:
+        self.pending.append(1)  # repro-lint: ignore[IOA002]  # lint-expect[IOA001]
+        return True

@@ -1,0 +1,38 @@
+"""Fixture: IOA002 fires on effects performing I/O or global RNG."""
+# repro-lint: module=repro.core.fixture_ioa002
+
+import os
+import random
+import time
+from typing import Any
+
+
+class EffectfulMachine:
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.log: list[Any] = []
+
+    def apply(self, action: Any) -> None:
+        print("applying", action)  # lint-expect[IOA002]
+        self.log.append(random.random())  # lint-expect[IOA002]
+        self.log.append(time.time())  # lint-expect[IOA002]
+        os.stat(".")  # lint-expect[IOA002]
+
+    def eff_deliver(self, action: Any) -> None:
+        open("/tmp/trace.log", "w")  # lint-expect[IOA002]  # noqa: SIM115
+
+    def apply_clean(self, action: Any) -> None:
+        # passed seeded RNG and plain state mutation are both fine
+        self.log.append(self.rng.random())
+
+
+class SuppressedMachine:
+    def __init__(self) -> None:
+        self.log: list[Any] = []
+
+    def apply(self, action: Any) -> None:
+        print("dbg", action)  # repro-lint: ignore[IOA002]
+        self.log.append(action)
+
+    def eff_other(self, action: Any) -> None:
+        print("dbg", action)  # repro-lint: ignore[IOA001]  # lint-expect[IOA002]

@@ -1,0 +1,73 @@
+"""Fixture: IOA003 fires on registered actions with no dispatch."""
+# repro-lint: module=repro.core.fixture_ioa003
+
+from typing import Any
+
+from repro.ioa.actions import Signature
+
+RING_INPUTS = frozenset({"deliver", "crash"})
+
+
+class HolesMachine:
+    def __init__(self) -> None:
+        self.signature = Signature(  # lint-expect[IOA003]
+            inputs={"ping", "pong"},
+            outputs={"emit"},
+            internals={"tick"},
+        )
+        self.ticks = 0
+
+    def is_enabled(self, action: Any) -> bool:
+        return action.name in ("ping", "emit")
+
+    def apply(self, action: Any) -> None:
+        if action.name == "ping":
+            self.ticks += 1
+        elif action.name == "emit":
+            self.ticks = 0
+    # "pong" and "tick" are registered but never dispatched -> 2 findings
+
+
+class CoveredMachine:
+    def __init__(self) -> None:
+        self.signature = Signature(inputs=RING_INPUTS, outputs={"ack"})
+        self.seen = 0
+
+    def is_enabled(self, action: Any) -> bool:
+        if action.name in RING_INPUTS:
+            return True
+        return action.name == "ack" and self.seen > 0
+
+    def apply(self, action: Any) -> None:
+        if action.name in RING_INPUTS:
+            self.seen += 1
+        elif action.name == "ack":
+            self.seen -= 1
+
+
+class InheritedCoverage(CoveredMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.signature = Signature(inputs=RING_INPUTS | {"restart"}, outputs={"ack"})
+
+    def apply(self, action: Any) -> None:
+        if action.name == "restart":
+            self.seen = 0
+        else:
+            super().apply(action)
+
+
+class DynamicSignatureSkipped:
+    def __init__(self, names: Any) -> None:
+        self.signature = Signature(inputs=names)  # unresolvable: skipped
+
+
+class SuppressedHoles:
+    def __init__(self) -> None:
+        self.signature = Signature(inputs={"lost"})  # repro-lint: ignore[IOA003]
+
+    def is_enabled(self, action: Any) -> bool:
+        return False
+
+    def apply(self, action: Any) -> None:
+        return None

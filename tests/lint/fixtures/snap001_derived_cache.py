@@ -1,0 +1,75 @@
+"""Fixture: SNAP001 fires on undocumented derived-cache attributes."""
+# repro-lint: module=repro.core.fixture_snap001
+
+from typing import Any
+
+
+class BadCache:  # lint-expect[SNAP001]
+    def __init__(self, items: list) -> None:
+        self.items = items
+        self._summary_cache: Any = None
+
+    def summary(self) -> Any:
+        if self._summary_cache is None:
+            self._summary_cache = tuple(self.items)
+        return self._summary_cache
+
+
+class HookedCache:
+    def __init__(self, items: list) -> None:
+        self.items = items
+        self._index_map: Any = None
+
+    def index(self) -> Any:
+        if self._index_map is None:
+            self._index_map = {item: i for i, item in enumerate(self.items)}
+        return self._index_map
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_index_map"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+class DocumentedCache:
+    """Length-keyed cache; any growth of ``items`` invalidates it."""
+
+    def __init__(self, items: list) -> None:
+        self.items = items
+        self._view_cache: Any = None
+        self._view_len = -1
+
+    def view(self) -> Any:
+        if self._view_len != len(self.items):
+            self._view_cache = tuple(self.items)
+            self._view_len = len(self.items)
+        return self._view_cache
+
+
+class PlainStateIsClean:
+    def __init__(self) -> None:
+        self._clock = 0
+
+    def tick(self) -> None:
+        self._clock = self._clock + 1
+
+
+class SuppressedCache:  # repro-lint: ignore[SNAP001]
+    def __init__(self) -> None:
+        self._memo: Any = None
+
+    def get(self) -> Any:
+        self._memo = object()
+        return self._memo
+
+
+class WrongSuppression:  # repro-lint: ignore[IOA001]  # lint-expect[SNAP001]
+    def __init__(self) -> None:
+        self._memo: Any = None
+
+    def get(self) -> Any:
+        self._memo = object()
+        return self._memo

@@ -1,0 +1,45 @@
+"""Fixture: TYP001 fires on untyped defs in strict packages."""
+# repro-lint: module=repro.sim.fixture_typ001
+
+from typing import Any
+
+
+def untyped(a, b):  # lint-expect[TYP001]
+    return a + b
+
+
+def half_typed(a: int, b) -> int:  # lint-expect[TYP001]
+    return a + b
+
+
+def missing_return(a: int):  # lint-expect[TYP001]
+    return a
+
+
+def untyped_star(*args, **kwargs):  # lint-expect[TYP001]
+    return args, kwargs
+
+
+def fully_typed(a: int, *args: int, flag: bool = False, **kwargs: Any) -> int:
+    return a + sum(args)
+
+
+class Machine:
+    def method(self, value):  # lint-expect[TYP001]
+        return value
+
+    def typed_method(self, value: int) -> int:
+        # bare self needs no annotation
+        return value
+
+    @staticmethod
+    def static_untyped(value):  # lint-expect[TYP001]
+        return value
+
+
+def suppressed(a, b):  # repro-lint: ignore[TYP001]
+    return a + b
+
+
+def suppressed_wrong_rule(a, b):  # repro-lint: ignore[DET001]  # lint-expect[TYP001]
+    return a + b

@@ -1,0 +1,91 @@
+"""Suppression comment semantics, exercised on in-memory files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.engine import analyze_file, rule_by_id
+
+
+def lint(tmp_path: Path, source: str, *rule_ids: str):
+    path = tmp_path / "sample.py"
+    path.write_text(source)
+    rules = [rule_by_id(r) for r in rule_ids] if rule_ids else None
+    return analyze_file(path, rules=rules)
+
+
+def test_same_rule_suppression_marks_finding_suppressed(tmp_path):
+    findings = lint(
+        tmp_path,
+        "import random\n"
+        "x = random.random()  # repro-lint: ignore[DET001]\n",
+        "DET001",
+    )
+    assert [f.suppressed for f in findings] == [True]
+    assert findings[0].rule == "DET001"
+
+
+def test_wrong_rule_suppression_does_not_silence(tmp_path):
+    findings = lint(
+        tmp_path,
+        "import random\n"
+        "x = random.random()  # repro-lint: ignore[DET002]\n",
+        "DET001",
+    )
+    assert [f.suppressed for f in findings] == [False]
+
+
+def test_star_suppression_silences_every_rule(tmp_path):
+    findings = lint(
+        tmp_path,
+        "import random, time\n"
+        "x = random.random()  # repro-lint: ignore[*]\n"
+        "y = time.time()  # repro-lint: ignore[*]\n",
+        "DET001",
+        "DET002",
+    )
+    assert findings and all(f.suppressed for f in findings)
+
+
+def test_multiple_rules_in_one_comment(tmp_path):
+    findings = lint(
+        tmp_path,
+        "import random, time\n"
+        "x = (random.random(), time.time())"
+        "  # repro-lint: ignore[DET001, DET002]\n",
+        "DET001",
+        "DET002",
+    )
+    assert len(findings) == 2
+    assert all(f.suppressed for f in findings)
+
+
+def test_suppression_is_line_scoped(tmp_path):
+    findings = lint(
+        tmp_path,
+        "import random  # repro-lint: ignore[DET001]\n"
+        "x = random.random()\n",
+        "DET001",
+    )
+    assert [f.suppressed for f in findings] == [False]
+
+
+def test_string_literal_is_not_a_suppression(tmp_path):
+    """The comment scanner is token-based: a suppression spelled inside
+    a string constant must not silence anything."""
+    findings = lint(
+        tmp_path,
+        "import random\n"
+        'x = random.random(); note = "# repro-lint: ignore[DET001]"\n',
+        "DET001",
+    )
+    assert [f.suppressed for f in findings] == [False]
+
+
+def test_parse_error_is_reported_and_unsuppressable(tmp_path):
+    findings = lint(
+        tmp_path,
+        "def broken(:  # repro-lint: ignore[*]\n",
+    )
+    assert [f.rule for f in findings] == ["LINT000"]
+    assert not findings[0].suppressed

@@ -129,7 +129,9 @@ def latency_table(work_conserving: bool = False) -> Table:
     return headers, rows
 
 
-def _full_stack(n: int, seed: int):
+def _full_stack(
+    n: int, seed: int
+) -> tuple[tuple[int, ...], TokenRingVS, VStoTORuntime]:
     processors = tuple(range(1, n + 1))
     service = TokenRingVS(
         processors,

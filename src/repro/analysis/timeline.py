@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import inf
-from collections.abc import Hashable, Iterable
+from collections.abc import Callable, Hashable, Iterable
+from typing import Any
 
 from repro.core.types import View
 from repro.ioa.timed import TimedTrace
@@ -61,7 +62,7 @@ def decompose_timeline(
     trace: TimedTrace,
     group: Iterable[ProcId],
     scenario_stable_at: float,
-    summary_predicate,
+    summary_predicate: Callable[[Any], bool],
     initial_view: View | None = None,
 ) -> Timeline:
     """Reconstruct the Figure 12 boundaries.

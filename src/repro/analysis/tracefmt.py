@@ -10,8 +10,13 @@ Figure 12 style timeline diagrams.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.ioa.timed import TimedTrace
+
+if TYPE_CHECKING:
+    from repro.core.types import View
+    from repro.ioa.actions import Action
 
 ProcId = Hashable
 
@@ -34,7 +39,7 @@ _LOCATION_OF = {
 }
 
 
-def describe_event(action) -> str:
+def describe_event(action: Action) -> str:
     """One-line description of a single action.
 
     Tolerant of unexpected arities (hand-built or fault-annotated traces
@@ -118,14 +123,14 @@ def summarize_trace(trace: TimedTrace) -> dict[str, int]:
 def format_view_history(
     trace: TimedTrace,
     processors: Sequence[ProcId],
-    initial_view=None,
+    initial_view: View | None = None,
 ) -> str:
     """Render each processor's sequence of views as intervals.
 
     One line per processor: ``p: [0.0..47.2) ⟨(0,1),{...}⟩ | [47.2..) …``
     — a textual Gantt of the membership history, built from ``newview``
     events (plus the optional initial view)."""
-    history: dict[ProcId, list[tuple[float, object]]] = {
+    history: dict[ProcId, list[tuple[float, Any]]] = {
         p: [] for p in processors
     }
     if initial_view is not None:

@@ -27,7 +27,7 @@ import functools
 import time
 from dataclasses import dataclass, field
 from collections.abc import Hashable, Iterable, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.monitor import OnlineVSMonitor
 from repro.core.quorums import MajorityQuorumSystem, QuorumSystem
@@ -38,6 +38,10 @@ from repro.membership.bounds import VSBounds
 from repro.membership.ring import RingConfig
 from repro.membership.service import TokenRingVS
 from repro.net.scenarios import stable_partition
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.parallel import RunEnvelope
 
 ProcId = Hashable
 
@@ -115,7 +119,7 @@ class ChaosRunner:
         quorums: QuorumSystem | None = None,
         sends: int = 20,
         settle: float = 600.0,
-        obs=None,
+        obs: Observability | None = None,
     ) -> None:
         self.processors: tuple[ProcId, ...] = tuple(processors)
         self.schedule = schedule
@@ -241,7 +245,7 @@ def run_chaos(
     sends: int = 20,
     settle: float = 600.0,
     config: RingConfig | None = None,
-    obs=None,
+    obs: Observability | None = None,
 ) -> ChaosReport:
     """One-call convenience: random schedule + runner + run."""
     processors = tuple(processors)
@@ -273,7 +277,7 @@ def _chaos_envelope_worker(
     sends: int,
     settle: float,
     config: RingConfig | None,
-):
+) -> RunEnvelope:
     """One seeded chaos run wrapped in a RunEnvelope (module-level so it
     pickles into worker processes)."""
     from repro.parallel import make_envelope
@@ -312,7 +316,7 @@ def run_chaos_sweep(
     sends: int = 20,
     settle: float = 600.0,
     config: RingConfig | None = None,
-):
+) -> list[RunEnvelope]:
     """Run :func:`run_chaos` for every seed, optionally across worker
     processes, returning :class:`repro.parallel.RunEnvelope` objects in
     seed order.  The merged result is identical to the sequential loop

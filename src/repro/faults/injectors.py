@@ -25,18 +25,25 @@ from __future__ import annotations
 
 import random
 from collections.abc import Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.membership.messages import Sequenced, Token
 from repro.net.channel import Packet, PacketFate
 from repro.net.status import FailureStatus
 
+if TYPE_CHECKING:
+    from repro.membership.service import TokenRingVS
+
 ProcId = Hashable
+
+#: Optional link restriction for packet injectors (None = every link).
+Links = Iterable[tuple[ProcId, ProcId]] | None
 
 
 class ChaosContext:
     """What an injector gets to work with: one running service stack."""
 
-    def __init__(self, service) -> None:
+    def __init__(self, service: TokenRingVS) -> None:
         self.service = service
         self.network = service.network
         self.simulator = service.simulator
@@ -66,6 +73,18 @@ class FaultInjector:
     @property
     def kind(self) -> str:
         return type(self).__name__
+
+    @property
+    def ctx(self) -> ChaosContext:
+        if self._ctx is None:
+            raise RuntimeError(f"injector {self.name!r} is not bound")
+        return self._ctx
+
+    @property
+    def rng(self) -> random.Random:
+        if self._rng is None:
+            raise RuntimeError(f"injector {self.name!r} is not bound")
+        return self._rng
 
     def bind(self, ctx: ChaosContext) -> None:
         """Attach to a service (idempotent; called once per schedule)."""
@@ -98,7 +117,7 @@ class FaultInjector:
         pass
 
 
-def _payload(message) -> object:
+def _payload(message: object) -> object:
     """The protocol body of a wire message (unwrap the seq stamp)."""
     return message.body if isinstance(message, Sequenced) else message
 
@@ -106,11 +125,7 @@ def _payload(message) -> object:
 class PacketInjector(FaultInjector):
     """Base for injectors that perturb individual packets in flight."""
 
-    def __init__(
-        self,
-        name: str,
-        links: Iterable[tuple[ProcId, ProcId]] | None = None,
-    ) -> None:
+    def __init__(self, name: str, links: Links = None) -> None:
         super().__init__(name)
         self.links = tuple(links) if links is not None else None
         self.packets_touched = 0
@@ -140,12 +155,12 @@ class PacketInjector(FaultInjector):
 class PacketLossInjector(PacketInjector):
     """Drop each passing packet with probability ``rate``."""
 
-    def __init__(self, name: str, rate: float, links=None) -> None:
+    def __init__(self, name: str, rate: float, links: Links = None) -> None:
         super().__init__(name, links)
         self.rate = rate
 
-    def _perturb(self, packet, fate):
-        if self._rng.random() < self.rate:
+    def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
+        if self.rng.random() < self.rate:
             return PacketFate((), drop_reason="injected")
         return None
 
@@ -156,15 +171,19 @@ class PacketDuplicateInjector(PacketInjector):
     duplicate may also be reordered past later traffic)."""
 
     def __init__(
-        self, name: str, rate: float, extra_delay: float = 5.0, links=None
+        self,
+        name: str,
+        rate: float,
+        extra_delay: float = 5.0,
+        links: Links = None,
     ) -> None:
         super().__init__(name, links)
         self.rate = rate
         self.extra_delay = extra_delay
 
-    def _perturb(self, packet, fate):
-        if self._rng.random() < self.rate:
-            echo = fate.delays[0] + self._rng.uniform(0.0, self.extra_delay)
+    def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
+        if self.rng.random() < self.rate:
+            echo = fate.delays[0] + self.rng.uniform(0.0, self.extra_delay)
             return PacketFate(fate.delays + (echo,), fate.drop_reason)
         return None
 
@@ -174,15 +193,17 @@ class PacketDelayInjector(PacketInjector):
     breaking the good-link δ bound and, because the jitter is
     per-packet, reordering traffic on the link."""
 
-    def __init__(self, name: str, rate: float, jitter: float = 5.0, links=None) -> None:
+    def __init__(
+        self, name: str, rate: float, jitter: float = 5.0, links: Links = None
+    ) -> None:
         super().__init__(name, links)
         self.rate = rate
         self.jitter = jitter
 
-    def _perturb(self, packet, fate):
-        if self._rng.random() >= self.rate:
+    def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
+        if self.rng.random() >= self.rate:
             return None
-        bump = self._rng.uniform(0.0, self.jitter)
+        bump = self.rng.uniform(0.0, self.jitter)
         return PacketFate(
             tuple(d + bump for d in fate.delays), fate.drop_reason
         )
@@ -199,17 +220,17 @@ class PacketReorderInjector(PacketInjector):
         rate: float,
         hold_min: float = 2.0,
         hold_max: float = 8.0,
-        links=None,
+        links: Links = None,
     ) -> None:
         super().__init__(name, links)
         self.rate = rate
         self.hold_min = hold_min
         self.hold_max = hold_max
 
-    def _perturb(self, packet, fate):
-        if self._rng.random() >= self.rate:
+    def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
+        if self.rng.random() >= self.rate:
             return None
-        hold = self._rng.uniform(self.hold_min, self.hold_max)
+        hold = self.rng.uniform(self.hold_min, self.hold_max)
         return PacketFate(
             tuple(d + hold for d in fate.delays), fate.drop_reason
         )
@@ -220,15 +241,15 @@ class TokenLossInjector(PacketInjector):
     packets with probability ``rate`` — the targeted attack on the
     ring's liveness core, answered by the token-regeneration watchdog."""
 
-    def __init__(self, name: str, rate: float, links=None) -> None:
+    def __init__(self, name: str, rate: float, links: Links = None) -> None:
         super().__init__(name, links)
         self.rate = rate
 
-    def _applies(self, packet) -> bool:
+    def _applies(self, packet: Packet) -> bool:
         return isinstance(_payload(packet.message), Token)
 
-    def _perturb(self, packet, fate):
-        if self._rng.random() < self.rate:
+    def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
+        if self.rng.random() < self.rate:
             return PacketFate((), drop_reason="injected")
         return None
 
@@ -255,17 +276,17 @@ class TimerSkewInjector(FaultInjector):
         self._skewed: list[ProcId] = []
 
     def _start(self, stop_time: float) -> None:
-        candidates = self.targets or self._ctx.processors
+        candidates = self.targets or self.ctx.processors
         for p in candidates:
-            member = self._ctx.service.members[p]
+            member = self.ctx.service.members[p]
             member.set_timer_skew(
-                self._rng.uniform(self.skew_min, self.skew_max)
+                self.rng.uniform(self.skew_min, self.skew_max)
             )
             self._skewed.append(p)
 
     def _stop(self) -> None:
         for p in self._skewed:
-            self._ctx.service.members[p].set_timer_skew(1.0)
+            self.ctx.service.members[p].set_timer_skew(1.0)
         self._skewed = []
 
 
@@ -298,25 +319,25 @@ class CrashRestartInjector(FaultInjector):
         self._down: set[ProcId] = set()
 
     def _start(self, stop_time: float) -> None:
-        sim = self._ctx.simulator
+        sim = self.ctx.simulator
         candidates = [
             p
-            for p in (self.targets or self._ctx.processors)
+            for p in (self.targets or self.ctx.processors)
             if p not in self._down
         ]
         if not candidates:
             return
-        victim = candidates[self._rng.randrange(len(candidates))]
-        down_for = self._rng.uniform(self.min_down, self.max_down)
+        victim = candidates[self.rng.randrange(len(candidates))]
+        down_for = self.rng.uniform(self.min_down, self.max_down)
         restart_at = min(sim.now + down_for, stop_time)
         self.crashes += 1
         self._down.add(victim)
-        self._ctx.oracle.set_processor(victim, FailureStatus.BAD, time=sim.now)
+        self.ctx.oracle.set_processor(victim, FailureStatus.BAD, time=sim.now)
 
         def recover() -> None:
             self._down.discard(victim)
-            self._ctx.service.restart_processor(victim)
-            self._ctx.oracle.set_processor(
+            self.ctx.service.restart_processor(victim)
+            self.ctx.oracle.set_processor(
                 victim, FailureStatus.GOOD, time=sim.now
             )
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from collections.abc import Hashable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.faults.injectors import (
     ChaosContext,
@@ -33,6 +34,9 @@ from repro.faults.injectors import (
     TimerSkewInjector,
     TokenLossInjector,
 )
+
+if TYPE_CHECKING:
+    from repro.membership.service import TokenRingVS
 
 ProcId = Hashable
 
@@ -94,7 +98,7 @@ class FaultSchedule:
         """Sorted distinct injector class names (the composition width)."""
         return tuple(sorted({i.kind for i in self.injectors}))
 
-    def install(self, service) -> ChaosContext:
+    def install(self, service: TokenRingVS) -> ChaosContext:
         """Bind injectors to ``service`` and schedule every window."""
         ctx = ChaosContext(service)
         for injector in self.injectors:

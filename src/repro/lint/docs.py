@@ -1,0 +1,245 @@
+"""Documentation gate: dead links and runnable snippets.
+
+Prose rots in two ways: relative links break when files move, and
+command/code snippets drift from the API they demonstrate.  This gate
+mechanises both checks over the repo's markdown:
+
+- **Links** — every inline markdown link with a relative target
+  (``[text](docs/TUTORIAL.md)``, ``[x](../README.md#anchor)``) must
+  resolve to an existing file or directory.  External schemes
+  (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``)
+  are not checked — CI has no network.
+- **Snippets** — fenced code blocks whose info string carries the
+  ``run`` tag (markdown: ```` ```python run ```` or ```` ```bash run ````)
+  are executed from the repository root; a non-zero exit or a traceback
+  fails the gate.  Python blocks get ``src/`` prepended to ``sys.path``
+  so they run against the working tree, exactly like the test suite;
+  bash blocks run under ``bash -e`` and spell out their own
+  ``PYTHONPATH`` the way a user would.  Untagged blocks (pseudocode,
+  console transcripts, elided fragments) are ignored.
+
+Usage::
+
+    python -m repro.lint.docs            # scan the repo root downwards
+    python -m repro.lint.docs --skip-exec  # links only (fast)
+
+Exit code 0 means clean, 1 means findings.  CI runs the full form in
+the lint job; ``tests/docs/test_docs.py`` runs it as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Directory names never scanned for markdown.
+SKIP_DIRS = {".git", ".claude", "__pycache__", "node_modules", ".pytest_cache", "trace-artifacts"}
+
+#: Root-level files quoting *other* repos' content (exemplar snippets,
+#: issue text); their links point into trees that are not checked out.
+SKIP_FILES = {"SNIPPETS.md", "ISSUE.md"}
+
+#: Markdown files whose tagged snippets are executed (relative to root).
+EXECUTABLE_DOCS = ("README.md", "docs/TUTORIAL.md", "docs/ARCHITECTURE.md")
+
+#: Inline markdown link: [text](target) with an optional "title".
+_LINK = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Fence opener: ``` or ~~~ plus an info string.
+_FENCE = re.compile(r"^(```+|~~~+)\s*(.*)$")
+
+#: Per-snippet execution ceiling, seconds.  Generous: the live-cluster
+#: walkthrough spawns real processes.
+SNIPPET_TIMEOUT = 300.0
+
+
+@dataclass(frozen=True)
+class DocFinding:
+    """One problem found in one markdown file."""
+
+    path: Path
+    line: int
+    kind: str  # "dead-link" | "snippet"
+    message: str
+
+    def render(self, root: Path) -> str:
+        rel = self.path.relative_to(root)
+        return f"{rel}:{self.line}: [{self.kind}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """One runnable-tagged fenced block."""
+
+    path: Path
+    line: int  # line of the opening fence
+    language: str  # "python" | "bash"
+    code: str
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every ``*.md`` under ``root``, skipping vendored/derived trees."""
+    out: list[Path] = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        if path.name in SKIP_FILES:
+            continue
+        out.append(path)
+    return out
+
+
+def check_links(path: Path, root: Path) -> list[DocFinding]:
+    """Flag relative link targets that do not exist on disk."""
+    findings: list[DocFinding] = []
+    in_fence: str | None = None
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        fence = _FENCE.match(line.strip())
+        if fence is not None:
+            marker = fence.group(1)[0] * 3
+            if in_fence is None:
+                in_fence = marker
+            elif line.strip().startswith(in_fence):
+                in_fence = None
+            continue
+        if in_fence is not None:
+            continue  # code blocks are not prose; links there are examples
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if file_part.startswith("/"):
+                resolved = root / file_part.lstrip("/")
+            else:
+                resolved = path.parent / file_part
+            if not resolved.exists():
+                findings.append(
+                    DocFinding(
+                        path,
+                        lineno,
+                        "dead-link",
+                        f"relative link target {target!r} does not exist",
+                    )
+                )
+    return findings
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """Pull out every fenced block tagged ``run``."""
+    snippets: list[Snippet] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    index = 0
+    while index < len(lines):
+        fence = _FENCE.match(lines[index].strip())
+        if fence is None:
+            index += 1
+            continue
+        marker, info = fence.group(1)[0] * 3, fence.group(2).strip()
+        open_line = index + 1
+        body: list[str] = []
+        index += 1
+        while index < len(lines) and not lines[index].strip().startswith(marker):
+            body.append(lines[index])
+            index += 1
+        index += 1  # past the closing fence
+        words = info.split()
+        if len(words) >= 2 and words[1] == "run" and words[0] in ("python", "bash", "sh"):
+            language = "bash" if words[0] in ("bash", "sh") else "python"
+            snippets.append(Snippet(path, open_line, language, "\n".join(body)))
+    return snippets
+
+
+def run_snippet(snippet: Snippet, root: Path) -> DocFinding | None:
+    """Execute one snippet from the repo root; None means it passed."""
+    if snippet.language == "python":
+        shim = f"import sys as _sys\n_sys.path.insert(0, {str(root / 'src')!r})\n"
+        argv = [sys.executable, "-c", shim + snippet.code]
+    else:
+        argv = ["bash", "-ec", snippet.code]
+    try:
+        proc = subprocess.run(
+            argv,
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=SNIPPET_TIMEOUT,
+        )
+    except subprocess.TimeoutExpired:
+        return DocFinding(
+            snippet.path,
+            snippet.line,
+            "snippet",
+            f"{snippet.language} block exceeded the {SNIPPET_TIMEOUT:.0f}s ceiling",
+        )
+    if proc.returncode != 0:
+        tail = (proc.stderr or proc.stdout).strip().splitlines()[-6:]
+        return DocFinding(
+            snippet.path,
+            snippet.line,
+            "snippet",
+            f"{snippet.language} block exited {proc.returncode}: "
+            + " | ".join(tail),
+        )
+    return None
+
+
+def check_docs(
+    root: Path, execute: bool = True
+) -> tuple[list[DocFinding], int, int]:
+    """Run the whole gate.  Returns (findings, files scanned, snippets run)."""
+    findings: list[DocFinding] = []
+    files = markdown_files(root)
+    for path in files:
+        findings.extend(check_links(path, root))
+    snippets_run = 0
+    if execute:
+        for rel in EXECUTABLE_DOCS:
+            doc = root / rel
+            if not doc.exists():
+                continue
+            for snippet in extract_snippets(doc):
+                snippets_run += 1
+                finding = run_snippet(snippet, root)
+                if finding is not None:
+                    findings.append(finding)
+    return findings, len(files), snippets_run
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.docs",
+        description="Check markdown links and execute runnable snippets.",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root to scan (default: current directory)",
+    )
+    parser.add_argument(
+        "--skip-exec",
+        action="store_true",
+        help="only check links; do not execute tagged snippets",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+    findings, files, snippets = check_docs(root, execute=not args.skip_exec)
+    for finding in sorted(findings, key=lambda f: (str(f.path), f.line)):
+        print(finding.render(root))
+    print(
+        f"{len(findings)} findings in {files} markdown files "
+        f"({snippets} snippets executed)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

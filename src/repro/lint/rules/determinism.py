@@ -80,14 +80,16 @@ class WallClockRule(Rule):
     Virtual time comes from the simulator; host-clock reads inside the
     reproduction make traces, digests, and parallel-sweep merges
     irreproducible.  ``repro.obs.profile`` (host-side callback costing)
-    is the sanctioned exception; benchmark drivers live outside
-    ``src`` and are not scanned by the CI gate.
+    and ``repro.rt`` (the live runtime, where wall time *is* the time
+    base — its captures are verified offline, not replayed) are the
+    sanctioned exceptions; benchmark drivers live outside ``src`` and
+    are not scanned by the CI gate.
     """
 
     id = "DET002"
-    summary = "wall-clock read outside repro.obs.profile"
+    summary = "wall-clock read outside repro.obs.profile / repro.rt"
 
-    ALLOWED_MODULES = ("repro.obs.profile",)
+    ALLOWED_MODULES = ("repro.obs.profile", "repro.rt")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if module_matches(ctx.module, self.ALLOWED_MODULES):
@@ -264,13 +266,15 @@ class EnvironReadRule(Rule):
     depends on them cannot be replayed from its seed alone.  The
     sanctioned readers are the capture entry point
     (``repro.obs.capture``, which only gates *exporting*, never
-    behaviour) — everything else takes configuration explicitly.
+    behaviour) and ``repro.rt`` (the cluster driver must forward the
+    environment to node subprocesses) — everything else takes
+    configuration explicitly.
     """
 
     id = "DET005"
     summary = "os.environ/os.getenv read outside config/capture entry points"
 
-    ALLOWED_MODULES = ("repro.obs.capture",)
+    ALLOWED_MODULES = ("repro.obs.capture", "repro.rt")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if module_matches(ctx.module, self.ALLOWED_MODULES):

@@ -18,7 +18,17 @@ from repro.lint.model import Finding
 from repro.lint.rules.common import module_matches, walk_functions
 
 #: Packages held to disallow_untyped_defs (mirrors [tool.mypy] overrides).
-STRICT_PACKAGES = ("repro.core", "repro.ioa", "repro.sim", "repro.lint")
+STRICT_PACKAGES = (
+    "repro.core",
+    "repro.ioa",
+    "repro.sim",
+    "repro.lint",
+    "repro.obs",
+    "repro.faults",
+    "repro.membership",
+    "repro.analysis",
+    "repro.rt",
+)
 
 
 class UntypedDefRule(Rule):

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Callable, Hashable
-from typing import Any, Protocol
+from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.core.types import View
 from repro.membership.messages import (
@@ -57,6 +57,11 @@ from repro.membership.messages import (
 )
 from repro.net.network import Network, NetworkNode
 from repro.sim.timers import PeriodicTimer, WatchdogTimer
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.obs.metrics import Counter, Histogram
+    from repro.obs.tracing import LifecycleTracer
 
 ProcId = Hashable
 
@@ -252,13 +257,13 @@ class RingMember(NetworkNode):
         self.token_resyncs = 0
 
         # Observability slots (bound by attach_obs; `is None` guarded).
-        self._m_tokens = None
-        self._m_rotations = None
-        self._m_round_hist = None
-        self._m_dedup = None
-        self._m_retrans = None
-        self._m_formations = None
-        self._tracer = None
+        self._m_tokens: Counter | None = None
+        self._m_rotations: Counter | None = None
+        self._m_round_hist: Histogram | None = None
+        self._m_dedup: Counter | None = None
+        self._m_retrans: Counter | None = None
+        self._m_formations: Counter | None = None
+        self._tracer: LifecycleTracer | None = None
         self._round_started: float | None = None
 
         # Timers.
@@ -268,7 +273,7 @@ class RingMember(NetworkNode):
         self._probe_timer = PeriodicTimer(self._sim, config.mu, self._on_probe_tick)
 
     # ------------------------------------------------------------------
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: Observability | None) -> None:
         """Bind per-processor ring metrics (token flow, round durations,
         dedup, retransmissions, formations) and the lifecycle tracer."""
         if obs is None:

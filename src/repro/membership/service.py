@@ -15,7 +15,7 @@ This is the implementation whose traces are checked against VS-machine
 from __future__ import annotations
 
 from collections.abc import Callable, Hashable, Iterable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.types import View
 from repro.ioa.actions import act
@@ -27,6 +27,10 @@ from repro.net.network import Network
 from repro.net.scenarios import PartitionScenario
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.obs.tracing import LifecycleTracer
 
 ProcId = Hashable
 
@@ -64,7 +68,7 @@ class TokenRingVS:
         config: RingConfig | None = None,
         seed: int = 0,
         initial_members: Iterable[ProcId] | None = None,
-        obs=None,
+        obs: Observability | None = None,
     ) -> None:
         self.processors: tuple[ProcId, ...] = tuple(processors)
         self.config = config if config is not None else RingConfig()
@@ -101,14 +105,14 @@ class TokenRingVS:
         self.on_safe: DeliveryCallback | None = None
         self.on_newview: ViewCallback | None = None
         self._started = False
-        self.obs = None
-        self._tracer = None
+        self.obs: Observability | None = None
+        self._tracer: LifecycleTracer | None = None
         if obs is not None:
             self.attach_obs(obs)
         capture.register(self)
 
     # ------------------------------------------------------------------
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: Observability | None) -> None:
         """Thread an observability hub through every layer this service
         owns.  Call before :meth:`start` to catch the whole execution."""
         if obs is None:

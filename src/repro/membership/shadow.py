@@ -24,11 +24,14 @@ strict VS-machine, the whole Section 8 argument —
 from __future__ import annotations
 
 from collections.abc import Hashable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.types import View
 from repro.core.vs_spec import VSMachine, WeakVSMachine
 from repro.ioa.actions import Action, act
+
+if TYPE_CHECKING:
+    from repro.membership.service import TokenRingVS
 
 ProcId = Hashable
 
@@ -36,7 +39,7 @@ ProcId = Hashable
 class WeakVSShadow:
     """A live WeakVS-machine shadowing a token-ring service."""
 
-    def __init__(self, service) -> None:
+    def __init__(self, service: TokenRingVS) -> None:
         self.service = service
         self.machine = WeakVSMachine(
             service.processors,
@@ -54,24 +57,26 @@ class WeakVSShadow:
         self.actions.append(action)
         self.steps_simulated += 1
 
-    def _attach(self, service) -> None:
+    # ``Any`` here for the same reason as OnlineVSMonitor.attach: the
+    # wrappers deliberately shadow bound methods on the instance.
+    def _attach(self, service: Any) -> None:
         service.notify_createview = self._on_createview
         service.notify_order = self._on_order
         old_gprcv = service.on_gprcv
         old_safe = service.on_safe
         old_newview = service.on_newview
 
-        def gprcv(payload, src, dst):
+        def gprcv(payload: Any, src: ProcId, dst: ProcId) -> None:
             self._step(act("gprcv", payload, src, dst))
             if old_gprcv:
                 old_gprcv(payload, src, dst)
 
-        def safe(payload, src, dst):
+        def safe(payload: Any, src: ProcId, dst: ProcId) -> None:
             self._step(act("safe", payload, src, dst))
             if old_safe:
                 old_safe(payload, src, dst)
 
-        def newview(view, p):
+        def newview(view: View, p: ProcId) -> None:
             self._step(act("newview", view, p))
             if old_newview:
                 old_newview(view, p)
@@ -82,7 +87,7 @@ class WeakVSShadow:
 
         original_gpsnd = service.gpsnd
 
-        def gpsnd(p, payload):
+        def gpsnd(p: ProcId, payload: Any) -> None:
             self._step(act("gpsnd", payload, p))
             original_gpsnd(p, payload)
 
@@ -92,7 +97,7 @@ class WeakVSShadow:
     def _on_createview(self, view: View) -> None:
         self._step(act("createview", view))
 
-    def _on_order(self, payload: Any, p: ProcId, viewid) -> None:
+    def _on_order(self, payload: Any, p: ProcId, viewid: Any) -> None:
         self._step(act("vs-order", payload, p, viewid))
 
     # ------------------------------------------------------------------

@@ -37,7 +37,7 @@ def capture_enabled() -> bool:
     return bool(os.environ.get(CAPTURE_ENV))
 
 
-def register(service) -> None:
+def register(service: object) -> None:
     """Remember ``service`` for post-mortem export (no-op unless the
     capture environment variable is set)."""
     if capture_enabled():

@@ -19,9 +19,14 @@ nothing") is asserted two ways:
 from __future__ import annotations
 
 from hashlib import sha256
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.ioa.timed import TimedTrace
+    from repro.sim.rng import RngRegistry
 
 
-def trace_full_digest(trace) -> str:
+def trace_full_digest(trace: TimedTrace) -> str:
     """sha256 over the full repr of every event.  Same-process
     comparisons only (reprs of hash-ordered containers are not stable
     across interpreters)."""
@@ -31,7 +36,7 @@ def trace_full_digest(trace) -> str:
     return hasher.hexdigest()
 
 
-def trace_shape_digest(trace) -> str:
+def trace_shape_digest(trace: TimedTrace) -> str:
     """sha256 over (time, action name, arity) per event — stable across
     processes and interpreter hash seeds, suitable for golden values."""
     hasher = sha256()
@@ -43,7 +48,7 @@ def trace_shape_digest(trace) -> str:
     return hasher.hexdigest()
 
 
-def rng_digest(rngs) -> str:
+def rng_digest(rngs: RngRegistry) -> str:
     """sha256 over every stream's name and exact generator state.
     ``Random.getstate()`` is a tuple of ints — its repr is stable — so
     this digest is golden-able and catches any extra or missing draw."""

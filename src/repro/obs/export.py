@@ -20,9 +20,14 @@ from __future__ import annotations
 
 import json
 from collections.abc import Hashable, Iterable
-from typing import Any, TextIO
+from typing import TYPE_CHECKING, Any, TextIO
 
 from repro.obs.tracing import LifecycleTracer
+
+if TYPE_CHECKING:
+    from repro.ioa.timed import TimedTrace
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profile import CallbackProfiler
 
 ProcId = Hashable
 
@@ -220,7 +225,7 @@ def write_chrome_trace(tracer: LifecycleTracer, path: str) -> None:
         json.dump(chrome_trace(tracer), handle)
 
 
-def timed_trace_chrome(trace, label: str = "events") -> dict:
+def timed_trace_chrome(trace: TimedTrace, label: str = "events") -> dict:
     """A Chrome trace built from a plain :class:`TimedTrace` — the
     post-hoc fallback when no tracer was attached (CI failure
     artifacts).  Every event becomes an instant on one track."""
@@ -254,9 +259,9 @@ def timed_trace_chrome(trace, label: str = "events") -> dict:
 # ----------------------------------------------------------------------
 def jsonl_records(
     tracer: LifecycleTracer | None = None,
-    metrics=None,
-    profiler=None,
-    timed_trace=None,
+    metrics: MetricsRegistry | None = None,
+    profiler: CallbackProfiler | None = None,
+    timed_trace: TimedTrace | None = None,
 ) -> Iterable[dict]:
     """Structured-event records for JSONL export, in a stable order:
     spans, fault annotations, raw events, metric families, profile."""
@@ -312,7 +317,7 @@ def jsonl_records(
         yield {"type": "profile", **profiler.as_dict()}
 
 
-def write_jsonl(path_or_handle, **kwargs: Any) -> int:
+def write_jsonl(path_or_handle: str | TextIO, **kwargs: Any) -> int:
     """Write :func:`jsonl_records` as JSON lines; returns the count."""
     if isinstance(path_or_handle, str):
         with open(path_or_handle, "w") as handle:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections.abc import Iterator, Sequence
+from typing import Any, Generic, TypeVar, cast
 
 #: Default histogram bucket upper bounds (virtual-time units); chosen to
 #: resolve both sub-δ link delays and multi-π round durations.
@@ -96,7 +97,14 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
 
-class MetricFamily:
+#: The labelled-child type of a family (Counter, Gauge or Histogram).
+ChildT = TypeVar("ChildT")
+
+#: A concrete family subclass, as returned by ``MetricsRegistry._family``.
+FamilyT = TypeVar("FamilyT", bound="MetricFamily[Any]")
+
+
+class MetricFamily(Generic[ChildT]):
     """A named metric plus its labelled children."""
 
     KIND = "untyped"
@@ -107,12 +115,12 @@ class MetricFamily:
         self.name = name
         self.help = help
         self.label_names = label_names
-        self._children: dict[tuple, object] = {}
+        self._children: dict[tuple[str, ...], ChildT] = {}
 
-    def _new_child(self):
+    def _new_child(self) -> ChildT:
         raise NotImplementedError
 
-    def labels(self, *values: object):
+    def labels(self, *values: object) -> ChildT:
         """The child for the given label values (created on first use).
 
         Values are stringified so processor ids of any hashable type are
@@ -129,25 +137,25 @@ class MetricFamily:
             self._children[key] = child
         return child
 
-    def samples(self) -> Iterator[tuple[tuple[str, ...], object]]:
+    def samples(self) -> Iterator[tuple[tuple[str, ...], ChildT]]:
         yield from self._children.items()
 
 
-class CounterFamily(MetricFamily):
+class CounterFamily(MetricFamily[Counter]):
     KIND = "counter"
 
     def _new_child(self) -> Counter:
         return Counter()
 
 
-class GaugeFamily(MetricFamily):
+class GaugeFamily(MetricFamily[Gauge]):
     KIND = "gauge"
 
     def _new_child(self) -> Gauge:
         return Gauge()
 
 
-class HistogramFamily(MetricFamily):
+class HistogramFamily(MetricFamily[Histogram]):
     KIND = "histogram"
 
     def __init__(
@@ -178,7 +186,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._families: dict[str, MetricFamily] = {}
+        self._families: dict[str, MetricFamily[Any]] = {}
 
     # ------------------------------------------------------------------
     def counter(
@@ -204,19 +212,30 @@ class MetricsRegistry:
             self._families[name] = family
             return family
         self._check(family, HistogramFamily, name, tuple(labels))
-        return family  # type: ignore[return-value]
+        return cast(HistogramFamily, family)
 
-    def _family(self, cls, name: str, help: str, label_names: tuple):
+    def _family(
+        self,
+        cls: type[FamilyT],
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+    ) -> FamilyT:
         family = self._families.get(name)
         if family is None:
             family = cls(name, help, label_names)
             self._families[name] = family
             return family
         self._check(family, cls, name, label_names)
-        return family
+        return cast(FamilyT, family)
 
     @staticmethod
-    def _check(family, cls, name: str, label_names: tuple) -> None:
+    def _check(
+        family: MetricFamily[Any],
+        cls: type[MetricFamily[Any]],
+        name: str,
+        label_names: tuple[str, ...],
+    ) -> None:
         if type(family) is not cls:
             raise TypeError(
                 f"metric {name!r} already registered as {family.KIND}"
@@ -227,10 +246,10 @@ class MetricsRegistry:
                 f"{family.label_names}, not {label_names}"
             )
 
-    def get(self, name: str) -> MetricFamily | None:
+    def get(self, name: str) -> MetricFamily[Any] | None:
         return self._families.get(name)
 
-    def families(self) -> Iterator[MetricFamily]:
+    def families(self) -> Iterator[MetricFamily[Any]]:
         yield from self._families.values()
 
     # ------------------------------------------------------------------
@@ -245,7 +264,7 @@ class MetricsRegistry:
         child = family._children.get(key)
         if child is None:
             return 0.0
-        return child.value  # type: ignore[union-attr]
+        return float(child.value)
 
     def total(self, name: str) -> float:
         """Sum of a counter/gauge family across all label sets."""
@@ -254,11 +273,11 @@ class MetricsRegistry:
             return 0.0
         return sum(child.value for _labels, child in family.samples())
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Plain-data snapshot: name -> {kind, help, samples}."""
-        out: dict = {}
+        out: dict[str, Any] = {}
         for family in self._families.values():
-            samples = []
+            samples: list[dict[str, Any]] = []
             for label_values, child in family.samples():
                 labels = dict(zip(family.label_names, label_values))
                 if isinstance(child, Histogram):

@@ -32,7 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import inf
 from collections.abc import Hashable, Iterable
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.core.types import View
 
 ProcId = Hashable
 
@@ -165,7 +168,7 @@ class LifecycleTracer:
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
-    def set_initial_view(self, view) -> None:
+    def set_initial_view(self, view: View) -> None:
         """Seed per-processor current views from the service's v0."""
         self._view_members.setdefault(view.id, view.set)
         for p in view.set:
@@ -231,7 +234,7 @@ class LifecycleTracer:
         target = span.gprcv_at if kind == "gprcv" else span.safe_at
         target.setdefault(dst, time)
 
-    def _on_newview(self, time: float, view, p: ProcId) -> None:
+    def _on_newview(self, time: float, view: View, p: ProcId) -> None:
         self._current_view[p] = view
         self._view_members.setdefault(view.id, view.set)
         span = self._view_span(view.id)
@@ -349,10 +352,10 @@ class LifecycleTracer:
                     last = max(last, t)
         return last - stable_at
 
-    def final_view_of(self, group: Iterable[ProcId]):
+    def final_view_of(self, group: Iterable[ProcId]) -> Any:
         """The common latest view id of ``group`` (None if divergent)."""
         group = tuple(group)
-        ids = set()
+        ids: set[Any] = set()
         for p in group:
             view = self._current_view.get(p)
             ids.add(None if view is None else view.id)

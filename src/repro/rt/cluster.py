@@ -1,0 +1,418 @@
+"""The live-cluster driver: ``python -m repro.rt.cluster``.
+
+Spawns one ``repro.rt.node`` OS process per ring member on localhost,
+drives client load over the control plane, optionally injects a
+partition (firewall windows from :mod:`repro.rt.faults`), heals it,
+optionally SIGKILLs a node, then collects every node's event log and
+verifies the merged capture with the VS monitor and TO-machine trace
+membership (:mod:`repro.rt.trace`).
+
+The acceptance run::
+
+    python -m repro.rt.cluster --nodes 3 --sends 50 --partition
+
+sends half the values into the initial whole-group view, splits the
+ring into a majority and a minority component, keeps sending into both
+sides (the majority keeps a primary quorum, so its deliveries continue;
+the minority's wait), heals, and waits until every value is delivered
+at every node.  Exit status is 0 iff the captured trace is violation-
+free *and* delivery completed everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.rt.faults import FirewallWindow, single_partition_window
+from repro.rt.framing import FrameDecoder, decode_message, encode_frame, encode_message
+from repro.rt.node import initial_view_for
+from repro.rt.trace import VerifyReport, load_event_logs, verify_events
+from repro.rt.transport import DRIVER_ID, Ctl, Hello
+
+
+def free_port() -> int:
+    """Ask the OS for an ephemeral localhost port."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return int(sock.getsockname()[1])
+
+
+class NodeClient:
+    """One control-plane connection from the driver to a node."""
+
+    def __init__(self, proc_id: str, host: str, port: int) -> None:
+        self.proc_id = proc_id
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._replies: asyncio.Queue[Ctl] = asyncio.Queue()
+        self._read_task: asyncio.Task[None] | None = None
+
+    async def connect(self, timeout: float = 10.0) -> None:
+        """Connect with retries (the node may still be booting)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        last: OSError | None = None
+        while asyncio.get_running_loop().time() < deadline:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            except OSError as exc:
+                last = exc
+                await asyncio.sleep(0.05)
+        else:
+            raise ConnectionError(
+                f"cannot reach node {self.proc_id} at {self.host}:{self.port}: {last}"
+            )
+        self._writer.write(encode_frame(encode_message(Hello(src=DRIVER_ID))))
+        self._read_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    break
+                for payload in decoder.feed(data):
+                    message = decode_message(payload)
+                    if isinstance(message, Ctl):
+                        self._replies.put_nowait(message)
+        except (OSError, asyncio.CancelledError):
+            pass
+
+    def send_nowait(self, ctl: Ctl) -> None:
+        """Fire-and-forget a control record (client traffic)."""
+        assert self._writer is not None
+        self._writer.write(encode_frame(encode_message(ctl)))
+
+    async def request(self, ctl: Ctl, timeout: float = 15.0) -> Ctl:
+        """Send a control record and await the next reply."""
+        self.send_nowait(ctl)
+        return await asyncio.wait_for(self._replies.get(), timeout)
+
+    async def close(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+
+
+class LiveCluster:
+    """Spawn, drive, perturb and verify a localhost ring."""
+
+    def __init__(
+        self,
+        nodes: int,
+        log_dir: str | Path,
+        delta: float = 0.05,
+        send_interval: float = 0.02,
+    ) -> None:
+        if nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        self.processors: tuple[str, ...] = tuple(
+            f"p{i + 1}" for i in range(nodes)
+        )
+        self.log_dir = Path(log_dir)
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+        self.delta = delta
+        self.send_interval = send_interval
+        self.ports: dict[str, int] = {p: free_port() for p in self.processors}
+        self.procs: dict[str, subprocess.Popen[bytes]] = {}
+        self.clients: dict[str, NodeClient] = {}
+        self.killed: set[str] = set()
+        self.timeline: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def _mark(self, what: str, **extra: Any) -> None:
+        self.timeline.append({"t": time.time(), "event": what, **extra})
+
+    def peer_spec(self) -> str:
+        return ",".join(
+            f"{p}=127.0.0.1:{self.ports[p]}" for p in self.processors
+        )
+
+    async def spawn(self) -> None:
+        """Launch every node process and connect control channels."""
+        src_root = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        for p in self.processors:
+            out = open(self.log_dir / f"{p}.stdout.log", "wb")
+            self.procs[p] = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.rt.node",
+                    "--id",
+                    p,
+                    "--peers",
+                    self.peer_spec(),
+                    "--log-dir",
+                    str(self.log_dir),
+                    "--delta",
+                    str(self.delta),
+                ],
+                stdout=out,
+                stderr=subprocess.STDOUT,
+                env=env,
+            )
+        self._mark("spawned", nodes=len(self.processors))
+        for p in self.processors:
+            client = NodeClient(p, "127.0.0.1", self.ports[p])
+            await client.connect()
+            self.clients[p] = client
+
+    async def go(self) -> None:
+        """Start every ring member; followers first, leader last, so the
+        leader's first token finds armed watchdogs everywhere."""
+        leader = min(self.processors)
+        order = [p for p in self.processors if p != leader] + [leader]
+        for p in order:
+            await self.clients[p].request(Ctl("go"))
+        self._mark("started")
+        # One launch spacing so the first circulation completes.
+        await asyncio.sleep(8 * self.delta)
+
+    # ------------------------------------------------------------------
+    async def send_traffic(
+        self, values: list[str], targets: tuple[str, ...] | None = None
+    ) -> None:
+        """Round-robin client sends over the control plane."""
+        targets = targets if targets is not None else self.alive()
+        for index, value in enumerate(values):
+            target = targets[index % len(targets)]
+            self.clients[target].send_nowait(Ctl("send", value))
+            await asyncio.sleep(self.send_interval)
+
+    def alive(self) -> tuple[str, ...]:
+        return tuple(p for p in self.processors if p not in self.killed)
+
+    # ------------------------------------------------------------------
+    async def apply_partition(self, window: FirewallWindow) -> None:
+        """Install the firewall on every side of the split."""
+        for p in self.alive():
+            blocked = list(window.blocked_for(p))
+            await self.clients[p].request(Ctl("block", blocked))
+        self._mark("partition", groups=[list(g) for g in window.groups])
+
+    async def heal(self) -> None:
+        for p in self.alive():
+            await self.clients[p].request(Ctl("unblock"))
+        self._mark("heal")
+
+    async def kill(self, p: str) -> None:
+        """SIGKILL a node (crash without cleanup; its log is a prefix)."""
+        self.procs[p].send_signal(signal.SIGKILL)
+        self.procs[p].wait()
+        self.killed.add(p)
+        await self.clients[p].close()
+        self._mark("kill", node=p)
+
+    # ------------------------------------------------------------------
+    async def await_delivery(
+        self, expected: int, timeout: float = 30.0
+    ) -> bool:
+        """Poll node stats until every survivor delivered ``expected``
+        values (or the timeout passes)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while asyncio.get_running_loop().time() < deadline:
+            counts: list[int] = []
+            for p in self.alive():
+                try:
+                    reply = await self.clients[p].request(Ctl("stats"), timeout=5.0)
+                    counts.append(int(reply.data["delivered"]))
+                except (asyncio.TimeoutError, KeyError, TypeError):
+                    counts.append(-1)
+            if counts and all(c >= expected for c in counts):
+                self._mark("delivery_complete", counts=counts)
+                return True
+            await asyncio.sleep(5 * self.delta)
+        self._mark("delivery_timeout")
+        return False
+
+    async def stop(self) -> None:
+        """Graceful shutdown: flush logs, reap processes."""
+        for p in self.alive():
+            try:
+                await self.clients[p].request(Ctl("stop"), timeout=5.0)
+            except asyncio.TimeoutError:
+                pass
+            await self.clients[p].close()
+        for p, proc in self.procs.items():
+            if p in self.killed:
+                continue
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._mark("stopped")
+
+    # ------------------------------------------------------------------
+    def verify(self) -> VerifyReport:
+        paths = sorted(self.log_dir.glob("*.events.jsonl"))
+        events = load_event_logs(paths)
+        return verify_events(
+            events,
+            self.processors,
+            initial_view_for(self.processors),
+            expect_at=self.alive(),
+        )
+
+
+async def run_cluster(
+    nodes: int,
+    sends: int,
+    partition: bool = False,
+    kill: bool = False,
+    log_dir: str | Path | None = None,
+    delta: float = 0.05,
+    send_interval: float = 0.02,
+    partition_hold: float | None = None,
+    settle: float | None = None,
+) -> dict[str, Any]:
+    """One full scripted episode; returns the verification report dict."""
+    owns_dir = log_dir is None
+    if owns_dir:
+        log_dir = tempfile.mkdtemp(prefix="repro-rt-")
+    cluster = LiveCluster(
+        nodes, log_dir, delta=delta, send_interval=send_interval
+    )
+    hold = partition_hold if partition_hold is not None else 50 * delta
+    settle_time = settle if settle is not None else 40 * delta
+    started = time.time()
+    await cluster.spawn()
+    try:
+        await cluster.go()
+        values = [f"m{i}" for i in range(sends)]
+        if partition or kill:
+            half = len(values) // 2
+            await cluster.send_traffic(values[:half])
+            if kill:
+                await cluster.kill(max(cluster.processors))
+            window: FirewallWindow | None = None
+            if partition:
+                window = single_partition_window(cluster.alive(), 0.0, hold)
+                await cluster.apply_partition(window)
+            # Traffic continues into both sides of the split; minority
+            # sends are delivered only after the heal reconciles state.
+            await cluster.send_traffic(values[half:])
+            if partition:
+                await asyncio.sleep(hold)
+                await cluster.heal()
+        else:
+            await cluster.send_traffic(values)
+        await asyncio.sleep(settle_time)
+        # A SIGKILLed node may take accepted-but-unpropagated values with
+        # it, so completeness cannot be awaited to the full count there.
+        poll_timeout = max(10.0, 200 * delta) if kill else max(30.0, 600 * delta)
+        complete = await cluster.await_delivery(sends, timeout=poll_timeout)
+    finally:
+        await cluster.stop()
+    report = cluster.verify()
+    wall = time.time() - started
+    out: dict[str, Any] = report.to_dict()
+    out.update(
+        {
+            "experiment": "live-cluster",
+            "nodes": nodes,
+            "requested_sends": sends,
+            "partition": partition,
+            "kill": kill,
+            "delta": delta,
+            "polled_complete": complete,
+            "wall_seconds": wall,
+            "log_dir": str(log_dir),
+            "timeline": cluster.timeline,
+        }
+    )
+    return out
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.rt.cluster",
+        description="Spawn, drive and verify a live localhost ring.",
+    )
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--sends", type=int, default=50)
+    parser.add_argument(
+        "--partition",
+        action="store_true",
+        help="inject a majority/minority partition mid-run, then heal",
+    )
+    parser.add_argument(
+        "--kill",
+        action="store_true",
+        help="SIGKILL the highest node mid-run (it stays down)",
+    )
+    parser.add_argument("--delta", type=float, default=0.05)
+    parser.add_argument("--send-interval", type=float, default=0.02)
+    parser.add_argument(
+        "--log-dir", default=None, help="keep logs here (default: temp dir)"
+    )
+    parser.add_argument("--json", default=None, help="write the report here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    report = asyncio.run(
+        run_cluster(
+            nodes=args.nodes,
+            sends=args.sends,
+            partition=args.partition,
+            kill=args.kill,
+            log_dir=args.log_dir,
+            delta=args.delta,
+            send_interval=args.send_interval,
+        )
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2), encoding="utf-8"
+        )
+    ok = report["ok"] and (report["delivered_complete"] or args.kill)
+    print(
+        "live-cluster: nodes={nodes} sends={sends} deliveries={deliveries} "
+        "views={views} violations={violations} to_ok={to_ok} "
+        "complete={complete} throughput={tput:.1f}/s wall={wall:.1f}s".format(
+            nodes=report["nodes"],
+            sends=report["sends"],
+            deliveries=report["deliveries"],
+            views=report["views_installed"],
+            violations=len(report["violations"]),
+            to_ok=report["to_ok"],
+            complete=report["delivered_complete"],
+            tput=report["throughput"],
+            wall=report["wall_seconds"],
+        )
+    )
+    for violation in report["violations"]:
+        print(f"  VS violation: {violation}")
+    if not report["to_ok"]:
+        print(f"  TO violation: {report['to_reason']}")
+    if not ok:
+        print("  VERDICT: FAIL")
+        return 1
+    print("  VERDICT: OK (captured trace conforms to VS and TO specs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

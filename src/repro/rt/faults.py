@@ -1,0 +1,103 @@
+"""Partition injection for live clusters.
+
+The simulator's nemesis (:mod:`repro.faults`) perturbs packets inside
+the process; live nodes are separate OS processes, so the lever is the
+socket-layer firewall on :class:`~repro.rt.transport.LiveNetwork`.  A
+:class:`FirewallWindow` says *when* (offsets from traffic start) and
+*how* (a grouping of the processors into components); the cluster
+driver turns it into ``block``/``unblock`` control messages so that
+during the window each node drops frames to and from everything
+outside its own component — the live counterpart of the paper's
+transitional partition scenarios.
+
+:func:`windows_from_schedule` reuses :class:`~repro.faults.schedule.
+FaultSchedule` as the timing source: each of the schedule's windows
+becomes a firewall window (scaled from virtual to wall seconds), so
+the same seeded adversarial timing that drives E18 chaos soaks can
+drive a live cluster's partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.faults.schedule import FaultSchedule
+
+Groups = tuple[tuple[str, ...], ...]
+
+
+@dataclass(frozen=True)
+class FirewallWindow:
+    """One timed partition episode.
+
+    ``start``/``stop`` are seconds relative to the start of traffic;
+    ``groups`` are the connectivity components (every processor must
+    appear in exactly one).
+    """
+
+    start: float
+    stop: float
+    groups: Groups
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+        seen: set[str] = set()
+        for group in self.groups:
+            for p in group:
+                if p in seen:
+                    raise ValueError(f"processor {p!r} in two components")
+                seen.add(p)
+
+    def blocked_for(self, p: str) -> tuple[str, ...]:
+        """Everyone outside ``p``'s component (what ``p`` firewalls)."""
+        component: tuple[str, ...] = ()
+        for group in self.groups:
+            if p in group:
+                component = group
+                break
+        members = set(component)
+        all_procs = {q for group in self.groups for q in group}
+        return tuple(sorted(all_procs - members - {p}))
+
+
+def majority_split(processors: Sequence[str]) -> Groups:
+    """The canonical two-component split: a majority of ⌈(n+1)/2⌉ lowest
+    ids against the rest (the majority side keeps a primary quorum, so
+    TO delivery continues there through the partition)."""
+    ordered = tuple(sorted(processors))
+    cut = len(ordered) // 2 + 1
+    return (ordered[:cut], ordered[cut:])
+
+
+def windows_from_schedule(
+    schedule: FaultSchedule,
+    groups: Groups,
+    time_scale: float = 1.0,
+) -> tuple[FirewallWindow, ...]:
+    """Map a fault schedule's activation windows onto firewall windows.
+
+    Every ``(start, stop)`` in the schedule becomes one partition
+    episode with the given ``groups``; ``time_scale`` converts the
+    schedule's virtual time units into wall seconds (a schedule built
+    for δ=1 virtual units drives a live cluster running δ=0.05 s with
+    ``time_scale=0.05``).
+    """
+    return tuple(
+        FirewallWindow(
+            start=window.start * time_scale,
+            stop=window.stop * time_scale,
+            groups=groups,
+        )
+        for window in sorted(schedule.windows, key=lambda w: (w.start, w.stop))
+    )
+
+
+def single_partition_window(
+    processors: Iterable[str], start: float, stop: float
+) -> FirewallWindow:
+    """The default cluster-driver episode: one majority/minority split."""
+    return FirewallWindow(start=start, stop=stop, groups=majority_split(tuple(processors)))

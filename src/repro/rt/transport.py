@@ -1,0 +1,413 @@
+"""The live transport: the :class:`~repro.net.network.Network` surface
+over persistent TCP streams.
+
+One :class:`LiveNetwork` per node process.  It listens on the node's
+own port, keeps one *outbound* stream per peer (reconnecting with
+backoff whenever a connection drops), and dispatches inbound frames to
+the registered protocol endpoint — the same
+:meth:`~repro.net.network.NetworkNode.on_message` contract the
+simulated network uses, so :class:`~repro.membership.ring.RingMember`
+runs over it unmodified.
+
+Identity handshake: the first frame on every connection is a
+:class:`Hello` naming the sender, after which frames are protocol
+messages attributed to that sender.  The cluster driver connects the
+same way (as ``"driver"``) and speaks :class:`Ctl` records, which are
+routed to the node's control handler instead of the ring.
+
+Partition injection is *firewall-style*: :meth:`LiveNetwork.block`
+drops frames to and from the named peers at this node while leaving
+TCP connections alone — exactly a ``bad`` link pair in the paper's
+failure model, driven from :mod:`repro.rt.faults` windows.  Loss is
+accounted per direction in :attr:`LiveNetwork.counters` and in
+``repro.obs`` metrics when a hub is attached.
+
+Delivery semantics match the model's *fair lossy* channels: a frame
+written while the peer is connected is delivered unless the connection
+drops mid-flight; frames sent while disconnected or blocked are lost
+(the ring's watchdogs and retransmissions are what tolerate exactly
+this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Awaitable, Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.status import FailureOracle
+from repro.rt.clock import LiveScheduler
+from repro.rt.framing import (
+    MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    decode_message,
+    encode_frame,
+    encode_message,
+    register_wire_type,
+)
+
+#: Reserved sender id for the cluster driver's control connections.
+DRIVER_ID = "driver"
+
+#: Counter keys maintained by every LiveNetwork.
+COUNTER_KEYS = (
+    "frames_sent",
+    "frames_received",
+    "bytes_sent",
+    "bytes_received",
+    "blocked_out",
+    "blocked_in",
+    "disconnected_drops",
+    "connects",
+    "connect_failures",
+    "frame_errors",
+)
+
+
+@register_wire_type
+@dataclass(frozen=True)
+class Hello:
+    """Connection handshake: who is speaking on this stream."""
+
+    src: str
+
+
+@register_wire_type
+@dataclass(frozen=True)
+class Ctl:
+    """A control-plane record (driver <-> node).
+
+    ``op`` names the operation; ``data`` is an op-specific payload
+    (any codec-encodable value).
+    """
+
+    op: str
+    data: Any = None
+
+
+CtlHandler = Callable[[str, Ctl, Callable[[Ctl], None]], Awaitable[None]]
+
+
+@dataclass
+class _Peer:
+    """Connection state for one remote processor."""
+
+    host: str
+    port: int
+    writer: asyncio.StreamWriter | None = None
+    task: asyncio.Task | None = field(default=None, repr=False)
+
+
+class LiveNetwork:
+    """All-pairs messaging for one live node.
+
+    Parameters
+    ----------
+    proc_id:
+        This node's processor id.
+    peers:
+        ``proc_id -> (host, port)`` for *every* processor including this
+        one (its entry defines the listen address).
+    scheduler:
+        The node's :class:`~repro.rt.clock.LiveScheduler` (exposed as
+        :attr:`simulator` for the protocol objects).
+    on_ctl:
+        Async handler for :class:`Ctl` frames ``(src, ctl, reply)``;
+        ``reply`` writes a control record back on the inbound stream.
+    max_frame:
+        Frame ceiling for both directions.
+    reconnect_delay:
+        Initial outbound reconnect backoff (doubles up to 8x).
+    """
+
+    def __init__(
+        self,
+        proc_id: str,
+        peers: dict[str, tuple[str, int]],
+        scheduler: LiveScheduler,
+        on_ctl: CtlHandler | None = None,
+        max_frame: int = MAX_FRAME,
+        reconnect_delay: float = 0.05,
+    ) -> None:
+        if proc_id not in peers:
+            raise ValueError(f"own id {proc_id!r} missing from the peer map")
+        self.proc_id = proc_id
+        self.processors: tuple[str, ...] = tuple(sorted(peers))
+        self.simulator = scheduler
+        #: An all-good oracle: live failures are real (killed processes,
+        #: firewalled links), not modelled, so protocol-side gates
+        #: (``_alive`` checks, send gating) always pass.
+        self.oracle = FailureOracle(self.processors)
+        self._peers: dict[str, _Peer] = {
+            p: _Peer(host, port) for p, (host, port) in peers.items() if p != proc_id
+        }
+        self._listen: tuple[str, int] = peers[proc_id]
+        self._on_ctl = on_ctl
+        self.max_frame = max_frame
+        self._reconnect_delay = reconnect_delay
+        self._node: Any = None
+        self._server: asyncio.AbstractServer | None = None
+        self._inbound: dict[str, asyncio.StreamWriter] = {}
+        self._closing = False
+        self.blocked: set[str] = set()
+        self.counters: dict[str, int] = {key: 0 for key in COUNTER_KEYS}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        # Observability slots (bound by attach_obs; `is None` guarded).
+        self._m_sent = None
+        self._m_received = None
+        self._m_blocked = None
+        self._m_connected = None
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, obs: Any) -> None:
+        """Bind transport metrics: frames in/out, firewall drops, and a
+        connected-peer gauge, all labelled by this node."""
+        if obs is None or obs.metrics is None:
+            return
+        metrics = obs.metrics
+        proc = str(self.proc_id)
+        self._m_sent = metrics.counter(
+            "rt_frames_sent_total", "frames written to peer streams",
+            labels=("proc",),
+        ).labels(proc)
+        self._m_received = metrics.counter(
+            "rt_frames_received_total", "frames dispatched from peer streams",
+            labels=("proc",),
+        ).labels(proc)
+        self._m_blocked = metrics.counter(
+            "rt_firewall_drops_total", "frames dropped by the partition firewall",
+            labels=("proc", "direction"),
+        )
+        self._m_connected = metrics.gauge(
+            "rt_peers_connected", "outbound streams currently established",
+            labels=("proc",),
+        ).labels(proc)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register(self, node: Any) -> None:
+        """Attach the protocol endpoint (a NetworkNode for proc_id)."""
+        if node.proc_id != self.proc_id:
+            raise ValueError(
+                f"node {node.proc_id!r} registered on transport {self.proc_id!r}"
+            )
+        self._node = node
+
+    async def start(self) -> None:
+        """Bind the listen socket and start outbound connector tasks."""
+        listen_host, listen_port = self._listen
+        self._server = await asyncio.start_server(
+            self._serve, listen_host, listen_port
+        )
+        for peer_id, peer in sorted(self._peers.items()):
+            peer.task = asyncio.get_running_loop().create_task(
+                self._maintain_peer(peer_id, peer)
+            )
+
+    async def wait_connected(self, timeout: float = 10.0) -> bool:
+        """Block until every outbound peer stream is up (or timeout)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while asyncio.get_running_loop().time() < deadline:
+            if all(peer.writer is not None for peer in self._peers.values()):
+                return True
+            await asyncio.sleep(0.01)
+        return all(peer.writer is not None for peer in self._peers.values())
+
+    async def close(self) -> None:
+        """Stop serving, cancel connectors, close every stream."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for peer in self._peers.values():
+            if peer.task is not None:
+                peer.task.cancel()
+            if peer.writer is not None:
+                peer.writer.close()
+                peer.writer = None
+        for writer in list(self._inbound.values()):
+            writer.close()
+        self._inbound.clear()
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+    async def _maintain_peer(self, peer_id: str, peer: _Peer) -> None:
+        """Keep one outbound stream to ``peer_id`` alive."""
+        delay = self._reconnect_delay
+        while not self._closing:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    peer.host, peer.port
+                )
+            except OSError:
+                self.counters["connect_failures"] += 1
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 8 * self._reconnect_delay)
+                continue
+            delay = self._reconnect_delay
+            writer.write(encode_frame(encode_message(Hello(src=self.proc_id))))
+            peer.writer = writer
+            self.counters["connects"] += 1
+            if self._m_connected is not None:
+                self._m_connected.inc()
+            try:
+                # The outbound stream is write-only; reading it just
+                # detects peer closure (EOF) so we can reconnect.
+                while await reader.read(4096):
+                    pass
+            except OSError:
+                pass
+            finally:
+                peer.writer = None
+                if self._m_connected is not None:
+                    self._m_connected.dec()
+                writer.close()
+            if not self._closing:
+                await asyncio.sleep(self._reconnect_delay)
+
+    # ------------------------------------------------------------------
+    # The Network surface (protocol side; runs on the loop thread)
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Unicast one protocol message (the Network.send contract)."""
+        if src != self.proc_id:
+            raise ValueError(f"live node {self.proc_id!r} cannot send as {src!r}")
+        if src == dst:
+            raise ValueError("self-sends are local; do not use the network")
+        self.messages_sent += 1
+        if dst in self.blocked:
+            self.counters["blocked_out"] += 1
+            if self._m_blocked is not None:
+                self._m_blocked.labels(str(self.proc_id), "out").inc()
+            return
+        peer = self._peers.get(dst)
+        if peer is None or peer.writer is None:
+            self.counters["disconnected_drops"] += 1
+            return
+        frame = encode_frame(encode_message(message, self.max_frame), self.max_frame)
+        try:
+            peer.writer.write(frame)
+        except OSError:
+            self.counters["disconnected_drops"] += 1
+            return
+        self.counters["frames_sent"] += 1
+        self.counters["bytes_sent"] += len(frame)
+        if self._m_sent is not None:
+            self._m_sent.inc()
+
+    def broadcast(self, src: str, message: Any, include_self: bool = False) -> None:
+        for dst in self.processors:
+            if dst != src:
+                self.send(src, dst, message)
+        if include_self:
+            self.simulator.call_soon(
+                lambda: self._dispatch(src, message)
+            )
+
+    def multicast(self, src: str, dests: Iterable[str], message: Any) -> None:
+        for dst in dests:
+            if dst != src:
+                self.send(src, dst, message)
+
+    # ------------------------------------------------------------------
+    # Firewall (partition injection)
+    # ------------------------------------------------------------------
+    def block(self, peers: Iterable[str]) -> None:
+        """Drop all frames to and from ``peers`` until unblocked."""
+        for p in peers:
+            if p != self.proc_id:
+                self.blocked.add(p)
+
+    def unblock(self, peers: Iterable[str] | None = None) -> None:
+        """Lift the firewall for ``peers`` (default: everyone)."""
+        if peers is None:
+            self.blocked.clear()
+        else:
+            for p in peers:
+                self.blocked.discard(p)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder(self.max_frame)
+        src: str | None = None
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    payloads = decoder.feed(data)
+                except FrameError:
+                    self.counters["frame_errors"] += 1
+                    break
+                for payload in payloads:
+                    try:
+                        message = decode_message(payload)
+                    except FrameError:
+                        self.counters["frame_errors"] += 1
+                        continue
+                    if isinstance(message, Hello):
+                        src = message.src
+                        self._inbound[src] = writer
+                        continue
+                    if src is None:
+                        self.counters["frame_errors"] += 1
+                        continue
+                    self.counters["frames_received"] += 1
+                    self.counters["bytes_received"] += len(payload)
+                    if self._m_received is not None:
+                        self._m_received.inc()
+                    if isinstance(message, Ctl):
+                        if self._on_ctl is not None:
+                            await self._on_ctl(src, message, self._replier(writer))
+                        continue
+                    self._dispatch(src, message)
+        except (OSError, asyncio.CancelledError):
+            pass
+        finally:
+            if src is not None and self._inbound.get(src) is writer:
+                del self._inbound[src]
+            writer.close()
+
+    def _replier(self, writer: asyncio.StreamWriter) -> Callable[[Ctl], None]:
+        def reply(ctl: Ctl) -> None:
+            try:
+                writer.write(
+                    encode_frame(encode_message(ctl, self.max_frame), self.max_frame)
+                )
+            except OSError:
+                pass
+
+        return reply
+
+    def _dispatch(self, src: str, message: Any) -> None:
+        if src in self.blocked:
+            self.counters["blocked_in"] += 1
+            if self._m_blocked is not None:
+                self._m_blocked.labels(str(self.proc_id), "in").inc()
+            return
+        if self._node is not None:
+            self.messages_delivered += 1
+            self._node.on_message(src, message)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Transport counters plus connection state (diagnostics)."""
+        return {
+            **self.counters,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "peers_connected": sum(
+                1 for peer in self._peers.values() if peer.writer is not None
+            ),
+            "blocked": sorted(self.blocked),
+        }

@@ -1,0 +1,106 @@
+"""The documentation gate: unit behaviour plus the repo-wide check.
+
+Snippet *execution* over the real README/TUTORIAL runs in the CI lint
+job (``python -m repro.lint.docs``); tier-1 keeps the fast parts —
+the link sweep over the working tree and the gate machinery itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.docs import (
+    EXECUTABLE_DOCS,
+    DocFinding,
+    check_docs,
+    check_links,
+    extract_snippets,
+    markdown_files,
+    run_snippet,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestLinkCheck:
+    def test_dead_relative_link_is_flagged(self, tmp_path):
+        doc = tmp_path / "a.md"
+        doc.write_text("see [missing](nope/gone.md) and [ok](b.md)\n")
+        (tmp_path / "b.md").write_text("x\n")
+        findings = check_links(doc, tmp_path)
+        assert len(findings) == 1
+        assert findings[0].kind == "dead-link"
+        assert "nope/gone.md" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_external_and_anchor_links_ignored(self, tmp_path):
+        doc = tmp_path / "a.md"
+        doc.write_text(
+            "[web](https://example.com/x.md) [mail](mailto:a@b.c) "
+            "[anchor](#section)\n"
+        )
+        assert check_links(doc, tmp_path) == []
+
+    def test_anchored_file_link_checks_the_file_part(self, tmp_path):
+        doc = tmp_path / "a.md"
+        (tmp_path / "b.md").write_text("# Here\n")
+        doc.write_text("[ok](b.md#here) [bad](c.md#there)\n")
+        findings = check_links(doc, tmp_path)
+        assert len(findings) == 1 and "c.md" in findings[0].message
+
+    def test_links_inside_code_fences_ignored(self, tmp_path):
+        doc = tmp_path / "a.md"
+        doc.write_text("```\n[example](not/a/file.md)\n```\n")
+        assert check_links(doc, tmp_path) == []
+
+    def test_root_absolute_target_resolves_from_root(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "deep.md").write_text("[up](/README.md)\n")
+        (tmp_path / "README.md").write_text("x\n")
+        assert check_links(tmp_path / "docs" / "deep.md", tmp_path) == []
+
+
+class TestSnippets:
+    def test_only_run_tagged_blocks_extracted(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "```python\nuntagged\n```\n"
+            "```python run\nprint('hi')\n```\n"
+            "```bash run\ntrue\n```\n"
+            "```console\n$ transcript\n```\n"
+        )
+        snippets = extract_snippets(doc)
+        assert [s.language for s in snippets] == ["python", "bash"]
+        assert snippets[0].code == "print('hi')"
+
+    def test_python_snippet_runs_against_src(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("```python run\nimport repro.rt\n```\n")
+        (snippet,) = extract_snippets(doc)
+        assert run_snippet(snippet, REPO_ROOT) is None
+
+    def test_failing_snippet_is_a_finding(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("```bash run\nexit 3\n```\n")
+        (snippet,) = extract_snippets(doc)
+        finding = run_snippet(snippet, tmp_path)
+        assert isinstance(finding, DocFinding)
+        assert "exited 3" in finding.message
+
+
+class TestRepoDocs:
+    def test_no_dead_links_in_working_tree(self):
+        findings, files, _ = check_docs(REPO_ROOT, execute=False)
+        assert files >= 5  # README, ROADMAP, DESIGN, EXPERIMENTS, docs/*
+        dead = [f.render(REPO_ROOT) for f in findings]
+        assert not dead, "\n".join(dead)
+
+    def test_executable_docs_exist_and_carry_runnable_snippets(self):
+        tagged = 0
+        for rel in EXECUTABLE_DOCS:
+            doc = REPO_ROOT / rel
+            assert doc.exists(), f"{rel} missing"
+            tagged += len(extract_snippets(doc))
+        # The gate is only meaningful if the headline docs keep at
+        # least a few executable snippets.
+        assert tagged >= 3

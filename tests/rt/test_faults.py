@@ -1,0 +1,72 @@
+"""Firewall-window construction and fault-schedule reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injectors import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.rt.faults import (
+    FirewallWindow,
+    majority_split,
+    single_partition_window,
+    windows_from_schedule,
+)
+
+
+class TestFirewallWindow:
+    def test_blocked_for_is_everything_outside_own_component(self):
+        window = FirewallWindow(0.0, 1.0, (("p1", "p2"), ("p3",)))
+        assert window.blocked_for("p1") == ("p3",)
+        assert window.blocked_for("p3") == ("p1", "p2")
+
+    def test_unknown_processor_blocks_all_groups(self):
+        window = FirewallWindow(0.0, 1.0, (("p1",), ("p2",)))
+        assert window.blocked_for("p9") == ("p1", "p2")
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            FirewallWindow(1.0, 1.0, (("p1",),))
+        with pytest.raises(ValueError):
+            FirewallWindow(-0.1, 1.0, (("p1",),))
+
+    def test_rejects_processor_in_two_components(self):
+        with pytest.raises(ValueError, match="two components"):
+            FirewallWindow(0.0, 1.0, (("p1", "p2"), ("p2",)))
+
+
+class TestMajoritySplit:
+    @pytest.mark.parametrize(
+        "n,major", [(2, 2), (3, 2), (4, 3), (5, 3), (7, 4)]
+    )
+    def test_majority_side_has_quorum(self, n, major):
+        procs = tuple(f"p{i + 1}" for i in range(n))
+        big, small = majority_split(procs)
+        assert len(big) == major
+        assert set(big) | set(small) == set(procs)
+        assert not set(big) & set(small)
+        assert len(big) > n // 2  # a MajorityQuorumSystem quorum
+
+    def test_single_partition_window_wraps_split(self):
+        window = single_partition_window(("p3", "p1", "p2"), 0.5, 2.0)
+        assert window.start == 0.5 and window.stop == 2.0
+        assert window.groups == (("p1", "p2"), ("p3",))
+
+
+class TestWindowsFromSchedule:
+    def test_schedule_windows_scale_to_wall_time(self):
+        schedule = FaultSchedule()
+        schedule.add(FaultInjector("a"), 10.0, 30.0)
+        schedule.add(FaultInjector("b"), 40.0, 50.0)
+        groups = (("p1", "p2"), ("p3",))
+        windows = windows_from_schedule(schedule, groups, time_scale=0.05)
+        assert [w.start for w in windows] == [0.5, 2.0]
+        assert [w.stop for w in windows] == [1.5, 2.5]
+        assert all(w.groups == groups for w in windows)
+
+    def test_windows_sorted_regardless_of_insertion_order(self):
+        schedule = FaultSchedule()
+        schedule.add(FaultInjector("late"), 5.0, 6.0)
+        schedule.add(FaultInjector("early"), 1.0, 2.0)
+        windows = windows_from_schedule(schedule, (("p1",), ("p2",)))
+        assert [w.start for w in windows] == [1.0, 5.0]

@@ -1,0 +1,176 @@
+"""Wire-format tests: codec round-trips, frame reassembly, ceilings."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.core.types import BOTTOM, Label, View
+from repro.core.vstoto.summary import Summary
+from repro.membership.messages import Accept, Join, NewGroup, Probe, Sequenced, Token
+from repro.rt.framing import (
+    MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    decode_message,
+    decode_value,
+    encode_frame,
+    encode_message,
+    encode_value,
+)
+from repro.rt.transport import Ctl, Hello
+
+
+def roundtrip(value):
+    return decode_message(encode_message(value))
+
+
+class TestCodecRoundtrip:
+    def test_scalars(self):
+        for value in (None, True, False, 0, -7, 3.5, "p1", ""):
+            assert roundtrip(value) == value
+            assert type(roundtrip(value)) is type(value)
+
+    def test_tuple_vs_list_distinction_survives(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert roundtrip([1, 2]) == [1, 2]
+        assert isinstance(roundtrip((1, 2)), tuple)
+        assert isinstance(roundtrip([1, 2]), list)
+
+    def test_nested_composites(self):
+        value = {"k": [(1, ("a", None)), frozenset({"x", "y"})]}
+        back = roundtrip(value)
+        assert back == value
+        assert isinstance(back["k"][0], tuple)
+        assert isinstance(back["k"][1], frozenset)
+
+    def test_view_and_bottom(self):
+        view = View((3, "p2"), frozenset({"p1", "p2", "p3"}))
+        assert roundtrip(view) == view
+        assert roundtrip(BOTTOM) is BOTTOM
+        assert roundtrip({"high": BOTTOM}) == {"high": BOTTOM}
+
+    def test_label_and_summary(self):
+        label = Label(id=(2, "p1"), seqno=4, origin="p3")
+        assert roundtrip(label) == label
+        summary = Summary(
+            con=frozenset({(label, "hello")}),
+            ord=(label,),
+            next=2,
+            high=(2, "p1"),
+        )
+        back = roundtrip(summary)
+        assert back == summary
+        assert back.confirm == summary.confirm
+
+    def test_membership_messages(self):
+        join = Join((2, "p1"), ("p1", "p2", "p3"))
+        for message in (
+            NewGroup((2, "p1"), "p1"),
+            Accept((2, "p1"), "p2"),
+            join,
+            Probe("p1", (1, "p1")),
+            Sequenced(5, join),
+        ):
+            assert roundtrip(message) == message
+
+    def test_token_roundtrip(self):
+        token = Token(
+            viewid=(3, "p1"),
+            members=("p1", "p2", "p3"),
+            base=2,
+            order=[("m4", "p2"), ("m5", "p1")],
+            delivered={"p1": 4, "p2": 3, "p3": 2},
+            safed={"p1": 2},
+            seen={"p1": 4, "p2": 4, "p3": 4},
+            trail=["p1", "p2"],
+            hop=5,
+        )
+        back = roundtrip(Sequenced(9, token)).body
+        assert back == token
+        assert isinstance(back.members, tuple)
+        assert isinstance(back.order, list)
+        assert all(isinstance(entry, tuple) for entry in back.order)
+        assert back.total == token.total
+
+    def test_control_records(self):
+        assert roundtrip(Hello(src="driver")) == Hello(src="driver")
+        ctl = Ctl("block", ["p2", "p3"])
+        assert roundtrip(ctl) == ctl
+
+    def test_gpsnd_payload_shape(self):
+        # The exact shape VStoTO puts through gpsnd: (Label, value).
+        label = Label(id=(0, "p1"), seqno=1, origin="p1")
+        back = roundtrip((label, "m0"))
+        assert back == (label, "m0")
+        assert isinstance(back, tuple) and isinstance(back[0], Label)
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(FrameError, match="cannot encode"):
+            encode_message(object())
+
+    def test_undecodable_payload_raises(self):
+        with pytest.raises(FrameError, match="undecodable"):
+            decode_message(b"\xff\xfe not json")
+        with pytest.raises(FrameError, match="unknown wire type"):
+            decode_message(json.dumps({"!": "m", "m": "Nope", "f": {}}).encode())
+        with pytest.raises(FrameError, match="unknown codec tag"):
+            decode_message(json.dumps({"!": "??"}).encode())
+
+    def test_encoding_is_deterministic(self):
+        value = frozenset({("b", 2), ("a", 1), ("c", 3)})
+        assert encode_message(value) == encode_message(value)
+        assert encode_value(value) == encode_value(value)
+        assert decode_value(encode_value(value)) == value
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        frame = encode_frame(b"hello")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame) == [b"hello"]
+        assert decoder.frames_decoded == 1
+        assert decoder.pending_bytes == 0
+
+    def test_partial_reads_byte_at_a_time(self):
+        payloads = [b"one", b"twotwo", b"", b"x" * 300]
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        seen: list[bytes] = []
+        for i in range(len(stream)):
+            seen.extend(decoder.feed(stream[i : i + 1]))
+        assert seen == payloads
+        assert decoder.bytes_fed == len(stream)
+        assert decoder.pending_bytes == 0
+
+    def test_multiple_frames_in_one_read(self):
+        stream = encode_frame(b"a") + encode_frame(b"bb") + encode_frame(b"ccc")
+        assert FrameDecoder().feed(stream) == [b"a", b"bb", b"ccc"]
+
+    def test_split_across_header_boundary(self):
+        frame = encode_frame(b"payload")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:2]) == []  # half a header
+        assert decoder.feed(frame[2:5]) == []  # header + 1 byte
+        assert decoder.feed(frame[5:]) == [b"payload"]
+
+    def test_oversized_outgoing_frame_rejected(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame(b"x" * 101, max_frame=100)
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_message("y" * (MAX_FRAME + 1))
+
+    def test_oversized_incoming_frame_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame=64)
+        header = struct.pack(">I", 65)
+        with pytest.raises(FrameError, match="declares 65 bytes"):
+            decoder.feed(header + b"x" * 10)
+        # The poison payload was never buffered.
+        assert decoder.pending_bytes <= len(header) + 10
+
+    def test_frame_at_exact_ceiling_accepted(self):
+        decoder = FrameDecoder(max_frame=64)
+        payload = b"z" * 64
+        assert decoder.feed(encode_frame(payload, max_frame=64)) == [payload]

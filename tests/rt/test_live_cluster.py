@@ -1,0 +1,171 @@
+"""Live-runtime integration: in-process transport loopback and the
+full subprocess cluster smoke (tier-1 acceptance surface)."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.rt.cluster import LiveCluster, free_port, run_cluster
+from repro.rt.clock import LiveScheduler
+from repro.rt.node import default_ring_config, initial_view_for, parse_peers
+from repro.rt.transport import LiveNetwork
+
+
+def loopback_peers(n):
+    peers = {}
+    for i in range(n):
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            peers[f"p{i + 1}"] = ("127.0.0.1", s.getsockname()[1])
+    return peers
+
+
+class Sink:
+    """A NetworkNode that just records what arrives."""
+
+    def __init__(self, proc_id):
+        self.proc_id = proc_id
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((src, message))
+
+
+async def connected_networks(peers):
+    loop = asyncio.get_running_loop()
+    nets, sinks = {}, {}
+    for p in peers:
+        net = LiveNetwork(p, peers, LiveScheduler(loop))
+        sinks[p] = Sink(p)
+        net.register(sinks[p])
+        nets[p] = net
+    for net in nets.values():
+        await net.start()
+    for net in nets.values():
+        await net.wait_connected(timeout=10.0)
+    return nets, sinks
+
+
+async def drain(condition, timeout=5.0, interval=0.01):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if condition():
+            return True
+        await asyncio.sleep(interval)
+    return condition()
+
+
+class TestTransportLoopback:
+    def test_three_node_exchange_and_firewall(self):
+        async def scenario():
+            peers = loopback_peers(3)
+            nets, sinks = await connected_networks(peers)
+            try:
+                # Point-to-point and broadcast delivery.
+                nets["p1"].send("p1", "p2", ("hello", 1))
+                nets["p2"].broadcast("p2", "ping")
+                ok = await drain(
+                    lambda: ("p1", ("hello", 1)) in sinks["p2"].received
+                    and ("p2", "ping") in sinks["p1"].received
+                    and ("p2", "ping") in sinks["p3"].received
+                )
+                assert ok, f"delivery incomplete: { {p: s.received for p, s in sinks.items()} }"
+                assert ("p2", "ping") not in sinks["p2"].received  # no self-echo
+
+                # Firewall: p1 -/- p3 in both directions, p2 unaffected.
+                nets["p1"].block(["p3"])
+                nets["p3"].block(["p1"])
+                before = len(sinks["p3"].received)
+                nets["p1"].send("p1", "p3", "dropped")
+                nets["p1"].send("p1", "p2", "kept")
+                await drain(lambda: ("p1", "kept") in sinks["p2"].received)
+                assert len(sinks["p3"].received) == before
+                assert nets["p1"].stats()["blocked_out"] >= 1
+
+                # Heal and verify traffic resumes on the same connections.
+                nets["p1"].unblock()
+                nets["p3"].unblock()
+                nets["p1"].send("p1", "p3", "after-heal")
+                ok = await drain(
+                    lambda: ("p1", "after-heal") in sinks["p3"].received
+                )
+                assert ok
+            finally:
+                for net in nets.values():
+                    await net.close()
+
+        asyncio.run(scenario())
+
+    def test_send_validates_source_and_self_send(self):
+        async def scenario():
+            peers = loopback_peers(2)
+            loop = asyncio.get_running_loop()
+            net = LiveNetwork("p1", peers, LiveScheduler(loop))
+            net.register(Sink("p1"))
+            try:
+                with pytest.raises(ValueError):
+                    net.send("p2", "p1", "spoofed")
+                with pytest.raises(ValueError):
+                    net.send("p1", "p1", "self")
+            finally:
+                await net.close()
+
+        asyncio.run(scenario())
+
+
+class TestClusterHelpers:
+    def test_parse_peers_roundtrips_cluster_spec(self):
+        cluster = LiveCluster(3, "/tmp/unused-spec-check")
+        peers = parse_peers(cluster.peer_spec())
+        assert set(peers) == {"p1", "p2", "p3"}
+        assert peers["p1"] == ("127.0.0.1", cluster.ports["p1"])
+
+    def test_parse_peers_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_peers("p1=localhost")  # no port
+        with pytest.raises(ValueError):
+            parse_peers("p1=127.0.0.1:9000")  # fewer than two peers
+
+    def test_free_port_is_bindable(self):
+        port = free_port()
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", port))
+
+    def test_default_ring_config_scales_from_delta(self):
+        config = default_ring_config(0.1)
+        assert config.pi == pytest.approx(0.4)
+        assert config.mu == pytest.approx(2.0)
+        assert config.work_conserving
+
+    def test_initial_view_matches_simulated_default(self):
+        view = initial_view_for(("p2", "p1", "p3"))
+        assert view.id == (0, "p1")
+        assert view.set == frozenset({"p1", "p2", "p3"})
+
+
+class TestLiveClusterSmoke:
+    """The tier-1 acceptance surface: real OS processes over TCP."""
+
+    def test_three_node_loopback_run_is_violation_free(self, tmp_path):
+        report = asyncio.run(
+            run_cluster(
+                nodes=3,
+                sends=6,
+                log_dir=tmp_path,
+                delta=0.05,
+                send_interval=0.01,
+                settle=0.5,
+            )
+        )
+        assert report["ok"], report["violations"] or report["to_reason"]
+        assert report["sends"] == 6
+        assert report["delivered_complete"]
+        assert report["deliveries"] == 18  # 6 values at 3 nodes
+        # Every node left an event log and a final report.
+        for p in ("p1", "p2", "p3"):
+            assert (tmp_path / f"{p}.events.jsonl").exists()
+            assert (tmp_path / f"{p}.report.json").exists()

@@ -1,0 +1,142 @@
+"""Event-log capture and offline verification of live captures."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.types import View
+from repro.rt.node import initial_view_for
+from repro.rt.trace import EventLog, load_event_logs, verify_events, verify_log_dir
+
+PROCS = ("p1", "p2", "p3")
+V0 = initial_view_for(PROCS)
+
+
+def write_events(tmp_path, node, events):
+    log = EventLog(tmp_path / f"{node}.events.jsonl", node)
+    for name, *args in events:
+        log.record(name, *args)
+    log.close()
+    return log
+
+
+def healthy_run(tmp_path, values=("m0", "m1")):
+    """Synthesise the capture of a fault-free run with a realistic
+    global interleaving: for each value, bcast + gpsnd at p1, gprcv at
+    every processor, then (everyone having received) safe and brcv at
+    every processor.  Logs are kept open so write-time stamps give the
+    intended merge order."""
+    logs = {p: EventLog(tmp_path / f"{p}.events.jsonl", p) for p in PROCS}
+    for value in values:
+        logs["p1"].record("bcast", value, "p1")
+        logs["p1"].record("gpsnd", value, "p1")
+        for p in PROCS:
+            logs[p].record("gprcv", value, "p1", p)
+        for p in PROCS:
+            logs[p].record("safe", value, "p1", p)
+            logs[p].record("brcv", value, "p1", p)
+    for log in logs.values():
+        log.close()
+
+
+class TestEventLog:
+    def test_records_are_json_lines_with_clock_and_seq(self, tmp_path):
+        log = write_events(
+            tmp_path, "p1", [("gpsnd", "m0", "p1"), ("newview", V0, "p1")]
+        )
+        assert log.events_recorded == 2
+        lines = (tmp_path / "p1.events.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["node"] == "p1"
+        assert first["ev"] == "gpsnd"
+        assert first["seq"] == 1
+        assert isinstance(first["ts"], float)
+
+    def test_merge_orders_by_timestamp_and_decodes_args(self, tmp_path):
+        write_events(tmp_path, "p1", [("gpsnd", "m0", "p1")])
+        write_events(tmp_path, "p2", [("newview", V0, "p2")])
+        events = load_event_logs(sorted(tmp_path.glob("*.events.jsonl")))
+        assert [e["ev"] for e in events] == ["gpsnd", "newview"]
+        view = events[1]["args"][0]
+        assert isinstance(view, View) and view == V0
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "p1.events.jsonl"
+        write_events(tmp_path, "p1", [("gpsnd", "m0", "p1")])
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"ts": 1.0, "seq": 2, "node": "p1", "ev": "gp')  # killed
+        events = load_event_logs([path])
+        assert len(events) == 1
+
+
+class TestVerifyEvents:
+    def test_healthy_run_verifies_clean(self, tmp_path):
+        healthy_run(tmp_path)
+        report = verify_log_dir(tmp_path, PROCS, V0)
+        assert report.ok
+        assert report.violations == []
+        assert report.to_ok
+        assert report.sends == 2
+        assert report.deliveries == 6
+        assert report.delivered_complete
+        assert report.latency["count"] == 6.0
+
+    def test_detects_to_order_violation(self, tmp_path):
+        # p2 delivers the two values in the opposite order from p1.
+        write_events(
+            tmp_path,
+            "p1",
+            [
+                ("bcast", "m0", "p1"),
+                ("bcast", "m1", "p1"),
+                ("brcv", "m0", "p1", "p1"),
+                ("brcv", "m1", "p1", "p1"),
+                ("brcv", "m1", "p1", "p2"),
+                ("brcv", "m0", "p1", "p2"),
+            ],
+        )
+        report = verify_log_dir(tmp_path, PROCS, V0)
+        assert not report.to_ok
+        assert not report.ok
+
+    def test_detects_vs_violation_duplicate_delivery(self, tmp_path):
+        write_events(
+            tmp_path,
+            "p1",
+            [
+                ("gpsnd", "m0", "p1"),
+                ("gprcv", "m0", "p1", "p1"),
+                ("gprcv", "m0", "p1", "p1"),  # duplicate at same processor
+            ],
+        )
+        report = verify_log_dir(tmp_path, PROCS, V0)
+        assert report.violations
+
+    def test_expect_at_scopes_completeness_to_survivors(self, tmp_path):
+        # p3 (killed) delivered nothing; survivors delivered everything.
+        for p in ("p1", "p2"):
+            write_events(
+                tmp_path,
+                p,
+                [("bcast", "m0", "p1")] * (1 if p == "p1" else 0)
+                + [("brcv", "m0", "p1", p)],
+            )
+        write_events(tmp_path, "p3", [])
+        full = verify_log_dir(tmp_path, PROCS, V0)
+        assert not full.delivered_complete
+        scoped = verify_log_dir(tmp_path, PROCS, V0, expect_at=("p1", "p2"))
+        assert scoped.delivered_complete
+
+    def test_throughput_and_latency_derived_from_timestamps(self, tmp_path):
+        healthy_run(tmp_path, values=("m0",))
+        report = verify_log_dir(tmp_path, PROCS, V0)
+        events = load_event_logs(sorted(tmp_path.glob("*.events.jsonl")))
+        assert report.events == len(events)
+        assert report.span_seconds >= 0.0
+        assert set(report.latency) == {"count", "mean", "p50", "p95", "max"}
+
+    def test_empty_capture_is_not_complete(self, tmp_path):
+        report = verify_events([], PROCS, V0)
+        assert report.ok  # vacuously conformant
+        assert not report.delivered_complete

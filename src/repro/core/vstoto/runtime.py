@@ -36,6 +36,11 @@ ProcId = Hashable
 #: callback signature: (value, origin, destination)
 DeliverCallback = Callable[[Any, ProcId, ProcId], None]
 
+#: passive observer of a VStoTO status transition:
+#: (time, proc, old_status, new_status) with statuses as their string
+#: values ("normal"/"send"/"collect").
+StatusListener = Callable[[float, ProcId, str, str], None]
+
 _DRAIN_LIMIT = 100_000
 
 
@@ -86,6 +91,10 @@ class VStoTORuntime:
         )
         self.deliveries: list[Delivery] = []
         self._draining: set[ProcId] = set()
+        self._status_listeners: list[StatusListener] = []
+        self._last_status: dict[ProcId, str] = {
+            p: proc.status.value for p, proc in self.procs.items()
+        }
         # Observability slots (bound by attach_obs; `is None` guarded).
         self._m_views = None
         self._m_pending_delay = None
@@ -186,10 +195,32 @@ class VStoTORuntime:
         for p in self.processors:
             self._drain(p)
 
+    def add_status_listener(self, fn: StatusListener) -> None:
+        """Subscribe a passive observer to VStoTO status transitions
+        (Fig. 9 edges: normal→send on newview, send→collect on the
+        summary gpsnd, collect→normal when state exchange completes).
+        Listeners must not schedule events or draw randomness.  The
+        protocol-event hub of :mod:`repro.faults.triggers` and the
+        scenario coverage tracker are the customers."""
+        self._status_listeners.append(fn)
+
+    def _emit_status_edge(self, p: ProcId) -> None:
+        new = self.procs[p].status.value
+        old = self._last_status[p]
+        if new == old:
+            return
+        self._last_status[p] = new
+        now = self.service.simulator.now
+        if self._tracer is not None:
+            self._tracer.on_status_edge(now, p, old, new)
+        for fn in self._status_listeners:
+            fn(now, p, old, new)
+
     def broadcast(self, p: ProcId, value: Any) -> None:
         """Client at p submits a value (the TO ``bcast`` input)."""
         self._record("bcast", value, p)
         self.procs[p].step(act("bcast", value, p))
+        self._emit_status_edge(p)
         self._drain(p)
 
     def schedule_broadcast(self, time: float, p: ProcId, value: Any) -> None:
@@ -218,10 +249,12 @@ class VStoTORuntime:
             self._tracer.on_established(
                 self.service.simulator.now, proc.current.id, dst
             )
+        self._emit_status_edge(dst)
         self._drain(dst)
 
     def _on_safe(self, payload: Any, src: ProcId, dst: ProcId) -> None:
         self.procs[dst].step(act("safe", payload, src, dst))
+        self._emit_status_edge(dst)
         self._drain(dst)
 
     def _on_newview(self, view: View, p: ProcId) -> None:
@@ -230,6 +263,7 @@ class VStoTORuntime:
             self._m_views[p].inc()
             self._flush_residency(p, self.service.simulator.now)
             self._mode[p] = self._mode_of(p)
+        self._emit_status_edge(p)
         self._drain(p)
 
     # ------------------------------------------------------------------
@@ -247,6 +281,7 @@ class VStoTORuntime:
                 if action is None:
                     return
                 proc.step(action)
+                self._emit_status_edge(p)
                 self._after_local_action(p, action)
             raise RuntimeError(f"drain limit exceeded at {p!r}")
         finally:

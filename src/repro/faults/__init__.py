@@ -28,18 +28,34 @@ from repro.faults.injectors import (
     ChaosContext,
     CrashRestartInjector,
     FaultInjector,
+    ForcedViolationInjector,
     PacketDelayInjector,
     PacketDuplicateInjector,
     PacketInjector,
     PacketLossInjector,
     PacketReorderInjector,
+    PartitionInjector,
     TimerSkewInjector,
     TokenLossInjector,
 )
-from repro.faults.schedule import ALL_FAULT_KINDS, FaultSchedule, FaultWindow
+from repro.faults.schedule import (
+    ALL_FAULT_KINDS,
+    SPEC_KINDS,
+    FaultSchedule,
+    FaultWindow,
+    injector_from_spec,
+    injector_to_spec,
+)
+from repro.faults.triggers import (
+    ProtocolEvent,
+    ProtocolEventHub,
+    TriggeredFault,
+    TriggerSpec,
+)
 
 __all__ = [
     "ALL_FAULT_KINDS",
+    "SPEC_KINDS",
     "ChaosContext",
     "ChaosReport",
     "ChaosRunner",
@@ -47,13 +63,21 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FaultWindow",
+    "ForcedViolationInjector",
     "PacketDelayInjector",
     "PacketDuplicateInjector",
     "PacketInjector",
     "PacketLossInjector",
     "PacketReorderInjector",
+    "PartitionInjector",
+    "ProtocolEvent",
+    "ProtocolEventHub",
     "TimerSkewInjector",
     "TokenLossInjector",
+    "TriggerSpec",
+    "TriggeredFault",
+    "injector_from_spec",
+    "injector_to_spec",
     "run_chaos",
     "run_chaos_many",
     "run_chaos_sweep",

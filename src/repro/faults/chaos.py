@@ -33,7 +33,9 @@ from repro.core.monitor import OnlineVSMonitor
 from repro.core.quorums import MajorityQuorumSystem, QuorumSystem
 from repro.core.to_spec import TO_EXTERNAL, check_to_trace
 from repro.core.vstoto.runtime import VStoTORuntime
+from repro.faults.injectors import ChaosContext
 from repro.faults.schedule import FaultSchedule
+from repro.faults.triggers import ProtocolEventHub
 from repro.membership.bounds import VSBounds
 from repro.membership.ring import RingConfig
 from repro.membership.service import TokenRingVS
@@ -73,6 +75,12 @@ class ChaosReport:
     #: breakdown in ``drops`` must sum to exactly this.
     drops_total: int = 0
     stats: dict[str, Any] = field(default_factory=dict)
+    #: protocol-state coverage of the run (see
+    #: :class:`repro.scenarios.coverage.CoverageReport`): VStoTO
+    #: statuses, status edges, view-transition edges, fault×status
+    #: pairs.  JSON-shaped; merged across sweeps with
+    #: :func:`repro.parallel.merge_coverage_dicts`.
+    coverage: dict[str, Any] = field(default_factory=dict)
 
     @property
     def safety_ok(self) -> bool:
@@ -148,11 +156,28 @@ class ChaosRunner:
             self.processors, self.service.initial_view, strict=False
         )
         self.monitor.attach(self.service)
+        # Protocol-event hook: normalizes VS events and VStoTO status
+        # edges so schedules can key windows to protocol state (the
+        # scenario engine's triggered faults) and so coverage can be
+        # tracked.  Both are pure observers — no RNG, no scheduled
+        # events unless a trigger actually fires.
+        self.hub = ProtocolEventHub(self.service)
+        self.hub.attach_runtime(self.runtime)
+        # Imported lazily: repro.scenarios sits above repro.faults.
+        from repro.scenarios.coverage import CoverageTracker
+
+        self.coverage = CoverageTracker(self.runtime)
+        self.hub.add_window_observer(self.coverage.note_triggered_window)
+        self.ctx: ChaosContext | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> ChaosReport:
         stabilization = self.schedule.horizon
-        self.schedule.install(self.service)
+        self.ctx = self.schedule.install(self.service, hub=self.hub)
+        for window in self.schedule.windows:
+            self.coverage.note_window(
+                window.injector.SPEC_KIND, window.start, window.stop
+            )
         # The conditional properties quantify over executions that
         # stabilise: end with a stable whole-group layout.  (This also
         # clears any lingering ugly/bad statuses the nemesis left.)
@@ -216,11 +241,12 @@ class ChaosRunner:
         bounds = VSBounds(
             delta=self.config.delta, pi=self.config.pi, mu=self.config.mu
         )
+        forced = list(self.ctx.forced_violations) if self.ctx else []
         return ChaosReport(
             seed=self.seed,
             fault_kinds=self.schedule.fault_kinds,
             sends=len(values),
-            violations=list(self.monitor.violations),
+            violations=list(self.monitor.violations) + forced,
             to_ok=to_result.ok,
             to_reason=to_result.reason,
             delivered_complete=complete,
@@ -232,6 +258,7 @@ class ChaosRunner:
             drops=self.service.network.drop_stats(),
             drops_total=self.service.network.dropped_total(),
             stats=self.service.stats(),
+            coverage=self.coverage.report().to_dict(),
         )
 
 
@@ -301,6 +328,7 @@ def _chaos_envelope_worker(
         ok=report.ok,
         stats=report.stats,
         violations=report.violations,
+        coverage=report.coverage,
         wall_s=time.perf_counter() - t0,  # repro-lint: ignore[DET002]
     )
 

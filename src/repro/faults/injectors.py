@@ -27,6 +27,8 @@ import random
 from collections.abc import Hashable, Iterable, Sequence
 from typing import TYPE_CHECKING
 
+from typing import Any
+
 from repro.membership.messages import Sequenced, Token
 from repro.net.channel import Packet, PacketFate
 from repro.net.status import FailureStatus
@@ -40,6 +42,17 @@ ProcId = Hashable
 Links = Iterable[tuple[ProcId, ProcId]] | None
 
 
+def _links_param(links: tuple[tuple[ProcId, ProcId], ...] | None) -> Any:
+    return None if links is None else [list(pair) for pair in links]
+
+
+def coerce_links(raw: Any) -> Links:
+    """JSON-decoded link lists back to the tuple-of-pairs shape."""
+    if raw is None:
+        return None
+    return tuple((pair[0], pair[1]) for pair in raw)
+
+
 class ChaosContext:
     """What an injector gets to work with: one running service stack."""
 
@@ -49,6 +62,10 @@ class ChaosContext:
         self.simulator = service.simulator
         self.oracle = service.network.oracle
         self.rngs = service.rngs
+        #: messages appended by :class:`ForcedViolationInjector` windows;
+        #: :class:`~repro.faults.chaos.ChaosRunner` folds them into the
+        #: report's violation list (the shrinker's demo oracle).
+        self.forced_violations: list[str] = []
 
     @property
     def processors(self) -> tuple[ProcId, ...]:
@@ -62,6 +79,11 @@ class ChaosContext:
 
 class FaultInjector:
     """Base class: bind once, then open/close active windows."""
+
+    #: short serialization kind (the vocabulary of schedule files); every
+    #: concrete injector overrides it and registers in
+    #: :data:`repro.faults.schedule.SPEC_KINDS`.
+    SPEC_KIND = "abstract"
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -105,6 +127,22 @@ class FaultInjector:
     def stop(self) -> None:
         self.active = False
         self._stop()
+
+    # Serialization -----------------------------------------------------
+    def params(self) -> dict[str, Any]:
+        """JSON-able constructor parameters (everything but ``name``).
+
+        Together with :meth:`from_params` this must round-trip exactly:
+        ``type(i).from_params(i.name, json.loads(json.dumps(i.params())))``
+        rebuilds an injector with identical behaviour.  Tested by
+        ``tests/faults/test_schedule_serialization.py``.
+        """
+        return {}
+
+    @classmethod
+    def from_params(cls, name: str, params: dict[str, Any]) -> FaultInjector:
+        """Rebuild an injector from JSON-decoded :meth:`params` output."""
+        return cls(name, **params)
 
     # Subclass hooks ----------------------------------------------------
     def _bind(self, ctx: ChaosContext) -> None:
@@ -151,13 +189,24 @@ class PacketInjector(FaultInjector):
     ) -> PacketFate | None:
         raise NotImplementedError
 
+    @classmethod
+    def from_params(cls, name: str, params: dict[str, Any]) -> FaultInjector:
+        params = dict(params)
+        params["links"] = coerce_links(params.get("links"))
+        return cls(name, **params)
+
 
 class PacketLossInjector(PacketInjector):
     """Drop each passing packet with probability ``rate``."""
 
+    SPEC_KIND = "loss"
+
     def __init__(self, name: str, rate: float, links: Links = None) -> None:
         super().__init__(name, links)
         self.rate = rate
+
+    def params(self) -> dict[str, Any]:
+        return {"rate": self.rate, "links": _links_param(self.links)}
 
     def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
         if self.rng.random() < self.rate:
@@ -170,6 +219,8 @@ class PacketDuplicateInjector(PacketInjector):
     copy arrives up to ``extra_delay`` later than the original (so the
     duplicate may also be reordered past later traffic)."""
 
+    SPEC_KIND = "duplicate"
+
     def __init__(
         self,
         name: str,
@@ -180,6 +231,13 @@ class PacketDuplicateInjector(PacketInjector):
         super().__init__(name, links)
         self.rate = rate
         self.extra_delay = extra_delay
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "extra_delay": self.extra_delay,
+            "links": _links_param(self.links),
+        }
 
     def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
         if self.rng.random() < self.rate:
@@ -193,12 +251,21 @@ class PacketDelayInjector(PacketInjector):
     breaking the good-link δ bound and, because the jitter is
     per-packet, reordering traffic on the link."""
 
+    SPEC_KIND = "delay"
+
     def __init__(
         self, name: str, rate: float, jitter: float = 5.0, links: Links = None
     ) -> None:
         super().__init__(name, links)
         self.rate = rate
         self.jitter = jitter
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "jitter": self.jitter,
+            "links": _links_param(self.links),
+        }
 
     def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
         if self.rng.random() >= self.rate:
@@ -214,6 +281,8 @@ class PacketReorderInjector(PacketInjector):
     so that packets sent after it overtake it — a guaranteed reorder
     whenever the hold exceeds the link's δ and there is later traffic."""
 
+    SPEC_KIND = "reorder"
+
     def __init__(
         self,
         name: str,
@@ -226,6 +295,14 @@ class PacketReorderInjector(PacketInjector):
         self.rate = rate
         self.hold_min = hold_min
         self.hold_max = hold_max
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "rate": self.rate,
+            "hold_min": self.hold_min,
+            "hold_max": self.hold_max,
+            "links": _links_param(self.links),
+        }
 
     def _perturb(self, packet: Packet, fate: PacketFate) -> PacketFate | None:
         if self.rng.random() >= self.rate:
@@ -241,9 +318,14 @@ class TokenLossInjector(PacketInjector):
     packets with probability ``rate`` — the targeted attack on the
     ring's liveness core, answered by the token-regeneration watchdog."""
 
+    SPEC_KIND = "token_loss"
+
     def __init__(self, name: str, rate: float, links: Links = None) -> None:
         super().__init__(name, links)
         self.rate = rate
+
+    def params(self) -> dict[str, Any]:
+        return {"rate": self.rate, "links": _links_param(self.links)}
 
     def _applies(self, packet: Packet) -> bool:
         return isinstance(_payload(packet.message), Token)
@@ -260,6 +342,8 @@ class TimerSkewInjector(FaultInjector):
     speed.  Fast clocks (<1) fire watchdogs early and force spurious
     view formations; slow clocks (>1) delay loss detection."""
 
+    SPEC_KIND = "timer_skew"
+
     def __init__(
         self,
         name: str,
@@ -274,6 +358,20 @@ class TimerSkewInjector(FaultInjector):
         self.skew_max = skew_max
         self.targets = tuple(targets) if targets is not None else None
         self._skewed: list[ProcId] = []
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "skew_min": self.skew_min,
+            "skew_max": self.skew_max,
+            "targets": None if self.targets is None else list(self.targets),
+        }
+
+    @classmethod
+    def from_params(cls, name: str, params: dict[str, Any]) -> FaultInjector:
+        params = dict(params)
+        targets = params.get("targets")
+        params["targets"] = None if targets is None else tuple(targets)
+        return cls(name, **params)
 
     def _start(self, stop_time: float) -> None:
         candidates = self.targets or self.ctx.processors
@@ -302,6 +400,8 @@ class CrashRestartInjector(FaultInjector):
     is uniform in [``min_down``, ``max_down``], clipped to the window.
     """
 
+    SPEC_KIND = "crash_restart"
+
     def __init__(
         self,
         name: str,
@@ -317,6 +417,20 @@ class CrashRestartInjector(FaultInjector):
         self.targets = tuple(targets) if targets is not None else None
         self.crashes = 0
         self._down: set[ProcId] = set()
+
+    def params(self) -> dict[str, Any]:
+        return {
+            "min_down": self.min_down,
+            "max_down": self.max_down,
+            "targets": None if self.targets is None else list(self.targets),
+        }
+
+    @classmethod
+    def from_params(cls, name: str, params: dict[str, Any]) -> FaultInjector:
+        params = dict(params)
+        targets = params.get("targets")
+        params["targets"] = None if targets is None else tuple(targets)
+        return cls(name, **params)
 
     def _start(self, stop_time: float) -> None:
         sim = self.ctx.simulator
@@ -342,3 +456,87 @@ class CrashRestartInjector(FaultInjector):
             )
 
         sim.schedule_at(restart_at, recover)
+
+
+class PartitionInjector(FaultInjector):
+    """Cut the network into connectivity components for the window.
+
+    While active, every ordered link between two different ``groups``
+    members is *bad* (consistent-partition semantics at the link level);
+    closing the window restores those links to *good*.  Processor
+    statuses are untouched, so a concurrent :class:`CrashRestartInjector`
+    composes instead of being overwritten.  Processors not mentioned in
+    any group keep their current connectivity.
+
+    This is the journey-level partition shape: unlike the oracle-wide
+    :class:`repro.net.scenarios.PartitionScenario` it is windowed,
+    serializable, and shrinkable, and its ``groups`` survive into live
+    replay (:func:`repro.rt.faults.windows_from_scenario`).
+    """
+
+    SPEC_KIND = "partition"
+
+    def __init__(
+        self, name: str, groups: Sequence[Sequence[ProcId]]
+    ) -> None:
+        super().__init__(name)
+        self.groups: tuple[tuple[ProcId, ...], ...] = tuple(
+            tuple(g) for g in groups
+        )
+        seen: set[ProcId] = set()
+        for group in self.groups:
+            for p in group:
+                if p in seen:
+                    raise ValueError(f"processor {p!r} in two groups")
+                seen.add(p)
+        self._cut: list[tuple[ProcId, ProcId]] = []
+
+    def params(self) -> dict[str, Any]:
+        return {"groups": [list(g) for g in self.groups]}
+
+    @classmethod
+    def from_params(cls, name: str, params: dict[str, Any]) -> FaultInjector:
+        return cls(name, groups=tuple(tuple(g) for g in params["groups"]))
+
+    def _component_of(self, p: ProcId) -> int:
+        for index, group in enumerate(self.groups):
+            if p in group:
+                return index
+        return -1
+
+    def _start(self, stop_time: float) -> None:
+        now = self.ctx.simulator.now
+        mentioned = [p for group in self.groups for p in group]
+        for p in mentioned:
+            for q in mentioned:
+                if p == q or self._component_of(p) == self._component_of(q):
+                    continue
+                self.ctx.oracle.set_link(p, q, FailureStatus.BAD, time=now)
+                self._cut.append((p, q))
+
+    def _stop(self) -> None:
+        now = self.ctx.simulator.now
+        for p, q in self._cut:
+            self.ctx.oracle.set_link(p, q, FailureStatus.GOOD, time=now)
+        self._cut = []
+
+
+class ForcedViolationInjector(FaultInjector):
+    """A deliberately planted failure: each window opening appends a
+    marked violation to the run's report (via
+    :attr:`ChaosContext.forced_violations`).
+
+    It exists for the shrinker's acceptance loop: a schedule seeded with
+    one forced window among many innocuous ones gives a *deterministic*
+    violating run whose minimal reproduction is known by construction,
+    so delta-debugging can be tested end-to-end without waiting for a
+    real protocol bug.
+    """
+
+    SPEC_KIND = "forced_violation"
+
+    def _start(self, stop_time: float) -> None:
+        self.ctx.forced_violations.append(
+            f"forced violation: injector {self.name!r} active at "
+            f"t={self.ctx.simulator.now:g}"
+        )

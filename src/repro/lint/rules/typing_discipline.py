@@ -28,6 +28,8 @@ STRICT_PACKAGES = (
     "repro.membership",
     "repro.analysis",
     "repro.rt",
+    "repro.parallel",
+    "repro.scenarios",
 )
 
 

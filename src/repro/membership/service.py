@@ -38,6 +38,8 @@ ProcId = Hashable
 #: for newview.
 DeliveryCallback = Callable[[Any, ProcId, ProcId], None]
 ViewCallback = Callable[[View, ProcId], None]
+#: passive observer of every recorded VS event: (time, name, args).
+VSEventListener = Callable[[float, str, tuple[Any, ...]], None]
 
 
 class TokenRingVS:
@@ -105,6 +107,7 @@ class TokenRingVS:
         self.on_safe: DeliveryCallback | None = None
         self.on_newview: ViewCallback | None = None
         self._started = False
+        self._vs_listeners: list[VSEventListener] = []
         self.obs: Observability | None = None
         self._tracer: LifecycleTracer | None = None
         if obs is not None:
@@ -183,10 +186,20 @@ class TokenRingVS:
         if self.on_safe is not None:
             self.on_safe(payload, src, dst)
 
+    def add_vs_listener(self, fn: VSEventListener) -> None:
+        """Subscribe a passive observer to every recorded VS event
+        (``gpsnd``/``gprcv``/``safe``/``newview``).  Listeners must not
+        schedule events or draw randomness — they ride the recorder the
+        same way the lifecycle tracer does.  The protocol-event hub of
+        :mod:`repro.faults.triggers` is the main customer."""
+        self._vs_listeners.append(fn)
+
     def _record(self, name: str, *args: Any) -> None:
         self.trace.append(self.simulator.now, act(name, *args))
         if self._tracer is not None:
             self._tracer.on_vs_event(self.simulator.now, name, args)
+        for fn in self._vs_listeners:
+            fn(self.simulator.now, name, args)
 
     # ------------------------------------------------------------------
     # Trace assembly for the checkers

@@ -131,6 +131,17 @@ class FaultAnnotation:
     stop: float
 
 
+@dataclass(frozen=True)
+class StatusEdge:
+    """One VStoTO status transition (Fig. 9), for trace annotation and
+    the scenario engine's protocol-state coverage."""
+
+    time: float
+    proc: ProcId
+    old: str
+    new: str
+
+
 class LifecycleTracer:
     """Incremental span recorder for one execution.
 
@@ -148,6 +159,7 @@ class LifecycleTracer:
         self.message_spans: list[MessageSpan] = []
         self.view_spans: dict[Any, ViewSpan] = {}
         self.faults: list[FaultAnnotation] = []
+        self.status_edges: list[StatusEdge] = []
         #: events that could not be matched to a span (conformant
         #: executions leave this at zero; chaos debugging reads it)
         self.unmatched_events = 0
@@ -297,6 +309,13 @@ class LifecycleTracer:
         self, kind: str, name: str, start: float, stop: float
     ) -> None:
         self.faults.append(FaultAnnotation(kind, name, start, stop))
+
+    def on_status_edge(
+        self, time: float, proc: ProcId, old: str, new: str
+    ) -> None:
+        """A VStoTO status transition at ``proc`` (fed by
+        :class:`~repro.core.vstoto.runtime.VStoTORuntime`)."""
+        self.status_edges.append(StatusEdge(time, proc, old, new))
 
     def _view_span(self, viewid: Any) -> ViewSpan:
         span = self.view_spans.get(viewid)

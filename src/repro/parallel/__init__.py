@@ -19,6 +19,7 @@ from repro.parallel.executor import (
     available_workers,
     canonical_digest,
     make_envelope,
+    merge_coverage_dicts,
     parallel_map,
     run_seed_sweep,
     shard_seeds,
@@ -29,6 +30,7 @@ __all__ = [
     "available_workers",
     "canonical_digest",
     "make_envelope",
+    "merge_coverage_dicts",
     "parallel_map",
     "run_seed_sweep",
     "shard_seeds",

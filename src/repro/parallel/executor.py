@@ -85,6 +85,9 @@ class RunEnvelope:
     stats: dict = field(default_factory=dict)
     #: conformance violations, verbatim
     violations: list = field(default_factory=list)
+    #: protocol-state coverage counters from the run (JSON-able; merged
+    #: across a sweep with :func:`merge_coverage_dicts`)
+    coverage: dict = field(default_factory=dict)
     #: host wall-clock seconds this run took inside its worker
     wall_s: float = 0.0
     #: the full result object (must be picklable)
@@ -98,6 +101,7 @@ def make_envelope(
     ok: bool = True,
     stats: dict | None = None,
     violations: list | None = None,
+    coverage: dict | None = None,
     wall_s: float = 0.0,
 ) -> RunEnvelope:
     """Wrap a run result, stamping its canonical digest."""
@@ -107,9 +111,39 @@ def make_envelope(
         digest=canonical_digest(result),
         stats=dict(stats) if stats else {},
         violations=list(violations) if violations else [],
+        coverage=dict(coverage) if coverage else {},
         wall_s=wall_s,
         result=result,
     )
+
+
+def merge_coverage_dicts(dicts: Iterable[dict]) -> dict:
+    """Merge JSON-shaped coverage dicts: numeric values sum, list values
+    take the sorted set-union, everything else must agree.
+
+    The merge is associative, commutative, and independent of input
+    order up to the sorting — which is what makes a sweep's merged
+    coverage a pure function of the seed set, identical at any worker
+    count (the determinism contract of this package).
+    """
+    merged: dict = {}
+    for d in dicts:
+        for key, value in d.items():
+            if key not in merged:
+                merged[key] = (
+                    sorted(set(value)) if isinstance(value, list) else value
+                )
+            elif isinstance(value, list):
+                merged[key] = sorted(set(merged[key]) | set(value))
+            elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                if merged[key] != value:
+                    raise ValueError(
+                        f"coverage key {key!r} has conflicting "
+                        f"non-mergeable values: {merged[key]!r} vs {value!r}"
+                    )
+            else:
+                merged[key] += value
+    return merged
 
 
 def parallel_map(

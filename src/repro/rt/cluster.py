@@ -32,9 +32,14 @@ import sys
 import tempfile
 import time
 from pathlib import Path
+from collections.abc import Sequence
 from typing import Any
 
-from repro.rt.faults import FirewallWindow, single_partition_window
+from repro.rt.faults import (
+    FirewallWindow,
+    single_partition_window,
+    windows_from_scenario,
+)
 from repro.rt.framing import FrameDecoder, decode_message, encode_frame, encode_message
 from repro.rt.node import initial_view_for
 from repro.rt.trace import VerifyReport, load_event_logs, verify_events
@@ -275,6 +280,45 @@ class LiveCluster:
         )
 
 
+async def replay_scenario_windows(
+    cluster: LiveCluster, windows: Sequence[FirewallWindow]
+) -> None:
+    """Apply a scenario's partition episodes at their (scaled) offsets.
+
+    Episodes run sequentially — the live firewall holds one blocked set
+    per node, so each window is applied, held to its stop offset, and
+    healed before the next; offsets are relative to replay start, and a
+    window whose start has already passed applies immediately.
+    """
+    loop = asyncio.get_running_loop()
+    origin = loop.time()
+    for window in windows:
+        now = loop.time() - origin
+        if window.start > now:
+            await asyncio.sleep(window.start - now)
+        await cluster.apply_partition(window)
+        now = loop.time() - origin
+        if window.stop > now:
+            await asyncio.sleep(window.stop - now)
+        await cluster.heal()
+
+
+def scenario_windows_for(
+    scenario: str | Path, processors: Sequence[str], time_scale: float
+) -> tuple[FirewallWindow, ...]:
+    """Load a scenario file and map its partition windows onto a live
+    processor set (see :func:`repro.rt.faults.windows_from_scenario`)."""
+    from repro.scenarios import ScenarioSpec
+
+    spec = ScenarioSpec.load(scenario)
+    return windows_from_scenario(
+        spec.build_schedule(),
+        spec.proc_ids,
+        tuple(processors),
+        time_scale=time_scale,
+    )
+
+
 async def run_cluster(
     nodes: int,
     sends: int,
@@ -285,6 +329,8 @@ async def run_cluster(
     send_interval: float = 0.02,
     partition_hold: float | None = None,
     settle: float | None = None,
+    scenario: str | Path | None = None,
+    time_scale: float = 0.05,
 ) -> dict[str, Any]:
     """One full scripted episode; returns the verification report dict."""
     owns_dir = log_dir is None
@@ -293,6 +339,11 @@ async def run_cluster(
     cluster = LiveCluster(
         nodes, log_dir, delta=delta, send_interval=send_interval
     )
+    scenario_windows: tuple[FirewallWindow, ...] = ()
+    if scenario is not None:
+        scenario_windows = scenario_windows_for(
+            scenario, cluster.processors, time_scale
+        )
     hold = partition_hold if partition_hold is not None else 50 * delta
     settle_time = settle if settle is not None else 40 * delta
     started = time.time()
@@ -300,7 +351,22 @@ async def run_cluster(
     try:
         await cluster.go()
         values = [f"m{i}" for i in range(sends)]
-        if partition or kill:
+        if scenario_windows:
+            # Replay the sim scenario's partition timeline: first half
+            # of the traffic before the episodes, the rest during them.
+            half = len(values) // 2
+            await cluster.send_traffic(values[:half])
+            replay = asyncio.get_running_loop().create_task(
+                replay_scenario_windows(cluster, scenario_windows)
+            )
+            await cluster.send_traffic(values[half:])
+            await replay
+            cluster._mark(
+                "scenario_replayed",
+                scenario=str(scenario),
+                windows=len(scenario_windows),
+            )
+        elif partition or kill:
             half = len(values) // 2
             await cluster.send_traffic(values[:half])
             if kill:
@@ -334,6 +400,7 @@ async def run_cluster(
             "requested_sends": sends,
             "partition": partition,
             "kill": kill,
+            "scenario": None if scenario is None else str(scenario),
             "delta": delta,
             "polled_complete": complete,
             "wall_seconds": wall,
@@ -367,20 +434,39 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--log-dir", default=None, help="keep logs here (default: temp dir)"
     )
     parser.add_argument("--json", default=None, help="write the report here")
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="replay a sim scenario file's partition windows (node count "
+        "is taken from the scenario)",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.05,
+        help="wall seconds per scenario virtual time unit",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    nodes = args.nodes
+    if args.scenario is not None:
+        from repro.scenarios import ScenarioSpec
+
+        nodes = ScenarioSpec.load(args.scenario).processors
     report = asyncio.run(
         run_cluster(
-            nodes=args.nodes,
+            nodes=nodes,
             sends=args.sends,
             partition=args.partition,
             kill=args.kill,
             log_dir=args.log_dir,
             delta=args.delta,
             send_interval=args.send_interval,
+            scenario=args.scenario,
+            time_scale=args.time_scale,
         )
     )
     if args.json:

@@ -20,8 +20,9 @@ drive a live cluster's partitions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
+from repro.faults.injectors import PartitionInjector
 from repro.faults.schedule import FaultSchedule
 
 Groups = tuple[tuple[str, ...], ...]
@@ -101,3 +102,53 @@ def single_partition_window(
 ) -> FirewallWindow:
     """The default cluster-driver episode: one majority/minority split."""
     return FirewallWindow(start=start, stop=stop, groups=majority_split(tuple(processors)))
+
+
+def windows_from_scenario(
+    schedule: FaultSchedule,
+    sim_processors: Sequence[Hashable],
+    live_processors: Sequence[str],
+    time_scale: float = 1.0,
+) -> tuple[FirewallWindow, ...]:
+    """Replay a sim scenario's partition windows on a live cluster.
+
+    Windows driven by a :class:`~repro.faults.injectors.PartitionInjector`
+    carry explicit connectivity groups; each simulated processor id maps
+    onto a live node id by sorted position (``sorted(..., key=str)``, a
+    deterministic bijection).  A schedule with no partition windows —
+    e.g. a shrunk scenario whose minimal reproduction was packet-level —
+    falls back to :func:`windows_from_schedule` with the canonical
+    majority split, so its *timing* still replays.
+
+    This closes half of the live→sim loop: the same shrunk scenario
+    file that reproduces a failure in the simulator drives the firewall
+    on a real cluster (``python -m repro.rt.cluster --scenario``).
+    """
+    if len(set(sim_processors)) != len(live_processors):
+        raise ValueError(
+            f"scenario has {len(set(sim_processors))} processors, "
+            f"cluster has {len(live_processors)}"
+        )
+    mapping = dict(
+        zip(sorted(sim_processors, key=str), live_processors)
+    )
+    windows: list[FirewallWindow] = []
+    for window in sorted(schedule.windows, key=lambda w: (w.start, w.stop)):
+        if not isinstance(window.injector, PartitionInjector):
+            continue
+        groups = tuple(
+            tuple(mapping[p] for p in group)
+            for group in window.injector.groups
+        )
+        windows.append(
+            FirewallWindow(
+                start=window.start * time_scale,
+                stop=window.stop * time_scale,
+                groups=groups,
+            )
+        )
+    if not windows:
+        return windows_from_schedule(
+            schedule, majority_split(live_processors), time_scale
+        )
+    return tuple(windows)

@@ -1,0 +1,51 @@
+"""The scenario-exploration engine: directed fault journeys,
+protocol-state coverage, and violating-schedule shrinking.
+
+Random chaos (:mod:`repro.faults`, experiment E18) samples the fault
+space blindly; this package directs it:
+
+- :mod:`~repro.scenarios.dsl` — a declarative scenario DSL: named
+  journeys (partition shapes, crash-during-state-exchange,
+  token-loss-during-view-change, timer-skew storms) serialized as JSON
+  scenario files, compiling to :class:`repro.faults.FaultSchedule`
+  windows — including windows keyed to *protocol events* via the
+  trigger hook of :mod:`repro.faults.triggers`;
+- :mod:`~repro.scenarios.coverage` — which VStoTO statuses, Fig. 9
+  status edges, view-transition edges, and fault×state pairs a run
+  actually visited, mergeable across parallel sweeps;
+- :mod:`~repro.scenarios.shrink` — delta-debugging over fault windows:
+  a failing scenario is reduced to a minimal reproduction that
+  deterministically re-runs to the same verdict;
+- ``python -m repro.scenarios`` — run / coverage / shrink CLI.
+
+Experiment E23 (``benchmarks/bench_scenarios.py``) gates the directed
+suite's coverage against the equal-budget random baseline.
+"""
+
+from repro.scenarios.coverage import CoverageReport, CoverageTracker
+from repro.scenarios.dsl import (
+    JOURNEYS,
+    ScenarioOutcome,
+    ScenarioSpec,
+    build_journey,
+    journey_suite,
+    run_scenario,
+    verdict_of,
+)
+from repro.scenarios.runner import run_scenario_sweep
+from repro.scenarios.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "JOURNEYS",
+    "CoverageReport",
+    "CoverageTracker",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "ShrinkResult",
+    "build_journey",
+    "journey_suite",
+    "run_scenario",
+    "run_scenario_sweep",
+    "shrink_scenario",
+    "verdict_of",
+]

@@ -1,0 +1,219 @@
+"""``python -m repro.scenarios`` — run, measure, shrink.
+
+Subcommands:
+
+- ``list`` — the built-in journeys and what they exercise;
+- ``run`` — execute a scenario file (or a named journey) under the full
+  chaos harness and report verdict, recovery and coverage;
+- ``coverage`` — run the journey suite (optionally in parallel) and
+  print the merged protocol-state coverage report, optionally next to
+  an equal-budget random-chaos baseline (the E23 comparison);
+- ``shrink`` — delta-debug a failing scenario file down to a minimal
+  reproduction and write it back out as a scenario file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from typing import Any
+
+from repro.faults.chaos import run_chaos_sweep
+from repro.parallel import merge_coverage_dicts
+from repro.scenarios.coverage import CoverageReport
+from repro.scenarios.dsl import (
+    JOURNEYS,
+    ScenarioSpec,
+    build_journey,
+    journey_suite,
+    run_scenario,
+)
+from repro.scenarios.runner import run_scenario_sweep
+from repro.scenarios.shrink import shrink_scenario
+
+
+def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
+    if args.journey is not None:
+        return build_journey(
+            args.journey, processors=args.procs, seed=args.seed
+        )
+    if args.file is None:
+        raise SystemExit("need a scenario FILE or --journey NAME")
+    return ScenarioSpec.load(args.file)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in sorted(JOURNEYS):
+        spec = build_journey(name, processors=5, seed=0)
+        print(f"{name:32s} {spec.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    outcome = run_scenario(spec)
+    report = outcome.report
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": spec.to_dict(),
+                    "verdict": outcome.verdict,
+                    "violations": report.violations,
+                    "to_ok": report.to_ok,
+                    "delivered_complete": report.delivered_complete,
+                    "recovery_time": report.recovery_time,
+                    "coverage": report.coverage,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"scenario   {spec.name}")
+        print(f"verdict    {outcome.verdict}")
+        print(f"violations {len(report.violations)}")
+        print(f"recovery   {report.recovery_time:.1f} after stabilisation")
+        coverage = CoverageReport.from_dict(report.coverage)
+        print(
+            f"coverage   {len(coverage.status_edges)} status edges, "
+            f"{len(coverage.view_edges)} view edges, "
+            f"{len(coverage.view_transitions)} view transitions, "
+            f"{len(coverage.fault_status_pairs)} fault-status pairs"
+        )
+    return 0 if outcome.verdict == "ok" else 1
+
+
+def _merged_coverage(coverages: Sequence[dict[str, Any]]) -> CoverageReport:
+    return CoverageReport.from_dict(merge_coverage_dicts(coverages))
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    seeds = [int(s) for s in args.seeds.split(",")] if args.seeds else [0]
+    specs = journey_suite(processors=args.procs, seeds=seeds)
+    outcomes = run_scenario_sweep(specs, workers=args.workers)
+    directed = _merged_coverage([o.report.coverage for o in outcomes])
+    payload: dict[str, Any] = {"directed": directed.to_dict()}
+    if args.baseline:
+        # Equal budget: one random-chaos run per journey run.
+        envelopes = run_chaos_sweep(
+            tuple(range(1, args.procs + 1)),
+            list(range(len(specs))),
+            workers=args.workers,
+            horizon=200.0,
+            settle=400.0,
+            sends=8,
+        )
+        baseline = _merged_coverage([e.coverage for e in envelopes])
+        payload["baseline"] = baseline.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"directed journeys ({directed.runs} runs): "
+        f"{directed.protocol_edges} protocol edges "
+        f"({len(directed.status_edges)} status, "
+        f"{len(directed.view_edges)} view, "
+        f"{len(directed.view_transitions)} sized transitions), "
+        f"{len(directed.fault_status_pairs)} fault-status pairs, "
+        f"{directed.triggered_windows} triggered windows"
+    )
+    if args.baseline:
+        base = CoverageReport.from_dict(payload["baseline"])
+        print(
+            f"random baseline  ({base.runs} runs): "
+            f"{base.protocol_edges} protocol edges "
+            f"({len(base.status_edges)} status, "
+            f"{len(base.view_edges)} view, "
+            f"{len(base.view_transitions)} sized transitions), "
+            f"{len(base.fault_status_pairs)} fault-status pairs"
+        )
+    return 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec.load(args.file)
+    result = shrink_scenario(
+        spec, max_evaluations=args.max_evaluations
+    )
+    result.minimal.save(args.output)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "verdict": result.verdict,
+                    "windows_before": result.windows_before,
+                    "windows_after": result.windows_after,
+                    "evaluations": result.evaluations,
+                    "steps": result.steps,
+                    "output": str(args.output),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"shrunk {result.windows_before} -> {result.windows_after} "
+            f"window(s) preserving verdict {result.verdict!r} "
+            f"({result.evaluations} runs); wrote {args.output}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="directed fault journeys, coverage, shrinking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list built-in journeys").set_defaults(
+        fn=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run a scenario file or journey")
+    run.add_argument("file", nargs="?", help="scenario JSON file")
+    run.add_argument("--journey", help="built-in journey name")
+    run.add_argument("--procs", type=int, default=5)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
+    cov = sub.add_parser(
+        "coverage", help="merged coverage of the journey suite"
+    )
+    cov.add_argument("--procs", type=int, default=5)
+    cov.add_argument("--seeds", default="0", help="comma-separated seeds")
+    cov.add_argument("--workers", type=int, default=1)
+    cov.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the equal-budget random-chaos baseline",
+    )
+    cov.add_argument("--json", action="store_true")
+    cov.set_defaults(fn=_cmd_coverage)
+
+    shrink = sub.add_parser(
+        "shrink", help="minimize a failing scenario file"
+    )
+    shrink.add_argument("file", help="failing scenario JSON file")
+    shrink.add_argument(
+        "-o", "--output", required=True, help="minimal scenario output path"
+    )
+    shrink.add_argument("--max-evaluations", type=int, default=200)
+    shrink.add_argument("--json", action="store_true")
+    shrink.set_defaults(fn=_cmd_shrink)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    result: int = args.fn(args)
+    return result
+
+
+if __name__ == "__main__":
+    sys.exit(main())

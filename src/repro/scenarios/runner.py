@@ -1,0 +1,30 @@
+"""Parallel scenario execution (the directed counterpart of
+:func:`repro.faults.chaos.run_chaos_sweep`).
+
+Scenario runs are isolated seeded simulations, so they fan out over
+worker processes exactly like random chaos soaks; results come back in
+input order with the same worker-count-independence contract as
+:mod:`repro.parallel` (``workers=1`` is the inline reference path).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.parallel import parallel_map
+from repro.scenarios.dsl import ScenarioOutcome, ScenarioSpec, run_scenario
+
+
+def _scenario_worker(spec_dict: dict[str, Any]) -> ScenarioOutcome:
+    """Module-level so it pickles into worker processes."""
+    return run_scenario(ScenarioSpec.from_dict(spec_dict))
+
+
+def run_scenario_sweep(
+    specs: list[ScenarioSpec], *, workers: int = 1
+) -> list[ScenarioOutcome]:
+    """Run every scenario, optionally across worker processes, returning
+    outcomes in input order (independent of worker count)."""
+    return parallel_map(
+        _scenario_worker, [s.to_dict() for s in specs], workers=workers
+    )

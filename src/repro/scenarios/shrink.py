@@ -1,0 +1,208 @@
+"""Violating-schedule shrinking: delta-debugging over fault windows.
+
+A failing chaos run hands back an opaque multi-window schedule; this
+module reduces it to a minimal reproduction while *preserving the
+verdict class* (:func:`repro.scenarios.dsl.verdict_of`) — a shrink step
+is accepted only if re-running the candidate deterministically produces
+the same failure class as the original.
+
+Three reduction passes, each re-verified per candidate:
+
+1. **ddmin over windows** — the classic delta-debugging loop over the
+   combined list of timed and triggered windows: try dropping
+   complement chunks at increasing granularity until no single window
+   can be removed.
+2. **Duration shrinking** — repeatedly halve each surviving window
+   (and triggered-window duration) down to ``min_duration``.
+3. **Target narrowing** — injectors with a ``targets`` parameter are
+   narrowed to a single target when one suffices.
+
+Every candidate is a plain scenario dict rebuilt into a fresh
+:class:`~repro.faults.FaultSchedule` (injectors bind once, so instances
+are never reused across runs), and evaluation results are cached by
+canonical digest, so the whole search is a deterministic function of
+the input spec.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any
+
+from repro.parallel import canonical_digest
+from repro.scenarios.dsl import ScenarioSpec, run_scenario, verdict_of
+
+
+@dataclass
+class ShrinkResult:
+    """The outcome of one shrink search."""
+
+    original: ScenarioSpec
+    minimal: ScenarioSpec
+    #: the preserved failure class (e.g. "violation")
+    verdict: str
+    #: scenario runs executed during the search (cache misses only)
+    evaluations: int
+    #: human-readable log of accepted reduction steps
+    steps: list[str]
+
+    @property
+    def windows_before(self) -> int:
+        return _window_count(self.original)
+
+    @property
+    def windows_after(self) -> int:
+        return _window_count(self.minimal)
+
+
+def _window_count(spec: ScenarioSpec) -> int:
+    return len(spec.schedule.get("windows", ())) + len(
+        spec.schedule.get("triggered", ())
+    )
+
+
+class _Evaluator:
+    """Run candidates, caching verdicts by canonical digest."""
+
+    def __init__(self, spec: ScenarioSpec, budget: int) -> None:
+        self.spec = spec
+        self.budget = budget
+        self.evaluations = 0
+        self._cache: dict[str, str] = {}
+
+    def verdict(self, schedule: dict[str, Any]) -> str:
+        key = canonical_digest(schedule)
+        if key not in self._cache:
+            if self.evaluations >= self.budget:
+                raise RuntimeError(
+                    f"shrink budget of {self.budget} evaluations exhausted"
+                )
+            self.evaluations += 1
+            outcome = run_scenario(self.spec.with_schedule(schedule))
+            self._cache[key] = outcome.verdict
+        return self._cache[key]
+
+
+def _split_schedule(
+    schedule: dict[str, Any]
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    return (
+        list(schedule.get("windows", ())),
+        list(schedule.get("triggered", ())),
+    )
+
+
+def _rebuild(
+    schedule: dict[str, Any],
+    items: list[tuple[str, dict[str, Any]]],
+) -> dict[str, Any]:
+    built = copy.deepcopy(schedule)
+    built["windows"] = [w for tag, w in items if tag == "w"]
+    built["triggered"] = [t for tag, t in items if tag == "t"]
+    return built
+
+
+def shrink_scenario(
+    spec: ScenarioSpec,
+    *,
+    min_duration: float = 5.0,
+    max_evaluations: int = 200,
+) -> ShrinkResult:
+    """Shrink a failing scenario to a minimal reproduction.
+
+    Raises ``ValueError`` if ``spec`` does not fail in the first place
+    (there is nothing to preserve), and ``RuntimeError`` if the
+    evaluation budget runs out mid-search.
+    """
+    evaluator = _Evaluator(spec, max_evaluations)
+    target = evaluator.verdict(spec.schedule)
+    if target == "ok":
+        raise ValueError(
+            f"scenario {spec.name!r} runs clean; nothing to shrink"
+        )
+    steps: list[str] = []
+
+    windows, triggered = _split_schedule(spec.schedule)
+    items = [("w", w) for w in windows] + [("t", t) for t in triggered]
+
+    # Pass 1: ddmin over the combined window list.
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk :]
+            if candidate and (
+                evaluator.verdict(_rebuild(spec.schedule, candidate))
+                == target
+            ):
+                steps.append(
+                    f"dropped {len(items) - len(candidate)} window(s), "
+                    f"{len(candidate)} left"
+                )
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+
+    # Pass 2: halve durations toward min_duration.
+    for tag, item in items:
+        while True:
+            if tag == "w":
+                duration = item["stop"] - item["start"]
+                if duration / 2.0 < min_duration:
+                    break
+                candidate = dict(item, stop=item["start"] + duration / 2.0)
+            else:
+                duration = item["trigger"]["duration"]
+                if duration / 2.0 < min_duration:
+                    break
+                candidate = copy.deepcopy(item)
+                candidate["trigger"]["duration"] = duration / 2.0
+            trial = [
+                (t, candidate if i is item else i) for t, i in items
+            ]
+            if evaluator.verdict(_rebuild(spec.schedule, trial)) != target:
+                break
+            item.clear()
+            item.update(candidate)
+            steps.append(
+                f"halved a window to {duration / 2.0:g} time units"
+            )
+
+    # Pass 3: narrow multi-target injectors to a single target.
+    for tag, item in items:
+        injector = item["injector"]
+        targets = injector.get("targets")
+        if not targets or len(targets) < 2:
+            continue
+        for single in targets:
+            candidate = copy.deepcopy(item)
+            candidate["injector"]["targets"] = [single]
+            trial = [
+                (t, candidate if i is item else i) for t, i in items
+            ]
+            if evaluator.verdict(_rebuild(spec.schedule, trial)) == target:
+                item.clear()
+                item.update(candidate)
+                steps.append(f"narrowed targets to {single!r}")
+                break
+
+    minimal_schedule = _rebuild(spec.schedule, items)
+    # The minimal schedule must still reproduce (cache-hit re-check).
+    assert evaluator.verdict(minimal_schedule) == target
+    return ShrinkResult(
+        original=spec,
+        minimal=spec.with_schedule(minimal_schedule),
+        verdict=target,
+        evaluations=evaluator.evaluations,
+        steps=steps,
+    )

@@ -1,0 +1,122 @@
+"""Schedule serialization: every injector's params round-trip through
+JSON, schedules rebuild exactly, and bad specs fail loudly."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    CrashRestartInjector,
+    FaultSchedule,
+    FaultWindow,
+    ForcedViolationInjector,
+    PacketDelayInjector,
+    PacketDuplicateInjector,
+    PacketLossInjector,
+    PacketReorderInjector,
+    PartitionInjector,
+    TimerSkewInjector,
+    TokenLossInjector,
+    TriggerSpec,
+    injector_from_spec,
+    injector_to_spec,
+)
+
+EXAMPLES = [
+    PacketLossInjector("a", rate=0.25, links=((1, 2), (2, 1))),
+    PacketLossInjector("b", rate=0.5),
+    PacketDuplicateInjector("c", rate=0.4, extra_delay=7.5),
+    PacketDelayInjector("d", rate=0.3, jitter=4.0),
+    PacketReorderInjector("e", rate=0.2, hold_min=1.0, hold_max=6.0),
+    TokenLossInjector("f", rate=0.9),
+    TimerSkewInjector("g", skew_min=0.6, skew_max=1.4, targets=(1, 3)),
+    CrashRestartInjector("h", min_down=10.0, max_down=20.0, targets=(2,)),
+    PartitionInjector("i", groups=((1, 2), (3,))),
+    ForcedViolationInjector("j"),
+]
+
+
+class TestInjectorRoundTrip:
+    @pytest.mark.parametrize("injector", EXAMPLES, ids=lambda i: i.SPEC_KIND)
+    def test_params_round_trip_through_json(self, injector):
+        spec = json.loads(json.dumps(injector_to_spec(injector)))
+        clone = injector_from_spec(spec)
+        assert type(clone) is type(injector)
+        assert clone.name == injector.name
+        assert clone.params() == injector.params()
+        assert injector_to_spec(clone) == injector_to_spec(injector)
+
+    def test_unknown_kind_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            injector_from_spec({"kind": "warp-drive", "name": "x"})
+        with pytest.raises(ValueError, match="partition"):
+            injector_from_spec({"kind": "warp-drive", "name": "x"})
+
+
+class TestScheduleRoundTrip:
+    def build(self):
+        schedule = FaultSchedule(horizon=250.0)
+        shared = PacketLossInjector("shared", rate=0.3)
+        schedule.add(shared, 10.0, 40.0)
+        schedule.add(shared, 60.0, 90.0)
+        schedule.add(PartitionInjector("split", groups=((1, 2), (3,))), 20.0, 80.0)
+        schedule.add_triggered(
+            TokenLossInjector("tl", rate=1.0),
+            TriggerSpec(event="newview", duration=15.0, after=30.0),
+        )
+        return schedule
+
+    def test_round_trip_preserves_everything(self):
+        schedule = self.build()
+        clone = FaultSchedule.from_dict(
+            json.loads(json.dumps(schedule.to_dict()))
+        )
+        assert clone.to_dict() == schedule.to_dict()
+        assert clone.horizon == schedule.horizon == 250.0
+        assert [(w.start, w.stop) for w in clone.windows] == [
+            (w.start, w.stop) for w in schedule.windows
+        ]
+        assert len(clone.triggered) == 1
+        assert clone.triggered[0].trigger == schedule.triggered[0].trigger
+
+    def test_round_trip_preserves_injector_sharing(self):
+        clone = FaultSchedule.from_dict(self.build().to_dict())
+        assert clone.windows[0].injector is clone.windows[1].injector
+        assert len(clone.injectors) == 3
+
+    def test_random_schedule_round_trips(self):
+        schedule = FaultSchedule.random(5, (1, 2, 3), horizon=150.0)
+        clone = FaultSchedule.from_dict(
+            json.loads(json.dumps(schedule.to_dict()))
+        )
+        assert clone.to_dict() == schedule.to_dict()
+
+    def test_explicit_horizon_dominates_windows(self):
+        schedule = FaultSchedule(horizon=500.0)
+        schedule.add(PacketLossInjector("a", rate=0.1), 0.0, 50.0)
+        assert schedule.horizon == 500.0
+        with pytest.raises(ValueError, match="horizon"):
+            FaultSchedule(horizon=0.0)
+
+
+class TestValidation:
+    def test_window_rejects_misordered_times(self):
+        injector = PacketLossInjector("x", rate=0.5)
+        with pytest.raises(ValueError, match="start < stop"):
+            FaultWindow(start=10.0, stop=5.0, injector=injector)
+        with pytest.raises(ValueError, match="start < stop"):
+            FaultWindow(start=10.0, stop=10.0, injector=injector)
+
+    def test_window_rejects_non_injector_payload(self):
+        with pytest.raises(ValueError, match="FaultInjector"):
+            FaultWindow(start=0.0, stop=10.0, injector="not-an-injector")
+
+    def test_add_triggered_rejects_non_injector(self):
+        with pytest.raises(ValueError, match="FaultInjector"):
+            FaultSchedule().add_triggered(
+                "nope", TriggerSpec(event="newview", duration=5.0)
+            )
+
+    def test_partition_injector_rejects_overlapping_groups(self):
+        with pytest.raises(ValueError, match="two groups"):
+            PartitionInjector("x", groups=((1, 2), (2, 3)))

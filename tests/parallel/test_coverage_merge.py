@@ -1,0 +1,56 @@
+"""Coverage merging across parallel chaos sweeps.
+
+The merged coverage must be identical whether the sweep ran inline
+(workers=1) or forked (workers=4) — merging is a pure fold over
+per-envelope dicts, so parallelism must not perturb it.
+"""
+
+import pytest
+
+from repro.faults import run_chaos_sweep
+from repro.parallel import merge_coverage_dicts
+
+SEEDS = (0, 1, 2)
+SWEEP = dict(horizon=150.0, settle=300.0, sends=5)
+
+
+class TestMergeCoverageDicts:
+    def test_lists_union_and_sort(self):
+        merged = merge_coverage_dicts(
+            [
+                {"statuses": ["send", "normal"], "runs": 1},
+                {"statuses": ["collect", "send"], "runs": 2},
+            ]
+        )
+        assert merged == {
+            "statuses": ["collect", "normal", "send"],
+            "runs": 3,
+        }
+
+    def test_numbers_sum_and_missing_keys_tolerated(self):
+        merged = merge_coverage_dicts(
+            [{"triggered_windows": 2}, {"triggered_windows": 1, "runs": 1}]
+        )
+        assert merged == {"triggered_windows": 3, "runs": 1}
+
+    def test_conflicting_scalars_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            merge_coverage_dicts([{"mode": "a"}, {"mode": "b"}])
+
+    def test_empty_input(self):
+        assert merge_coverage_dicts([]) == {}
+
+
+class TestSweepCoverage:
+    def test_workers_do_not_change_merged_coverage(self):
+        sequential = run_chaos_sweep((1, 2, 3), SEEDS, workers=1, **SWEEP)
+        forked = run_chaos_sweep((1, 2, 3), SEEDS, workers=4, **SWEEP)
+        assert [e.coverage for e in sequential] == [
+            e.coverage for e in forked
+        ]
+        merged_seq = merge_coverage_dicts([e.coverage for e in sequential])
+        merged_par = merge_coverage_dicts([e.coverage for e in forked])
+        assert merged_seq == merged_par
+        # The sweep must actually have produced coverage to merge.
+        assert merged_seq["runs"] == len(SEEDS)
+        assert merged_seq["statuses"]

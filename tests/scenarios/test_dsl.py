@@ -1,0 +1,96 @@
+"""Scenario DSL: journey construction, serialization, execution."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    JOURNEYS,
+    CoverageReport,
+    ScenarioSpec,
+    build_journey,
+    journey_suite,
+    run_scenario,
+)
+
+
+class TestSpecs:
+    def test_every_journey_builds_and_round_trips(self):
+        for name in JOURNEYS:
+            spec = build_journey(name, processors=5, seed=3)
+            clone = ScenarioSpec.from_dict(
+                json.loads(json.dumps(spec.to_dict()))
+            )
+            assert clone == spec
+
+    def test_save_load(self, tmp_path):
+        spec = build_journey("majority_split", processors=5, seed=1)
+        path = tmp_path / "scenario.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_unknown_journey_rejected(self):
+        with pytest.raises(ValueError, match="unknown journey"):
+            build_journey("warp-drive")
+
+    def test_too_few_processors_rejected(self):
+        with pytest.raises(ValueError):
+            build_journey("majority_split", processors=2)
+
+    def test_bad_schedule_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            ScenarioSpec(
+                name="bad",
+                schedule={
+                    "windows": [
+                        {
+                            "start": 0.0,
+                            "stop": 10.0,
+                            "injector": {"kind": "warp-drive", "name": "x"},
+                        }
+                    ]
+                },
+            )
+
+    def test_suite_covers_every_journey_per_seed(self):
+        suite = journey_suite(processors=5, seeds=(0, 1))
+        assert len(suite) == 2 * len(JOURNEYS)
+        assert {s.name for s in suite} == {
+            f"{name}@{seed}" for name in JOURNEYS for seed in (0, 1)
+        }
+
+
+class TestExecution:
+    def test_majority_split_runs_clean_with_coverage(self):
+        outcome = run_scenario(
+            build_journey("majority_split", processors=5, seed=0)
+        )
+        assert outcome.verdict == "ok"
+        coverage = CoverageReport.from_dict(outcome.report.coverage)
+        # The split must exercise both shrink directions and the heal.
+        assert "shrink:primary" in coverage.view_edges
+        assert "shrink:non_primary" in coverage.view_edges
+        assert "grow:primary" in coverage.view_edges
+        assert "partition@normal" in coverage.fault_status_pairs
+
+    def test_triggered_journey_fires_its_window(self):
+        outcome = run_scenario(
+            build_journey(
+                "token_loss_during_view_change", processors=5, seed=0
+            )
+        )
+        assert outcome.verdict == "ok"
+        coverage = CoverageReport.from_dict(outcome.report.coverage)
+        assert coverage.triggered_windows >= 1
+        assert any(
+            pair.startswith("token_loss@")
+            for pair in coverage.fault_status_pairs
+        )
+
+    def test_scenario_run_is_deterministic(self):
+        spec = build_journey("flapping_link", processors=5, seed=4)
+        a = run_scenario(spec)
+        b = run_scenario(spec)
+        assert a.verdict == b.verdict
+        assert a.report.coverage == b.report.coverage
+        assert a.report.stats == b.report.stats

@@ -1,0 +1,86 @@
+"""Shrinker acceptance: the ISSUE's end-to-end delta-debugging demo.
+
+A seeded six-window violating schedule — one planted forced-violation
+window among five innocuous decoys — must shrink to at most two windows
+that still reproduce, deterministically, and the emitted scenario file
+must re-run to the same verdict.
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    ForcedViolationInjector,
+    PacketLossInjector,
+    TokenLossInjector,
+)
+from repro.scenarios import (
+    ScenarioSpec,
+    run_scenario,
+    shrink_scenario,
+)
+
+
+def violating_spec(seed=11):
+    schedule = FaultSchedule(horizon=120.0)
+    schedule.add(PacketLossInjector("decoy1", rate=0.2), 20.0, 50.0)
+    schedule.add(TokenLossInjector("decoy2", rate=0.3), 30.0, 60.0)
+    schedule.add(PacketLossInjector("decoy3", rate=0.1), 40.0, 80.0)
+    schedule.add(ForcedViolationInjector("planted"), 55.0, 75.0)
+    schedule.add(TokenLossInjector("decoy4", rate=0.2), 60.0, 90.0)
+    schedule.add(PacketLossInjector("decoy5", rate=0.15), 70.0, 110.0)
+    return ScenarioSpec(
+        name="shrink-demo",
+        schedule=schedule.to_dict(),
+        processors=3,
+        seed=seed,
+        sends=3,
+        settle=150.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    return shrink_scenario(violating_spec())
+
+
+class TestShrinkDemo:
+    def test_six_windows_shrink_to_at_most_two(self, shrunk):
+        assert shrunk.windows_before == 6
+        assert shrunk.windows_after <= 2
+        assert shrunk.verdict == "violation"
+
+    def test_minimal_keeps_the_planted_window(self, shrunk):
+        kinds = [
+            w["injector"]["kind"]
+            for w in shrunk.minimal.schedule["windows"]
+        ]
+        assert "forced_violation" in kinds
+
+    def test_deterministic(self, shrunk):
+        again = shrink_scenario(violating_spec())
+        assert again.minimal == shrunk.minimal
+        assert again.evaluations == shrunk.evaluations
+        assert again.steps == shrunk.steps
+
+    def test_emitted_file_reruns_to_same_verdict(self, shrunk, tmp_path):
+        path = tmp_path / "minimal.json"
+        shrunk.minimal.save(path)
+        outcome = run_scenario(ScenarioSpec.load(path))
+        assert outcome.verdict == shrunk.verdict
+
+
+class TestShrinkGuards:
+    def test_clean_scenario_rejected(self):
+        schedule = FaultSchedule(horizon=60.0)
+        schedule.add(PacketLossInjector("mild", rate=0.05), 20.0, 30.0)
+        spec = ScenarioSpec(
+            name="clean",
+            schedule=schedule.to_dict(),
+            processors=3,
+            seed=0,
+            sends=2,
+            settle=120.0,
+        )
+        with pytest.raises(ValueError, match="runs clean"):
+            shrink_scenario(spec)

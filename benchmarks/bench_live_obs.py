@@ -1,0 +1,202 @@
+"""E24 — cluster-wide live observability: stitching, metrics, SLOs.
+
+Runs 3-node ``repro.rt`` clusters under open-loop Poisson load with
+metrics streaming on, then judges each capture with the full
+``repro.obs.live`` pipeline: cross-node span stitching, the streamed
+metrics timeline, latency SLOs derived from the paper's Section 8
+closed forms, and the b/d bounds checker with the measured δ*.
+Two runs are gated:
+
+- **steady**: no faults.  Every SLO must hold, the Section 8 bounds
+  must hold with the measured δ*, spans must stitch across all three
+  nodes, and every node must have streamed at least one metrics
+  snapshot.
+- **partition**: a majority/minority firewall window plus heal.  The
+  capture must stay spec-conformant and delivery-complete, and the
+  stitcher must annotate at least one fault window so faulted spans
+  are excluded from the SLO population.
+
+With ``--log-dir`` the raw artifacts (per-node event logs,
+``metrics.jsonl``, ``cluster.spans.jsonl``, ``cluster.trace.json``)
+are kept for ``python -m repro.obs report`` — the CI job uploads them.
+
+Usage::
+
+    python benchmarks/bench_live_obs.py --profile smoke \\
+        --log-dir e24-logs --json BENCH_live_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import tempfile
+
+from repro.rt.cluster import run_cluster
+
+#: Per-profile workload.  The smoke profile keeps CI wall time well
+#: under a minute; full triples the load so the latency histograms
+#: have enough samples for a stable p999.
+PROFILES = {
+    "smoke": {"nodes": 3, "sends": 24, "rate": 40.0, "delta": 0.05},
+    "full": {"nodes": 3, "sends": 80, "rate": 60.0, "delta": 0.05},
+}
+
+
+def run_case(
+    name: str,
+    log_dir: str,
+    *,
+    nodes: int,
+    sends: int,
+    rate: float,
+    delta: float,
+    partition: bool,
+) -> dict:
+    report = asyncio.run(
+        run_cluster(
+            nodes=nodes,
+            sends=sends,
+            partition=partition,
+            log_dir=log_dir,
+            delta=delta,
+            send_interval=1.0 / rate,
+            arrivals="poisson",
+            seed=0,
+            metrics_interval=0.1,
+        )
+    )
+    obs = report["obs"]
+    return {
+        "case": name,
+        "nodes": nodes,
+        "sends": report["sends"],
+        "deliveries": report["deliveries"],
+        "views_installed": report["views_installed"],
+        "violations": len(report["violations"]),
+        "to_ok": report["to_ok"],
+        "delivered_complete": report["delivered_complete"],
+        "metrics_snapshots": obs.get("metrics_snapshots", 0),
+        "metrics_nodes": obs.get("metrics_nodes", []),
+        "message_spans": obs.get("message_spans", 0),
+        "cross_node_spans": obs.get("cross_node_spans", 0),
+        "fault_windows": obs.get("fault_windows", 0),
+        "unmatched_events": obs.get("unmatched_events", 0),
+        "safe_p99_s": round(obs.get("safe_p99", 0.0), 4),
+        "delta_measured_s": round(obs.get("delta_measured", 0.0), 4),
+        "slo_ok": obs.get("slo_ok", False),
+        "bounds_ok": obs.get("bounds_ok", False),
+        "stitch_error": obs.get("stitch_error"),
+        "wall_s": round(report["wall_seconds"], 2),
+    }
+
+
+def gate(results: dict) -> list[str]:
+    """Every way an E24 sweep can fail, as human-readable reasons."""
+    failures = []
+    for run in results["runs"]:
+        tag = run["case"]
+        if run["stitch_error"]:
+            failures.append(f"{tag}: stitcher failed: {run['stitch_error']}")
+            continue
+        if run["violations"] or not run["to_ok"]:
+            failures.append(f"{tag}: capture is not spec-conformant")
+        if not run["delivered_complete"]:
+            failures.append(f"{tag}: delivery did not complete")
+        if run["cross_node_spans"] == 0:
+            failures.append(f"{tag}: no span stitched across nodes")
+        if sorted(run["metrics_nodes"]) != sorted(
+            f"p{i}" for i in range(1, run["nodes"] + 1)
+        ):
+            failures.append(
+                f"{tag}: metrics missing from some nodes "
+                f"(got {run['metrics_nodes']})"
+            )
+        if run["metrics_snapshots"] < run["nodes"]:
+            failures.append(
+                f"{tag}: only {run['metrics_snapshots']} metrics snapshots"
+            )
+        if run["case"] == "steady":
+            if not run["slo_ok"]:
+                failures.append("steady: a latency SLO was violated")
+            if not run["bounds_ok"]:
+                failures.append(
+                    "steady: Section 8 bounds violated with measured δ*"
+                )
+        if run["case"] == "partition" and run["fault_windows"] == 0:
+            failures.append(
+                "partition: stitcher annotated no fault window"
+            )
+    return failures
+
+
+def collect(profile: str, log_root: str) -> dict:
+    spec = PROFILES[profile]
+    runs = []
+    for name, partition in (("steady", False), ("partition", True)):
+        log_dir = os.path.join(log_root, name)
+        os.makedirs(log_dir, exist_ok=True)
+        runs.append(
+            run_case(
+                name,
+                log_dir,
+                nodes=spec["nodes"],
+                sends=spec["sends"],
+                rate=spec["rate"],
+                delta=spec["delta"],
+                partition=partition,
+            )
+        )
+    results = {
+        "experiment": "E24",
+        "profile": profile,
+        "delta": spec["delta"],
+        "runs": runs,
+    }
+    results["failures"] = gate(results)
+    results["ok"] = not results["failures"]
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=PROFILES, default="smoke")
+    parser.add_argument("--json", help="write results to this path")
+    parser.add_argument(
+        "--log-dir",
+        help="keep raw run artifacts here (metrics.jsonl, spans, trace) "
+        "instead of a throwaway temp dir",
+    )
+    args = parser.parse_args(argv)
+    if args.log_dir:
+        os.makedirs(args.log_dir, exist_ok=True)
+        results = collect(args.profile, args.log_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="e24-") as log_root:
+            results = collect(args.profile, log_root)
+    print(json.dumps(results, indent=2))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+    if not results["ok"]:
+        for reason in results["failures"]:
+            print(f"E24 FAIL: {reason}")
+        return 1
+    steady = results["runs"][0]
+    print(
+        "E24 OK: {spans} cross-node spans stitched, {snaps} metrics "
+        "snapshots streamed, safe p99 {p99}s within Section 8 bounds "
+        "(measured delta* {dstar}s), partition window annotated".format(
+            spans=steady["cross_node_spans"],
+            snaps=steady["metrics_snapshots"],
+            p99=steady["safe_p99_s"],
+            dstar=steady["delta_measured_s"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ STRICT_PACKAGES = (
     "repro.sim",
     "repro.lint",
     "repro.obs",
+    "repro.obs.live",
     "repro.faults",
     "repro.membership",
     "repro.analysis",

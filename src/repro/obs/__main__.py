@@ -1,0 +1,80 @@
+"""Observability CLI: ``python -m repro.obs report <logdir>``.
+
+The ``report`` subcommand judges one live cluster run from its archived
+log directory (see :mod:`repro.obs.live.report`): it stitches the
+per-node event logs into distributed spans, summarises clean-span
+latencies, evaluates the SLOs derived from the run's configured δ/π/μ,
+and checks the Section 8 closed forms at measured δ*.  Exit status 0
+iff everything holds — the CI gate runs exactly this command.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.obs.live.report import build_report, render_text
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tooling over archived run artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report",
+        help="stitch + judge one live run's log directory",
+        description=(
+            "Stitch a live run's per-node event logs into distributed "
+            "spans, summarise latencies, evaluate SLOs and the Section "
+            "8 bounds.  Exits 0 iff every gate holds."
+        ),
+    )
+    report.add_argument(
+        "log_dir", help="the run's log directory (*.events.jsonl etc.)"
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        help="also write the JSON report to this path",
+    )
+    report.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="override the configured one-hop bound δ in seconds "
+        "(default: the run's recorded config, else 0.05)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.command == "report":
+        try:
+            report = build_report(args.log_dir, delta=args.delta)
+        except FileNotFoundError as exc:
+            # Exit 2 (usage-class failure), distinct from 1 (the run
+            # was judged and found in violation).
+            print(f"error: {exc}")
+            return 2
+        if args.out:
+            Path(args.out).write_text(
+                report.to_json() + "\n", encoding="utf-8"
+            )
+        if args.json:
+            print(report.to_json())
+        else:
+            print(render_text(report), end="")
+        return report.exit_code
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

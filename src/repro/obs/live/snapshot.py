@@ -1,0 +1,180 @@
+"""Typed metrics snapshot frames and the cluster metrics timeline.
+
+Each live node hosts its own :class:`~repro.obs.metrics.MetricsRegistry`
+(transport frames, ring counters, firewall drops).  The cluster driver
+polls the control plane; every ``stats`` reply carries one
+:class:`MetricsSnapshot` — the node's registry rendered through
+:meth:`~repro.obs.metrics.MetricsRegistry.to_dict`, stamped with the
+node's wall clock and a per-node sequence number.  The driver feeds the
+frames into a :class:`ClusterTimeline`, which keeps the per-node series
+in arrival-independent order and writes the whole run out as
+``metrics.jsonl`` (one snapshot per line, grep/jq-friendly).
+
+This module is pure data: it never reads a clock (the *node* stamps
+``ts``, over in the :mod:`repro.rt` wall-clock carve-out) and never
+touches sockets, so it is importable and testable without a cluster.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+from collections.abc import Iterator, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One node's metrics registry at one control-plane poll.
+
+    ``ts`` is the node's wall clock (epoch seconds, same clock as its
+    event log, so snapshots and stitched spans share a time base);
+    ``uptime`` its scheduler clock (seconds since node start); ``seq``
+    a per-node monotonic counter, so reordered or duplicated frames are
+    detectable.
+    """
+
+    node: str
+    seq: int
+    ts: float
+    uptime: float
+    metrics: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node": self.node,
+            "seq": self.seq,
+            "ts": self.ts,
+            "uptime": self.uptime,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> MetricsSnapshot:
+        return cls(
+            node=str(data["node"]),
+            seq=int(data["seq"]),
+            ts=float(data["ts"]),
+            uptime=float(data["uptime"]),
+            metrics=dict(data["metrics"]),
+        )
+
+    def registry(self) -> MetricsRegistry:
+        """The snapshot's registry, reconstructed (exact round-trip)."""
+        return MetricsRegistry.from_dict(self.metrics)
+
+    def value(self, name: str, *label_values: object) -> float:
+        """One counter/gauge child's value inside this snapshot (0.0
+        when the family or child is absent) — the polling-side analogue
+        of :meth:`MetricsRegistry.value`, without reconstruction cost."""
+        family = self.metrics.get(name)
+        if family is None:
+            return 0.0
+        wanted = [str(v) for v in label_values]
+        names = list(family.get("labels", ()))
+        for sample in family["samples"]:
+            if [sample["labels"].get(k, "") for k in names] == wanted:
+                return float(sample.get("value", 0.0))
+        return 0.0
+
+
+class ClusterTimeline:
+    """Per-node metrics series, merged cluster-wide.
+
+    Snapshots are kept sorted by ``(node, seq)`` so the timeline's
+    contents — and the ``metrics.jsonl`` it writes — are independent of
+    poll interleaving and arrival order.  Duplicate ``(node, seq)``
+    frames (a retried poll) collapse to the first-seen frame.
+    """
+
+    def __init__(self) -> None:
+        self._by_key: dict[tuple[str, int], MetricsSnapshot] = {}
+
+    def add(self, snapshot: MetricsSnapshot) -> None:
+        self._by_key.setdefault((snapshot.node, snapshot.seq), snapshot)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def snapshots(self) -> Iterator[MetricsSnapshot]:
+        """All snapshots, ordered by ``(node, seq)``."""
+        for key in sorted(self._by_key):
+            yield self._by_key[key]
+
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted({node for node, _seq in self._by_key}))
+
+    def latest(self, node: str) -> MetricsSnapshot | None:
+        """The highest-seq snapshot of one node (None if never seen)."""
+        best: MetricsSnapshot | None = None
+        for (n, _seq), snapshot in self._by_key.items():
+            if n == node and (best is None or snapshot.seq > best.seq):
+                best = snapshot
+        return best
+
+    def series(
+        self, node: str, name: str, *label_values: object
+    ) -> list[tuple[float, float]]:
+        """One node's ``(ts, value)`` series for one metric child."""
+        return [
+            (snapshot.ts, snapshot.value(name, *label_values))
+            for snapshot in self.snapshots()
+            if snapshot.node == node
+        ]
+
+    def cluster_total(self, name: str, *label_values: object) -> float:
+        """Sum of the latest value of one metric child across nodes."""
+        total = 0.0
+        for node in self.nodes():
+            latest = self.latest(node)
+            if latest is not None:
+                total += latest.value(name, *label_values)
+        return total
+
+    # ------------------------------------------------------------------
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write every snapshot as one JSON line; returns the count."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for snapshot in self.snapshots():
+                handle.write(
+                    json.dumps(
+                        snapshot.to_dict(), sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                count += 1
+        return count
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> ClusterTimeline:
+        """Read a ``metrics.jsonl`` back (torn tail lines skipped, like
+        the event-log loader)."""
+        timeline = cls()
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                timeline.add(MetricsSnapshot.from_dict(entry))
+        return timeline
+
+    @classmethod
+    def from_snapshots(
+        cls, snapshots: Sequence[MetricsSnapshot]
+    ) -> ClusterTimeline:
+        timeline = cls()
+        for snapshot in snapshots:
+            timeline.add(snapshot)
+        return timeline
+
+
+__all__ = ["MetricsSnapshot", "ClusterTimeline"]

@@ -20,8 +20,16 @@ Conventions
   units unless the name says otherwise) plus count and sum.
 
 :meth:`MetricsRegistry.render_text` emits a Prometheus-compatible text
-exposition; :meth:`MetricsRegistry.as_dict` a plain nested-dict snapshot
-for programmatic assertions and the JSONL exporter.
+exposition; :meth:`MetricsRegistry.to_dict` a plain nested-dict snapshot
+for programmatic assertions, the JSONL exporter and the live runtime's
+metrics streaming (:mod:`repro.obs.live`).  :meth:`MetricsRegistry.
+from_dict` reconstructs a registry from such a snapshot, and the pair
+round-trips exactly: ``from_dict(json.loads(json.dumps(r.to_dict())))``
+renders byte-identically to ``r``.  Snapshot bucket keys are therefore
+*lossless* (``repr`` of the bound, ``"+Inf"`` for the overflow bucket —
+matching the text exposition's ``le`` label instead of the old
+``str()``/``"inf"`` spelling, whose ``%g``-vs-``str`` asymmetry made
+round-tripped boundaries drift).
 """
 
 from __future__ import annotations
@@ -273,8 +281,13 @@ class MetricsRegistry:
             return 0.0
         return sum(child.value for _labels, child in family.samples())
 
-    def as_dict(self) -> dict[str, Any]:
-        """Plain-data snapshot: name -> {kind, help, samples}."""
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data snapshot: name -> {kind, help, labels, samples}.
+
+        Histogram families additionally carry their ``buckets`` (bound
+        keys, see :func:`bound_key`), so an empty family survives the
+        round-trip through :meth:`from_dict` with its bounds intact.
+        """
         out: dict[str, Any] = {}
         for family in self._families.values():
             samples: list[dict[str, Any]] = []
@@ -288,7 +301,7 @@ class MetricsRegistry:
                             "sum": child.sum,
                             "buckets": dict(
                                 zip(
-                                    (str(b) for b in child.bounds),
+                                    (bound_key(b) for b in child.bounds),
                                     child.buckets,
                                 )
                             ),
@@ -296,12 +309,68 @@ class MetricsRegistry:
                     )
                 else:
                     samples.append({"labels": labels, "value": child.value})
-            out[family.name] = {
+            entry: dict[str, Any] = {
                 "kind": family.KIND,
                 "help": family.help,
+                "labels": list(family.label_names),
                 "samples": samples,
             }
+            if isinstance(family, HistogramFamily):
+                entry["buckets"] = [bound_key(b) for b in family.buckets]
+            out[family.name] = entry
         return out
+
+    #: Backwards-compatible alias (pre-round-trip name).
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> MetricsRegistry:
+        """Reconstruct a registry from a :meth:`to_dict` snapshot.
+
+        The inverse is exact: every family, labelled child, bucket
+        boundary and accumulated value is restored, so re-exporting the
+        reconstructed registry (text or dict) matches the original.
+        """
+        registry = cls()
+        for name, entry in data.items():
+            kind = entry["kind"]
+            label_names = tuple(entry.get("labels", ()))
+            if kind == "histogram":
+                bounds = tuple(
+                    parse_bound(b) for b in entry.get("buckets", ())
+                )
+                family = registry.histogram(
+                    name, entry.get("help", ""), label_names,
+                    buckets=bounds or DEFAULT_BUCKETS,
+                )
+                for sample in entry["samples"]:
+                    child = family.labels(
+                        *(sample["labels"].get(k, "") for k in label_names)
+                    )
+                    child.count = int(sample["count"])
+                    child.sum = float(sample["sum"])
+                    child.buckets = [
+                        int(sample["buckets"][bound_key(b)])
+                        for b in child.bounds
+                    ]
+                continue
+            scalar_family: CounterFamily | GaugeFamily
+            if kind == "counter":
+                scalar_family = registry.counter(
+                    name, entry.get("help", ""), label_names
+                )
+            elif kind == "gauge":
+                scalar_family = registry.gauge(
+                    name, entry.get("help", ""), label_names
+                )
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+            for sample in entry["samples"]:
+                scalar_child = scalar_family.labels(
+                    *(sample["labels"].get(k, "") for k in label_names)
+                )
+                scalar_child.value = float(sample["value"])
+        return registry
 
     def render_text(self) -> str:
         """Prometheus-style text exposition."""
@@ -345,6 +414,23 @@ def _format_labels(
 
 def _bound_text(bound: float) -> str:
     return "+Inf" if bound == float("inf") else f"{bound:g}"
+
+
+def bound_key(bound: float) -> str:
+    """Lossless snapshot key for one bucket upper bound.
+
+    ``repr`` round-trips every finite float exactly (``%g`` does not —
+    it truncates to six significant digits, the asymmetry that used to
+    corrupt fine-grained boundaries across a snapshot round-trip); the
+    overflow bucket is spelled ``"+Inf"``, matching the ``le`` label of
+    the text exposition rather than the old ``str()`` form ``"inf"``.
+    """
+    return "+Inf" if bound == float("inf") else repr(bound)
+
+
+def parse_bound(key: str) -> float:
+    """Inverse of :func:`bound_key` (accepts legacy ``"inf"`` too)."""
+    return float(key)
 
 
 def _num(value: float) -> str:

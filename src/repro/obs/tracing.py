@@ -317,6 +317,13 @@ class LifecycleTracer:
         :class:`~repro.core.vstoto.runtime.VStoTORuntime`)."""
         self.status_edges.append(StatusEdge(time, proc, old, new))
 
+    def members_of(self, viewid: Any) -> frozenset | None:
+        """Membership of ``viewid`` as observed so far (None if the
+        view was never seen) — the lookup the latency derivations use,
+        public so post-hoc consumers (the live stitcher's SLO layer)
+        need not reach into tracer internals."""
+        return self._view_members.get(viewid)
+
     def _view_span(self, viewid: Any) -> ViewSpan:
         span = self.view_spans.get(viewid)
         if span is None:

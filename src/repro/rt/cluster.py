@@ -25,6 +25,7 @@ import argparse
 import asyncio
 import json
 import os
+import random
 import signal
 import socket
 import subprocess
@@ -35,6 +36,10 @@ from pathlib import Path
 from collections.abc import Sequence
 from typing import Any
 
+from repro.obs.export import write_chrome_trace
+from repro.obs.live.report import build_report
+from repro.obs.live.snapshot import ClusterTimeline, MetricsSnapshot
+from repro.obs.live.stitch import stitch_log_dir, stitched_jsonl
 from repro.rt.faults import (
     FirewallWindow,
     single_partition_window,
@@ -64,6 +69,11 @@ class NodeClient:
         self._writer: asyncio.StreamWriter | None = None
         self._replies: asyncio.Queue[Ctl] = asyncio.Queue()
         self._read_task: asyncio.Task[None] | None = None
+        # One request in flight at a time: the metrics poller shares
+        # this connection with the episode script, and the node pairs
+        # each reply with the most recent request — without the lock a
+        # concurrent ``stats`` could steal a ``block`` acknowledgement.
+        self._request_lock = asyncio.Lock()
 
     async def connect(self, timeout: float = 10.0) -> None:
         """Connect with retries (the node may still be booting)."""
@@ -107,8 +117,9 @@ class NodeClient:
 
     async def request(self, ctl: Ctl, timeout: float = 15.0) -> Ctl:
         """Send a control record and await the next reply."""
-        self.send_nowait(ctl)
-        return await asyncio.wait_for(self._replies.get(), timeout)
+        async with self._request_lock:
+            self.send_nowait(ctl)
+            return await asyncio.wait_for(self._replies.get(), timeout)
 
     async def close(self) -> None:
         if self._read_task is not None:
@@ -126,6 +137,7 @@ class LiveCluster:
         log_dir: str | Path,
         delta: float = 0.05,
         send_interval: float = 0.02,
+        metrics_interval: float = 0.25,
     ) -> None:
         if nodes < 2:
             raise ValueError("need at least 2 nodes")
@@ -136,11 +148,15 @@ class LiveCluster:
         self.log_dir.mkdir(parents=True, exist_ok=True)
         self.delta = delta
         self.send_interval = send_interval
+        self.metrics_interval = metrics_interval
         self.ports: dict[str, int] = {p: free_port() for p in self.processors}
         self.procs: dict[str, subprocess.Popen[bytes]] = {}
         self.clients: dict[str, NodeClient] = {}
         self.killed: set[str] = set()
         self.timeline: list[dict[str, Any]] = []
+        #: every metrics snapshot frame seen on any stats reply
+        self.metrics = ClusterTimeline()
+        self._metrics_task: asyncio.Task[None] | None = None
 
     # ------------------------------------------------------------------
     def _mark(self, what: str, **extra: Any) -> None:
@@ -177,6 +193,16 @@ class LiveCluster:
                 env=env,
             )
         self._mark("spawned", nodes=len(self.processors))
+        # Record the timing parameters the nodes were launched with, so
+        # the post-run report instantiates the Section 8 bounds with
+        # the same δ/π/μ (default_ring_config's scaling).
+        self._mark(
+            "config",
+            delta=self.delta,
+            pi=4 * self.delta,
+            mu=20 * self.delta,
+            nodes=len(self.processors),
+        )
         for p in self.processors:
             client = NodeClient(p, "127.0.0.1", self.ports[p])
             await client.connect()
@@ -194,6 +220,51 @@ class LiveCluster:
         await asyncio.sleep(8 * self.delta)
 
     # ------------------------------------------------------------------
+    # Metrics streaming
+    # ------------------------------------------------------------------
+    def _harvest(self, reply: Ctl) -> None:
+        """Lift the snapshot frame off any stats reply into the
+        cluster timeline (every stats consumer streams for free)."""
+        if not isinstance(reply.data, dict):
+            return
+        frame = reply.data.get("snapshot")
+        if isinstance(frame, dict):
+            try:
+                self.metrics.add(MetricsSnapshot.from_dict(frame))
+            except (KeyError, TypeError, ValueError):
+                pass  # malformed frame: drop, never fail the run
+
+    async def _poll_metrics_loop(self) -> None:
+        while True:
+            for p in self.alive():
+                try:
+                    reply = await self.clients[p].request(
+                        Ctl("stats"), timeout=5.0
+                    )
+                    self._harvest(reply)
+                except (asyncio.TimeoutError, OSError, AssertionError):
+                    continue  # node mid-kill or napping; next round
+            await asyncio.sleep(self.metrics_interval)
+
+    def start_metrics_stream(self) -> None:
+        """Begin periodic stats polling; every reply's snapshot frame
+        lands in :attr:`metrics`."""
+        if self._metrics_task is None:
+            self._metrics_task = asyncio.get_running_loop().create_task(
+                self._poll_metrics_loop()
+            )
+            self._mark("metrics_stream", interval=self.metrics_interval)
+
+    async def stop_metrics_stream(self) -> None:
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            try:
+                await self._metrics_task
+            except asyncio.CancelledError:
+                pass
+            self._metrics_task = None
+
+    # ------------------------------------------------------------------
     async def send_traffic(
         self, values: list[str], targets: tuple[str, ...] | None = None
     ) -> None:
@@ -203,6 +274,43 @@ class LiveCluster:
             target = targets[index % len(targets)]
             self.clients[target].send_nowait(Ctl("send", value))
             await asyncio.sleep(self.send_interval)
+
+    async def send_poisson(
+        self,
+        values: list[str],
+        rate: float | None = None,
+        seed: int = 0,
+        targets: tuple[str, ...] | None = None,
+    ) -> None:
+        """Open-loop Poisson client load.
+
+        Arrival times are drawn up front from a seeded exponential
+        process at ``rate`` (default ``1/send_interval``, matching the
+        round-robin generator's mean throughput) and honoured against
+        the wall clock — a send that the cluster absorbs slowly does
+        NOT delay later arrivals, so measured latencies are free of
+        coordinated omission.  Origins rotate round-robin as before.
+        """
+        if rate is None:
+            rate = 1.0 / self.send_interval
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate}")
+        rng = random.Random(seed)
+        arrivals: list[float] = []
+        t = 0.0
+        for _ in values:
+            t += rng.expovariate(rate)
+            arrivals.append(t)
+        targets = targets if targets is not None else self.alive()
+        loop = asyncio.get_running_loop()
+        origin = loop.time()
+        self._mark("load", arrivals="poisson", rate=rate, sends=len(values))
+        for index, value in enumerate(values):
+            delay = origin + arrivals[index] - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            target = targets[index % len(targets)]
+            self.clients[target].send_nowait(Ctl("send", value))
 
     def alive(self) -> tuple[str, ...]:
         return tuple(p for p in self.processors if p not in self.killed)
@@ -240,6 +348,7 @@ class LiveCluster:
             for p in self.alive():
                 try:
                     reply = await self.clients[p].request(Ctl("stats"), timeout=5.0)
+                    self._harvest(reply)
                     counts.append(int(reply.data["delivered"]))
                 except (asyncio.TimeoutError, KeyError, TypeError):
                     counts.append(-1)
@@ -252,7 +361,15 @@ class LiveCluster:
 
     async def stop(self) -> None:
         """Graceful shutdown: flush logs, reap processes."""
+        await self.stop_metrics_stream()
         for p in self.alive():
+            # Final counters: one last snapshot frame per survivor, so
+            # even a run with streaming off gets a complete timeline.
+            try:
+                reply = await self.clients[p].request(Ctl("stats"), timeout=5.0)
+                self._harvest(reply)
+            except asyncio.TimeoutError:
+                pass
             try:
                 await self.clients[p].request(Ctl("stop"), timeout=5.0)
             except asyncio.TimeoutError:
@@ -331,13 +448,32 @@ async def run_cluster(
     settle: float | None = None,
     scenario: str | Path | None = None,
     time_scale: float = 0.05,
+    arrivals: str = "poisson",
+    seed: int = 0,
+    metrics_interval: float = 0.25,
 ) -> dict[str, Any]:
-    """One full scripted episode; returns the verification report dict."""
+    """One full scripted episode; returns the verification report dict.
+
+    ``arrivals`` selects the client load shape: ``"poisson"`` (default;
+    open-loop, seeded, mean rate ``1/send_interval``) or
+    ``"round-robin"`` (the closed-loop fixed-interval generator).
+    Metrics snapshots are streamed every ``metrics_interval`` seconds
+    and the run's observability artifacts — ``metrics.jsonl``,
+    ``cluster.timeline.json``, ``cluster.spans.jsonl`` (stitched spans)
+    and ``cluster.trace.json`` (whole-cluster Perfetto) — are written
+    into the log directory.
+    """
+    if arrivals not in ("poisson", "round-robin"):
+        raise ValueError(f"unknown arrival process {arrivals!r}")
     owns_dir = log_dir is None
     if owns_dir:
         log_dir = tempfile.mkdtemp(prefix="repro-rt-")
     cluster = LiveCluster(
-        nodes, log_dir, delta=delta, send_interval=send_interval
+        nodes,
+        log_dir,
+        delta=delta,
+        send_interval=send_interval,
+        metrics_interval=metrics_interval,
     )
     scenario_windows: tuple[FirewallWindow, ...] = ()
     if scenario is not None:
@@ -346,20 +482,30 @@ async def run_cluster(
         )
     hold = partition_hold if partition_hold is not None else 50 * delta
     settle_time = settle if settle is not None else 40 * delta
+
+    async def send_load(
+        chunk: list[str], targets: tuple[str, ...] | None = None
+    ) -> None:
+        if arrivals == "poisson":
+            await cluster.send_poisson(chunk, seed=seed, targets=targets)
+        else:
+            await cluster.send_traffic(chunk, targets=targets)
+
     started = time.time()
     await cluster.spawn()
     try:
         await cluster.go()
+        cluster.start_metrics_stream()
         values = [f"m{i}" for i in range(sends)]
         if scenario_windows:
             # Replay the sim scenario's partition timeline: first half
             # of the traffic before the episodes, the rest during them.
             half = len(values) // 2
-            await cluster.send_traffic(values[:half])
+            await send_load(values[:half])
             replay = asyncio.get_running_loop().create_task(
                 replay_scenario_windows(cluster, scenario_windows)
             )
-            await cluster.send_traffic(values[half:])
+            await send_load(values[half:])
             await replay
             cluster._mark(
                 "scenario_replayed",
@@ -368,7 +514,7 @@ async def run_cluster(
             )
         elif partition or kill:
             half = len(values) // 2
-            await cluster.send_traffic(values[:half])
+            await send_load(values[:half])
             if kill:
                 await cluster.kill(max(cluster.processors))
             window: FirewallWindow | None = None
@@ -377,12 +523,12 @@ async def run_cluster(
                 await cluster.apply_partition(window)
             # Traffic continues into both sides of the split; minority
             # sends are delivered only after the heal reconciles state.
-            await cluster.send_traffic(values[half:])
+            await send_load(values[half:])
             if partition:
                 await asyncio.sleep(hold)
                 await cluster.heal()
         else:
-            await cluster.send_traffic(values)
+            await send_load(values)
         await asyncio.sleep(settle_time)
         # A SIGKILLed node may take accepted-but-unpropagated values with
         # it, so completeness cannot be awaited to the full count there.
@@ -392,6 +538,7 @@ async def run_cluster(
         await cluster.stop()
     report = cluster.verify()
     wall = time.time() - started
+    obs_summary = write_obs_artifacts(cluster)
     out: dict[str, Any] = report.to_dict()
     out.update(
         {
@@ -402,13 +549,65 @@ async def run_cluster(
             "kill": kill,
             "scenario": None if scenario is None else str(scenario),
             "delta": delta,
+            "arrivals": arrivals,
             "polled_complete": complete,
             "wall_seconds": wall,
             "log_dir": str(log_dir),
             "timeline": cluster.timeline,
+            "obs": obs_summary,
         }
     )
     return out
+
+
+def write_obs_artifacts(cluster: LiveCluster) -> dict[str, Any]:
+    """Persist the run's observability artifacts next to the event logs
+    and return the summary dict embedded in the episode report.
+
+    Written: ``cluster.timeline.json`` (driver marks, the stitcher's
+    fault/config source), ``metrics.jsonl`` (every streamed snapshot),
+    ``cluster.spans.jsonl`` (stitched distributed spans, canonical
+    bytes) and ``cluster.trace.json`` (whole-cluster Perfetto/Chrome
+    trace).  Failures here never mask a protocol verdict: the episode
+    already verified; an unstitchable capture reports itself in the
+    summary instead of raising.
+    """
+    log_dir = cluster.log_dir
+    (log_dir / "cluster.timeline.json").write_text(
+        json.dumps(cluster.timeline, indent=2), encoding="utf-8"
+    )
+    snapshots = cluster.metrics.write_jsonl(log_dir / "metrics.jsonl")
+    summary: dict[str, Any] = {
+        "metrics_snapshots": snapshots,
+        "metrics_nodes": list(cluster.metrics.nodes()),
+        "metrics_path": str(log_dir / "metrics.jsonl"),
+    }
+    try:
+        run = stitch_log_dir(log_dir, processors=cluster.processors)
+    except (OSError, ValueError, KeyError) as exc:
+        summary["stitch_error"] = repr(exc)
+        return summary
+    (log_dir / "cluster.spans.jsonl").write_text(
+        stitched_jsonl(run), encoding="utf-8"
+    )
+    write_chrome_trace(run.tracer, str(log_dir / "cluster.trace.json"))
+    obs_report = build_report(log_dir)
+    summary.update(
+        {
+            "spans_path": str(log_dir / "cluster.spans.jsonl"),
+            "trace_path": str(log_dir / "cluster.trace.json"),
+            "message_spans": len(run.tracer.message_spans),
+            "cross_node_spans": run.cross_node_spans(),
+            "view_spans": len(run.tracer.view_spans),
+            "fault_windows": len(run.tracer.faults),
+            "unmatched_events": run.tracer.unmatched_events,
+            "safe_p99": obs_report.bounds_verdict.safe_p99,
+            "delta_measured": obs_report.bounds_verdict.delta_measured,
+            "slo_ok": all(v.ok for v in obs_report.slos),
+            "bounds_ok": obs_report.bounds_verdict.ok,
+        }
+    )
+    return summary
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -430,6 +629,26 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--delta", type=float, default=0.05)
     parser.add_argument("--send-interval", type=float, default=0.02)
+    parser.add_argument(
+        "--arrivals",
+        choices=("poisson", "round-robin"),
+        default="poisson",
+        help="client load shape: open-loop Poisson (default) or the "
+        "closed-loop fixed-interval round-robin",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the Poisson arrival process",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.25,
+        help="seconds between metrics snapshot polls (streamed into "
+        "metrics.jsonl)",
+    )
     parser.add_argument(
         "--log-dir", default=None, help="keep logs here (default: temp dir)"
     )
@@ -467,6 +686,9 @@ def main(argv: list[str] | None = None) -> int:
             send_interval=args.send_interval,
             scenario=args.scenario,
             time_scale=args.time_scale,
+            arrivals=args.arrivals,
+            seed=args.seed,
+            metrics_interval=args.metrics_interval,
         )
     )
     if args.json:
@@ -489,6 +711,18 @@ def main(argv: list[str] | None = None) -> int:
             wall=report["wall_seconds"],
         )
     )
+    obs = report.get("obs", {})
+    if obs and "stitch_error" not in obs:
+        print(
+            "  obs: snapshots={snaps} cross_node_spans={cross} "
+            "safe_p99={p99:.4f}s slo_ok={slo} bounds_ok={bounds}".format(
+                snaps=obs.get("metrics_snapshots", 0),
+                cross=obs.get("cross_node_spans", 0),
+                p99=obs.get("safe_p99", 0.0),
+                slo=obs.get("slo_ok"),
+                bounds=obs.get("bounds_ok"),
+            )
+        )
     for violation in report["violations"]:
         print(f"  VS violation: {violation}")
     if not report["to_ok"]:

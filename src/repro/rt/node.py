@@ -31,6 +31,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, cast
 from collections.abc import Callable
@@ -43,6 +44,7 @@ from repro.core.types import View
 from repro.core.vstoto.runtime import VStoTORuntime
 from repro.membership.ring import RingConfig, RingMember
 from repro.obs import Observability
+from repro.obs.live.snapshot import MetricsSnapshot
 from repro.rt.clock import LiveScheduler
 from repro.rt.trace import EventLog
 from repro.rt.transport import Ctl, LiveNetwork
@@ -172,6 +174,7 @@ class LiveNode:
         )
         self.started = False
         self.sends_accepted = 0
+        self._snapshot_seq = 0
         self._stopping: asyncio.Future[None] = loop.create_future()
 
     # ------------------------------------------------------------------
@@ -207,7 +210,7 @@ class LiveNode:
             self.network.unblock(ctl.data)
             reply(Ctl("ok", {"op": "unblock", "blocked": sorted(self.network.blocked)}))
         elif ctl.op == "stats":
-            reply(Ctl("stats", self.stats()))
+            reply(Ctl("stats", {**self.stats(), "snapshot": self.snapshot()}))
         elif ctl.op == "ping":
             reply(Ctl("ok", {"op": "ping", "node": self.proc_id}))
         elif ctl.op == "stop":
@@ -238,6 +241,23 @@ class LiveNode:
             "duplicates_suppressed": member.duplicates_suppressed,
             "transport": self.network.stats(),
         }
+
+    def snapshot(self) -> dict[str, Any]:
+        """One typed metrics snapshot frame: the full registry plus a
+        per-node sequence number and this node's clocks.  ``ts`` is the
+        same wall clock the event log stamps, so the driver's metrics
+        timeline and the stitched spans share one time base."""
+        self._snapshot_seq += 1
+        metrics = (
+            self.obs.metrics.to_dict() if self.obs.metrics is not None else {}
+        )
+        return MetricsSnapshot(
+            node=self.proc_id,
+            seq=self._snapshot_seq,
+            ts=time.time(),
+            uptime=self.scheduler.now,
+            metrics=metrics,
+        ).to_dict()
 
     def _write_report(self) -> None:
         report = {

@@ -153,6 +153,7 @@ def _latency_stats(samples: Sequence[float]) -> dict[str, float]:
         "mean": sum(ordered) / n,
         "p50": ordered[n // 2],
         "p95": ordered[min(n - 1, (n * 95) // 100)],
+        "p99": ordered[min(n - 1, (n * 99) // 100)],
         "max": ordered[-1],
     }
 

@@ -1,0 +1,134 @@
+"""Metrics snapshot frames and the cluster timeline (repro.obs.live)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.live.snapshot import ClusterTimeline, MetricsSnapshot
+from repro.obs.metrics import MetricsRegistry, bound_key, parse_bound
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("frames_total", labels=("peer",)).labels("p2").inc(7)
+    registry.gauge("depth").labels().set(3)
+    hist = registry.histogram("lat", buckets=(0.123456789, 1.0))
+    hist.labels().observe(0.1)
+    hist.labels().observe(5.0)
+    return registry
+
+
+def make_snapshot(node: str = "p1", seq: int = 1) -> MetricsSnapshot:
+    return MetricsSnapshot(
+        node=node, seq=seq, ts=100.0 + seq, uptime=float(seq),
+        metrics=make_registry().to_dict(),
+    )
+
+
+class TestRegistryRoundTrip:
+    def test_to_dict_from_dict_is_exact(self):
+        registry = make_registry()
+        clone = MetricsRegistry.from_dict(registry.to_dict())
+        assert clone.to_dict() == registry.to_dict()
+        assert clone.value("frames_total", "p2") == 7.0
+        assert clone.value("depth") == 3.0
+        assert clone.render_text() == registry.render_text()
+
+    def test_precision_bucket_bound_survives(self):
+        # str()/%g-style keys truncate 0.123456789; repr-based keys are
+        # lossless, so the reconstructed histogram has identical bounds.
+        registry = make_registry()
+        clone = MetricsRegistry.from_dict(registry.to_dict())
+        family = clone.histogram("lat", buckets=(0.123456789, 1.0))
+        assert 0.123456789 in family.buckets
+
+    def test_bound_key_matches_exposition_inf_label(self):
+        assert bound_key(float("inf")) == "+Inf"
+        assert bound_key(1.0) == "1.0"
+        assert parse_bound("0.123456789") == 0.123456789
+        assert parse_bound("+Inf") == float("inf")
+
+    def test_json_round_trip_preserves_samples(self):
+        registry = make_registry()
+        wire = json.loads(json.dumps(registry.to_dict()))
+        clone = MetricsRegistry.from_dict(wire)
+        assert clone.to_dict() == registry.to_dict()
+
+
+class TestMetricsSnapshot:
+    def test_dict_round_trip(self):
+        snapshot = make_snapshot()
+        clone = MetricsSnapshot.from_dict(
+            json.loads(json.dumps(snapshot.to_dict()))
+        )
+        assert clone == snapshot
+
+    def test_value_reads_without_reconstruction(self):
+        snapshot = make_snapshot()
+        assert snapshot.value("frames_total", "p2") == 7.0
+        assert snapshot.value("depth") == 3.0
+        assert snapshot.value("missing") == 0.0
+        assert snapshot.value("frames_total", "p9") == 0.0
+
+    def test_registry_reconstruction(self):
+        snapshot = make_snapshot()
+        assert snapshot.registry().value("frames_total", "p2") == 7.0
+
+
+class TestClusterTimeline:
+    def make_timeline(self) -> ClusterTimeline:
+        timeline = ClusterTimeline()
+        for node in ("p2", "p1"):
+            for seq in (2, 1, 3):
+                timeline.add(make_snapshot(node, seq))
+        return timeline
+
+    def test_ordered_by_node_then_seq(self):
+        timeline = self.make_timeline()
+        keys = [(s.node, s.seq) for s in timeline.snapshots()]
+        assert keys == sorted(keys)
+        assert timeline.nodes() == ("p1", "p2")
+        assert len(timeline) == 6
+
+    def test_duplicate_frames_collapse(self):
+        timeline = ClusterTimeline()
+        timeline.add(make_snapshot("p1", 1))
+        timeline.add(make_snapshot("p1", 1))
+        assert len(timeline) == 1
+
+    def test_latest_and_series_and_total(self):
+        timeline = self.make_timeline()
+        latest = timeline.latest("p1")
+        assert latest is not None and latest.seq == 3
+        assert timeline.latest("p9") is None
+        series = timeline.series("p1", "depth")
+        assert [ts for ts, _value in series] == [101.0, 102.0, 103.0]
+        assert all(value == 3.0 for _ts, value in series)
+        # one latest frame per node: 7 + 7
+        assert timeline.cluster_total("frames_total", "p2") == 14.0
+
+    def test_jsonl_round_trip_and_arrival_independence(self, tmp_path):
+        timeline = self.make_timeline()
+        path = tmp_path / "metrics.jsonl"
+        assert timeline.write_jsonl(path) == 6
+        loaded = ClusterTimeline.load_jsonl(path)
+        assert [s.to_dict() for s in loaded.snapshots()] == [
+            s.to_dict() for s in timeline.snapshots()
+        ]
+        # Same frames added in a different order write identical bytes.
+        reordered = ClusterTimeline.from_snapshots(
+            list(timeline.snapshots())[::-1]
+        )
+        other = tmp_path / "other.jsonl"
+        reordered.write_jsonl(other)
+        assert other.read_bytes() == path.read_bytes()
+
+    def test_torn_tail_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        timeline = ClusterTimeline.from_snapshots([make_snapshot()])
+        timeline.write_jsonl(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n")
+            handle.write('{"node": "p1", "seq": 2, "ts"')  # torn
+        loaded = ClusterTimeline.load_jsonl(path)
+        assert len(loaded) == 1

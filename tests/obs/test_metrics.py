@@ -126,13 +126,16 @@ class TestExport:
     def test_as_dict_shape(self):
         snapshot = self.make().as_dict()
         assert snapshot["sent_total"]["kind"] == "counter"
+        assert snapshot["sent_total"]["labels"] == ["link"]
         assert snapshot["sent_total"]["samples"] == [
             {"labels": {"link": "a->b"}, "value": 2.0}
         ]
         hist = snapshot["lat"]["samples"][0]
         assert hist["count"] == 1
+        # bucket keys are lossless and match the exposition's le labels
         assert hist["buckets"]["1.0"] == 1
-        assert hist["buckets"]["inf"] == 1
+        assert hist["buckets"]["+Inf"] == 1
+        assert snapshot["lat"]["buckets"] == ["1.0", "+Inf"]
 
     def test_render_text_exposition(self):
         text = self.make().render_text()

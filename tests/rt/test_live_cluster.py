@@ -169,3 +169,34 @@ class TestLiveClusterSmoke:
         for p in ("p1", "p2", "p3"):
             assert (tmp_path / f"{p}.events.jsonl").exists()
             assert (tmp_path / f"{p}.report.json").exists()
+        # The driver wrote the cluster-wide observability artifacts:
+        # streamed metrics, the driver timeline, stitched spans and the
+        # whole-cluster Perfetto trace.
+        assert (tmp_path / "metrics.jsonl").exists()
+        assert (tmp_path / "cluster.timeline.json").exists()
+        assert (tmp_path / "cluster.spans.jsonl").exists()
+        assert (tmp_path / "cluster.trace.json").exists()
+        obs = report["obs"]
+        assert "stitch_error" not in obs
+        # Snapshots streamed from every node (at minimum the final
+        # stats poll in stop()), and the spans genuinely crossed nodes.
+        assert sorted(obs["metrics_nodes"]) == ["p1", "p2", "p3"]
+        assert obs["metrics_snapshots"] >= 3
+        assert obs["message_spans"] >= 6
+        assert obs["cross_node_spans"] > 0
+        assert obs["slo_ok"] and obs["bounds_ok"]
+
+    def test_report_cli_judges_live_run_clean(self, tmp_path):
+        from repro.obs.__main__ import main as obs_main
+
+        asyncio.run(
+            run_cluster(
+                nodes=3,
+                sends=4,
+                log_dir=tmp_path,
+                delta=0.05,
+                send_interval=0.01,
+                settle=0.5,
+            )
+        )
+        assert obs_main(["report", str(tmp_path)]) == 0

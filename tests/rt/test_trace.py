@@ -134,7 +134,9 @@ class TestVerifyEvents:
         events = load_event_logs(sorted(tmp_path.glob("*.events.jsonl")))
         assert report.events == len(events)
         assert report.span_seconds >= 0.0
-        assert set(report.latency) == {"count", "mean", "p50", "p95", "max"}
+        assert set(report.latency) == {
+            "count", "mean", "p50", "p95", "p99", "max",
+        }
 
     def test_empty_capture_is_not_complete(self, tmp_path):
         report = verify_events([], PROCS, V0)

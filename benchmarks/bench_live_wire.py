@@ -1,0 +1,326 @@
+"""E25 — binary wire codec + batching: live throughput and bytes.
+
+Runs live ``repro.rt`` clusters under the E24 open-loop Poisson load
+generator, once per codec, at two operating points:
+
+- **rated** — the E22 reference load (100 sends/s).  This is the
+  baseline the headline ratio is judged against, and the run must be
+  fully healthy: spec-conformant, delivery-complete, every p50/p99
+  latency SLO holding and the Section 8 bounds satisfied at the
+  measured δ*.
+- **saturated** — 10x the rated offered load (1000 sends/s).  The run
+  must stay spec-conformant and delivery-complete; SLOs are not
+  asserted at overload.  Deliveries/sec and bytes/delivery here are
+  the measured numbers.
+
+The two headline ratios per cluster size (the ISSUE's acceptance
+criteria, gated absolutely at n=3 and by the ratio-based regression
+gate thereafter):
+
+- ``speedup`` — saturated-binary deliveries/sec over rated-json
+  deliveries/sec (the E22/json baseline): must be >= 5x.
+- ``bytes_ratio`` — json bytes/delivery over binary bytes/delivery at
+  the rated load (where the two runs carry matched traffic, so the
+  ratio is content-for-content): must be >= 3x.
+
+A codec microbench (encode+decode wall time and frame bytes for a
+representative interned ``Sequenced`` stream) rides along so codec
+regressions are visible without a live cluster.
+
+Usage::
+
+    python benchmarks/bench_live_wire.py --profile smoke \\
+        --json BENCH_live_wire.json \\
+        --check benchmarks/BENCH_live_wire_baseline.json
+
+The regression gate compares *ratios* (speedup, bytes ratio), which
+are stable across host speeds, not absolute wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+from repro.core.types import Label
+from repro.membership.messages import Sequenced
+from repro.rt.cluster import run_cluster
+from repro.rt.wire import make_wire
+
+#: Per-profile workload.  Rated is always the E22 reference point
+#: (send_interval 0.01); saturated offers 10x that.  The full profile
+#: doubles the saturated sample count for steadier ratios.
+PROFILES = {
+    "smoke": {
+        "sizes": (3, 5),
+        "delta": 0.05,
+        "rated": {"sends": 40, "send_interval": 0.01},
+        "saturated": {"sends": 400, "send_interval": 0.001},
+    },
+    "full": {
+        "sizes": (3, 5),
+        "delta": 0.05,
+        "rated": {"sends": 60, "send_interval": 0.01},
+        "saturated": {"sends": 800, "send_interval": 0.001},
+    },
+}
+
+
+def run_case(
+    *,
+    nodes: int,
+    wire: str,
+    sends: int,
+    send_interval: float,
+    delta: float,
+) -> dict:
+    """One live episode; returns the judged wire/throughput numbers."""
+    report = asyncio.run(
+        run_cluster(
+            nodes=nodes,
+            sends=sends,
+            delta=delta,
+            send_interval=send_interval,
+            arrivals="poisson",
+            seed=0,
+            wire=wire,
+        )
+    )
+    obs = report["obs"]
+    node_tx = report["wire"]["nodes"].get(f"tx/{wire}", {})
+    deliveries = report["deliveries"]
+    token = report["wire"]["token"]
+    return {
+        "nodes": nodes,
+        "wire": wire,
+        "sends": report["sends"],
+        "deliveries": deliveries,
+        "deliveries_per_sec": round(report["throughput"], 1),
+        "span_s": round(report["span_seconds"], 3),
+        "node_tx_frames": node_tx.get("frames", 0.0),
+        "node_tx_entries": node_tx.get("entries", 0.0),
+        "node_tx_bytes": node_tx.get("bytes_on_wire", 0.0),
+        "bytes_per_delivery": round(
+            node_tx.get("bytes_on_wire", 0.0) / max(1, deliveries), 1
+        ),
+        "driver_entries_per_frame": round(
+            report["wire"]["driver_tx"]["entries"]
+            / max(1.0, report["wire"]["driver_tx"]["frames"]),
+            3,
+        ),
+        "token_entries_per_forward": round(
+            token["entries_sent"] / max(1, token["forwards"]), 3
+        ),
+        "ok": report["ok"],
+        "delivered_complete": report["delivered_complete"],
+        "violations": len(report["violations"]),
+        "slo_ok": obs.get("slo_ok", False),
+        "bounds_ok": obs.get("bounds_ok", False),
+        "wall_s": round(report["wall_seconds"], 2),
+    }
+
+
+def codec_microbench(rounds: int = 2000) -> dict:
+    """Encode+decode wall time and frame bytes per codec for a
+    representative interned stream: the same ``Sequenced(Label)`` shape
+    the ring re-sends, with repeated member ids and labels (so the
+    binary codec's interning table is exercised exactly as on a live
+    connection)."""
+    messages = [
+        Sequenced(i, Label(id=(2, "p1"), seqno=i, origin=f"p{(i % 3) + 1}"))
+        for i in range(50)
+    ]
+    out: dict[str, dict] = {}
+    for name in ("json", "binary"):
+        encoder, decoder = make_wire(name), make_wire(name)
+        total_bytes = 0
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            for message in messages:
+                payload = encoder.encode(message)
+                total_bytes += len(payload)
+                decoder.decode(payload)
+        wall = time.perf_counter() - t0
+        count = rounds * len(messages)
+        out[name] = {
+            "roundtrip_ns": round(wall / count * 1e9),
+            "bytes_per_msg": round(total_bytes / count, 1),
+        }
+    out["bytes_ratio"] = round(
+        out["json"]["bytes_per_msg"] / out["binary"]["bytes_per_msg"], 2
+    )
+    return out
+
+
+def collect(profile: str) -> dict:
+    spec = PROFILES[profile]
+    sizes: dict[str, dict] = {}
+    for nodes in spec["sizes"]:
+        runs = {}
+        for point in ("rated", "saturated"):
+            for wire in ("json", "binary"):
+                runs[f"{point}/{wire}"] = run_case(
+                    nodes=nodes,
+                    wire=wire,
+                    delta=spec["delta"],
+                    **spec[point],
+                )
+        rated_json = runs["rated/json"]
+        rated_bin = runs["rated/binary"]
+        sat_bin = runs["saturated/binary"]
+        sizes[f"n{nodes}"] = {
+            "runs": runs,
+            # Headline: saturated binary vs the E22/json rated baseline.
+            "speedup": round(
+                sat_bin["deliveries_per_sec"]
+                / max(1.0, rated_json["deliveries_per_sec"]),
+                2,
+            ),
+            # Matched traffic (same rated load, same scenario): json vs
+            # binary wire cost content-for-content.  The saturated runs
+            # are not compared byte-for-byte because their token
+            # batching levels differ with timing.
+            "bytes_ratio": round(
+                rated_json["bytes_per_delivery"]
+                / max(1.0, rated_bin["bytes_per_delivery"]),
+                2,
+            ),
+        }
+    results = {
+        "experiment": "E25",
+        "profile": profile,
+        "delta": spec["delta"],
+        "sizes": sizes,
+        "codec": codec_microbench(),
+    }
+    results["failures"] = gate(results)
+    results["ok"] = not results["failures"]
+    return results
+
+
+def gate(results: dict) -> list[str]:
+    """Every way an E25 sweep can fail, as human-readable reasons."""
+    failures = []
+    for size, entry in results["sizes"].items():
+        for tag, run in entry["runs"].items():
+            label = f"{size}/{tag}"
+            if run["violations"] or not run["ok"]:
+                failures.append(f"{label}: capture is not spec-conformant")
+            if not run["delivered_complete"]:
+                failures.append(f"{label}: delivery did not complete")
+            if tag.startswith("rated") and not (
+                run["slo_ok"] and run["bounds_ok"]
+            ):
+                failures.append(
+                    f"{label}: rated run violated an SLO or Section 8 bound"
+                )
+        sat_bin = entry["runs"]["saturated/binary"]
+        if sat_bin["token_entries_per_forward"] < 1.2:
+            failures.append(
+                f"{size}: token carried no batch at saturation "
+                f"({sat_bin['token_entries_per_forward']} entries/forward)"
+            )
+    n3 = results["sizes"].get("n3")
+    if n3 is not None:
+        if n3["speedup"] < 5.0:
+            failures.append(
+                f"n3: saturated-binary deliveries/sec only {n3['speedup']}x "
+                "the E22/json rated baseline (need >= 5x)"
+            )
+        if n3["bytes_ratio"] < 3.0:
+            failures.append(
+                f"n3: json/binary bytes-per-delivery ratio only "
+                f"{n3['bytes_ratio']}x (need >= 3x)"
+            )
+    if results["codec"]["bytes_ratio"] < 2.0:
+        failures.append(
+            "codec microbench: binary frames not materially smaller "
+            f"({results['codec']['bytes_ratio']}x)"
+        )
+    return failures
+
+
+#: gated metric path -> (direction, tolerance); "min" means a value
+#: below baseline * (1 - tolerance) fails.  Live-cluster ratios are
+#: timing-noisy, hence the generous tolerance; the absolute floors in
+#: ``gate`` still apply on every run.
+GATES = {
+    ("sizes", "n3", "speedup"): ("min", 0.35),
+    ("sizes", "n3", "bytes_ratio"): ("min", 0.20),
+    ("sizes", "n5", "bytes_ratio"): ("min", 0.20),
+    ("codec", "bytes_ratio"): ("min", 0.15),
+}
+
+
+def _lookup(doc: dict, path: tuple) -> float | None:
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check_against(current: dict, baseline: dict) -> list[str]:
+    failures = list(current["failures"])
+    for path, (direction, tolerance) in GATES.items():
+        base = _lookup(baseline, path)
+        value = _lookup(current, path)
+        if base is None or value is None:
+            continue
+        floor = base * (1 - tolerance)
+        if direction == "min" and value < floor:
+            failures.append(
+                f"{'/'.join(path)} regressed: {value} < {floor:.3f} "
+                f"(baseline {base}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=PROFILES, default="smoke")
+    parser.add_argument("--json", help="write results to this path")
+    parser.add_argument(
+        "--check", help="baseline JSON to gate regressions against"
+    )
+    args = parser.parse_args(argv)
+    results = collect(args.profile)
+    print(json.dumps(results, indent=2))
+    failures = results["failures"]
+    if args.check:
+        if os.path.exists(args.check):
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+            failures = check_against(results, baseline)
+        else:
+            print(f"no baseline at {args.check}; skipping gate")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+    if failures:
+        for reason in failures:
+            print(f"E25 FAIL: {reason}", file=sys.stderr)
+        return 1
+    n3 = results["sizes"]["n3"]
+    print(
+        "E25 OK: binary+batching sustained {thr}x the E22/json rated "
+        "deliveries/sec at n=3 ({sat} vs {rated} deliv/s), "
+        "{bytes}x fewer bytes/delivery, codec frames {micro}x smaller".format(
+            thr=n3["speedup"],
+            sat=n3["runs"]["saturated/binary"]["deliveries_per_sec"],
+            rated=n3["runs"]["rated/json"]["deliveries_per_sec"],
+            bytes=n3["bytes_ratio"],
+            micro=results["codec"]["bytes_ratio"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -255,6 +255,11 @@ class RingMember(NetworkNode):
         self.token_entries_sent = 0
         self.token_entries_max = 0
         self.token_resyncs = 0
+        # Client-send batching: how many buffered gpsnd payloads each
+        # token visit appended (all queued sends ride one circulation).
+        self.token_entries_appended = 0
+        self.token_append_batches = 0
+        self.token_append_max = 0
 
         # Observability slots (bound by attach_obs; `is None` guarded).
         self._m_tokens: Counter | None = None
@@ -783,12 +788,22 @@ class RingMember(NetworkNode):
                 # Fully caught up: append this member's buffered
                 # messages for the current view — the concrete
                 # counterpart of VS-machine's internal vs-order.
+                appended = 0
                 for entry_viewid, payload in self.buffered:
                     if entry_viewid == viewid:
                         entry = (payload, self.proc_id)
                         token.order.append(entry)
                         self.log.append(entry)
                         self._notify_order(payload, viewid)
+                        appended += 1
+                if appended:
+                    # One token pass drains the whole buffer: every
+                    # client send queued since the last visit rides this
+                    # single circulation.
+                    self.token_entries_appended += appended
+                    self.token_append_batches += 1
+                    if appended > self.token_append_max:
+                        self.token_append_max = appended
                 self.buffered = [e for e in self.buffered if e[0] != viewid]
         token.seen[self.proc_id] = len(self.log)
         if self.config.deliver_when_safe:

@@ -49,6 +49,47 @@ from repro.obs.live.stitch import StitchedRun, stitch_log_dir
 DEFAULT_DELTA = 0.05
 
 
+#: The wire-metric families synced by the live transport (see
+#: ``LiveNetwork._sync_wire_metrics``), mapped to summary keys.
+_WIRE_FAMILIES = {
+    "rt_wire_frames": "frames",
+    "rt_wire_bytes": "bytes",
+    "rt_wire_entries": "entries",
+    "rt_wire_flushes": "flushes",
+    "rt_wire_codec_seconds": "seconds",
+}
+
+
+def wire_summary(timeline: ClusterTimeline) -> dict[str, dict[str, float]]:
+    """Cluster-wide wire totals per codec, from each node's latest
+    snapshot.
+
+    Keys look like ``"out/binary"`` (direction/codec) mapping to the
+    summed frames/bytes/entries; codec time lands under
+    ``"encode/binary"``/``"decode/json"``.  Empty when the run predates
+    wire metrics — the report renders nothing rather than zeros.
+    """
+    totals: dict[str, dict[str, float]] = {}
+    for node in timeline.nodes():
+        snapshot = timeline.latest(node)
+        if snapshot is None:
+            continue
+        for family_name, key in _WIRE_FAMILIES.items():
+            family = snapshot.metrics.get(family_name)
+            if family is None:
+                continue
+            for sample in family.get("samples", ()):
+                labels = sample.get("labels", {})
+                codec = labels.get("codec", "?")
+                # Flushes carry no dir label; they are a tx-side count.
+                axis = labels.get("dir") or labels.get("op") or "out"
+                bucket = totals.setdefault(f"{axis}/{codec}", {})
+                bucket[key] = bucket.get(key, 0.0) + float(
+                    sample.get("value", 0.0)
+                )
+    return {k: totals[k] for k in sorted(totals)}
+
+
 def bounds_for_delta(delta: float) -> VSBounds:
     """π and μ scaled from δ exactly as the live node scales them."""
     return VSBounds(delta=delta, pi=4 * delta, mu=20 * delta)
@@ -126,6 +167,11 @@ class RunReport:
             "slos": [v.to_dict() for v in self.slos],
             "bounds": self.bounds_verdict.to_dict(),
             "metrics": metrics_summary,
+            "wire": (
+                wire_summary(self.metrics)
+                if self.metrics is not None
+                else {}
+            ),
         }
 
     def to_json(self) -> str:
@@ -194,6 +240,28 @@ def render_text(report: RunReport) -> str:
                 nodes=len(report.metrics.nodes()),
             )
         )
+        wire = wire_summary(report.metrics)
+        if wire:
+            lines.append("  wire (cluster totals per direction/codec):")
+            for key, bucket in wire.items():
+                if "frames" not in bucket:
+                    lines.append(
+                        f"    {key:<15} codec_time="
+                        f"{bucket.get('seconds', 0.0):.6g}s"
+                    )
+                    continue
+                frames = bucket.get("frames", 0.0)
+                entries = bucket.get("entries", 0.0)
+                lines.append(
+                    "    {key:<15} frames={frames:.0f} entries={entries:.0f} "
+                    "bytes={bytes:.0f} entries/frame={epf:.2f}".format(
+                        key=key,
+                        frames=frames,
+                        entries=entries,
+                        bytes=bucket.get("bytes", 0.0),
+                        epf=(entries / frames) if frames else 0.0,
+                    )
+                )
     lines.append("  latency over clean spans (seconds):")
     for name in sorted(report.summaries):
         summary = report.summaries[name]

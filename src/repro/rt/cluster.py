@@ -45,10 +45,11 @@ from repro.rt.faults import (
     single_partition_window,
     windows_from_scenario,
 )
-from repro.rt.framing import FrameDecoder, decode_message, encode_frame, encode_message
-from repro.rt.node import initial_view_for
+from repro.rt.framing import encode_frame, encode_message
+from repro.rt.node import initial_view_for, resolve_flush_after
 from repro.rt.trace import VerifyReport, load_event_logs, verify_events
 from repro.rt.transport import DRIVER_ID, Ctl, Hello
+from repro.rt.wire import WireReader, WireWriter, make_wire
 
 
 def free_port() -> int:
@@ -59,12 +60,28 @@ def free_port() -> int:
 
 
 class NodeClient:
-    """One control-plane connection from the driver to a node."""
+    """One control-plane connection from the driver to a node.
 
-    def __init__(self, proc_id: str, host: str, port: int) -> None:
+    ``wire`` picks the codec the driver speaks (replies are decoded by
+    header auto-detection regardless); ``flush_after`` batches
+    fire-and-forget sends — with a 0-second window, back-to-back client
+    sends in one event-loop turn (an overloaded open-loop generator)
+    coalesce into one frame.
+    """
+
+    def __init__(
+        self,
+        proc_id: str,
+        host: str,
+        port: int,
+        wire: str = "json",
+        flush_after: float | None = None,
+    ) -> None:
         self.proc_id = proc_id
         self.host = host
         self.port = port
+        self.wire_name = wire
+        self._sender = WireWriter(make_wire(wire), flush_after=flush_after)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._replies: asyncio.Queue[Ctl] = asyncio.Queue()
@@ -92,19 +109,27 @@ class NodeClient:
             raise ConnectionError(
                 f"cannot reach node {self.proc_id} at {self.host}:{self.port}: {last}"
             )
-        self._writer.write(encode_frame(encode_message(Hello(src=DRIVER_ID))))
-        self._read_task = asyncio.get_running_loop().create_task(self._read_loop())
+        loop = asyncio.get_running_loop()
+        self._sender.set_schedule(
+            lambda delay, callback: loop.call_later(delay, callback)
+        )
+        self._writer.write(
+            encode_frame(
+                encode_message(Hello(src=DRIVER_ID, wire=self.wire_name))
+            )
+        )
+        self._sender.attach(self._writer.write)
+        self._read_task = loop.create_task(self._read_loop())
 
     async def _read_loop(self) -> None:
         assert self._reader is not None
-        decoder = FrameDecoder()
+        reader = WireReader()
         try:
             while True:
                 data = await self._reader.read(65536)
                 if not data:
                     break
-                for payload in decoder.feed(data):
-                    message = decode_message(payload)
+                for message in reader.feed(data):
                     if isinstance(message, Ctl):
                         self._replies.put_nowait(message)
         except (OSError, asyncio.CancelledError):
@@ -113,17 +138,23 @@ class NodeClient:
     def send_nowait(self, ctl: Ctl) -> None:
         """Fire-and-forget a control record (client traffic)."""
         assert self._writer is not None
-        self._writer.write(encode_frame(encode_message(ctl)))
+        self._sender.send(ctl)
 
     async def request(self, ctl: Ctl, timeout: float = 15.0) -> Ctl:
         """Send a control record and await the next reply."""
         async with self._request_lock:
-            self.send_nowait(ctl)
+            self._sender.send_now(ctl)
             return await asyncio.wait_for(self._replies.get(), timeout)
+
+    @property
+    def wire_stats(self) -> dict[str, Any]:
+        """What this control connection put on the wire."""
+        return self._sender.stats.to_dict()
 
     async def close(self) -> None:
         if self._read_task is not None:
             self._read_task.cancel()
+        self._sender.detach()
         if self._writer is not None:
             self._writer.close()
 
@@ -138,6 +169,7 @@ class LiveCluster:
         delta: float = 0.05,
         send_interval: float = 0.02,
         metrics_interval: float = 0.25,
+        wire: str = "json",
     ) -> None:
         if nodes < 2:
             raise ValueError("need at least 2 nodes")
@@ -149,6 +181,7 @@ class LiveCluster:
         self.delta = delta
         self.send_interval = send_interval
         self.metrics_interval = metrics_interval
+        self.wire = wire
         self.ports: dict[str, int] = {p: free_port() for p in self.processors}
         self.procs: dict[str, subprocess.Popen[bytes]] = {}
         self.clients: dict[str, NodeClient] = {}
@@ -187,6 +220,8 @@ class LiveCluster:
                     str(self.log_dir),
                     "--delta",
                     str(self.delta),
+                    "--wire",
+                    self.wire,
                 ],
                 stdout=out,
                 stderr=subprocess.STDOUT,
@@ -202,9 +237,16 @@ class LiveCluster:
             pi=4 * self.delta,
             mu=20 * self.delta,
             nodes=len(self.processors),
+            wire=self.wire,
         )
         for p in self.processors:
-            client = NodeClient(p, "127.0.0.1", self.ports[p])
+            client = NodeClient(
+                p,
+                "127.0.0.1",
+                self.ports[p],
+                wire=self.wire,
+                flush_after=resolve_flush_after(self.wire, -1.0),
+            )
             await client.connect()
             self.clients[p] = client
 
@@ -386,6 +428,53 @@ class LiveCluster:
         self._mark("stopped")
 
     # ------------------------------------------------------------------
+    async def collect_wire_stats(self) -> dict[str, Any]:
+        """Aggregate every survivor's wire + token-batching counters
+        (one stats round-trip per node) plus the driver connections'
+        own writer stats — the E25 bytes-on-wire accounting."""
+        totals: dict[str, dict[str, float]] = {}
+        token = {
+            "entries_appended": 0,
+            "append_batches": 0,
+            "entries_sent": 0,
+            "forwards": 0,
+        }
+
+        def absorb(direction: str, codec: str, stats: dict[str, Any]) -> None:
+            bucket = totals.setdefault(
+                f"{direction}/{codec}",
+                {"frames": 0.0, "entries": 0.0, "bytes_on_wire": 0.0},
+            )
+            for key in bucket:
+                bucket[key] += float(stats.get(key, 0))
+
+        for p in self.alive():
+            try:
+                reply = await self.clients[p].request(Ctl("stats"), timeout=5.0)
+            except (asyncio.TimeoutError, OSError, AssertionError):
+                continue
+            if not isinstance(reply.data, dict):
+                continue
+            wire = reply.data.get("transport", {}).get("wire", {})
+            for codec, stats in wire.get("tx", {}).items():
+                absorb("tx", codec, stats)
+            for codec, stats in wire.get("rx", {}).items():
+                absorb("rx", codec, stats)
+            for key in token:
+                token[key] += int(reply.data.get("token", {}).get(key, 0))
+        driver = {"frames": 0.0, "entries": 0.0, "bytes_on_wire": 0.0}
+        for client in self.clients.values():
+            stats = client.wire_stats
+            for key in driver:
+                driver[key] += float(stats.get(key, 0))
+        return {
+            "codec": self.wire,
+            "nodes": {k: totals[k] for k in sorted(totals)},
+            "driver_tx": driver,
+            "token": token,
+        }
+
+    # ------------------------------------------------------------------
     def verify(self) -> VerifyReport:
         paths = sorted(self.log_dir.glob("*.events.jsonl"))
         events = load_event_logs(paths)
@@ -451,6 +540,7 @@ async def run_cluster(
     arrivals: str = "poisson",
     seed: int = 0,
     metrics_interval: float = 0.25,
+    wire: str = "json",
 ) -> dict[str, Any]:
     """One full scripted episode; returns the verification report dict.
 
@@ -474,6 +564,7 @@ async def run_cluster(
         delta=delta,
         send_interval=send_interval,
         metrics_interval=metrics_interval,
+        wire=wire,
     )
     scenario_windows: tuple[FirewallWindow, ...] = ()
     if scenario is not None:
@@ -534,6 +625,7 @@ async def run_cluster(
         # it, so completeness cannot be awaited to the full count there.
         poll_timeout = max(10.0, 200 * delta) if kill else max(30.0, 600 * delta)
         complete = await cluster.await_delivery(sends, timeout=poll_timeout)
+        wire_stats = await cluster.collect_wire_stats()
     finally:
         await cluster.stop()
     report = cluster.verify()
@@ -550,6 +642,7 @@ async def run_cluster(
             "scenario": None if scenario is None else str(scenario),
             "delta": delta,
             "arrivals": arrivals,
+            "wire": wire_stats,
             "polled_complete": complete,
             "wall_seconds": wall,
             "log_dir": str(log_dir),
@@ -630,6 +723,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--delta", type=float, default=0.05)
     parser.add_argument("--send-interval", type=float, default=0.02)
     parser.add_argument(
+        "--wire",
+        choices=("json", "binary"),
+        default="json",
+        help="wire codec for nodes and driver (default json; binary "
+        "adds interning + frame batching)",
+    )
+    parser.add_argument(
         "--arrivals",
         choices=("poisson", "round-robin"),
         default="poisson",
@@ -689,6 +789,7 @@ def main(argv: list[str] | None = None) -> int:
             arrivals=args.arrivals,
             seed=args.seed,
             metrics_interval=args.metrics_interval,
+            wire=args.wire,
         )
     )
     if args.json:
@@ -711,6 +812,25 @@ def main(argv: list[str] | None = None) -> int:
             wall=report["wall_seconds"],
         )
     )
+    wire_stats = report.get("wire", {})
+    if wire_stats:
+        node_totals = wire_stats.get("nodes", {})
+        total_bytes = sum(
+            bucket.get("bytes_on_wire", 0.0)
+            for key, bucket in node_totals.items()
+            if key.startswith("tx/")
+        )
+        token = wire_stats.get("token", {})
+        batches = token.get("append_batches", 0)
+        appended = token.get("entries_appended", 0)
+        print(
+            "  wire: codec={codec} node_tx_bytes={total:.0f} "
+            "token_entries/batch={epb:.2f}".format(
+                codec=wire_stats.get("codec"),
+                total=total_bytes,
+                epb=(appended / batches) if batches else 0.0,
+            )
+        )
     obs = report.get("obs", {})
     if obs and "stitch_error" not in obs:
         print(

@@ -70,19 +70,33 @@ def encode_frame(payload: bytes, max_frame: int = MAX_FRAME) -> bytes:
     return _HEADER.pack(len(payload)) + payload
 
 
+#: Compact the decode buffer once this many consumed bytes accumulate
+#: ahead of the cursor (amortises the one memmove over many frames).
+_COMPACT_THRESHOLD = 1 << 16
+
+
 class FrameDecoder:
     """Incremental frame reassembly over a byte stream.
 
     Feed it whatever the socket produced — half a header, three frames
     and a tail, one byte at a time — and it yields complete payloads in
-    order.  State is one buffer and the expected length; a declared
-    length above ``max_frame`` raises :class:`FrameError` immediately,
-    *before* any of the oversized payload is buffered.
+    order.  State is one buffer, a consumed-prefix cursor and the
+    expected length; a declared length above ``max_frame`` raises
+    :class:`FrameError` immediately, *before* any of the oversized
+    payload is buffered.
+
+    The cursor matters for cost: consuming a frame advances an offset
+    instead of deleting the buffer's prefix (which memmoves everything
+    behind it — quadratic when one read carries thousands of frames).
+    The consumed prefix is dropped in one ``del`` per feed, and only
+    once it exceeds a threshold, so a feed of F frames costs O(bytes)
+    rather than O(F · bytes).
     """
 
     def __init__(self, max_frame: int = MAX_FRAME) -> None:
         self.max_frame = max_frame
         self._buffer = bytearray()
+        self._pos = 0
         self._expect: int | None = None
         self.frames_decoded = 0
         self.bytes_fed = 0
@@ -90,33 +104,40 @@ class FrameDecoder:
     def feed(self, data: bytes) -> list[bytes]:
         """Absorb ``data``; return every frame completed by it."""
         self.bytes_fed += len(data)
-        self._buffer.extend(data)
+        buffer = self._buffer
+        buffer.extend(data)
+        pos = self._pos
         out: list[bytes] = []
-        while True:
-            if self._expect is None:
-                if len(self._buffer) < _HEADER.size:
+        try:
+            while True:
+                if self._expect is None:
+                    if len(buffer) - pos < _HEADER.size:
+                        break
+                    (length,) = _HEADER.unpack_from(buffer, pos)
+                    if length > self.max_frame:
+                        raise FrameError(
+                            f"incoming frame declares {length} bytes, above "
+                            f"the {self.max_frame}-byte ceiling"
+                        )
+                    pos += _HEADER.size
+                    self._expect = length
+                if len(buffer) - pos < self._expect:
                     break
-                (length,) = _HEADER.unpack(bytes(self._buffer[: _HEADER.size]))
-                if length > self.max_frame:
-                    raise FrameError(
-                        f"incoming frame declares {length} bytes, above the "
-                        f"{self.max_frame}-byte ceiling"
-                    )
-                del self._buffer[: _HEADER.size]
-                self._expect = length
-            if len(self._buffer) < self._expect:
-                break
-            payload = bytes(self._buffer[: self._expect])
-            del self._buffer[: self._expect]
-            self._expect = None
-            self.frames_decoded += 1
-            out.append(payload)
+                out.append(bytes(buffer[pos : pos + self._expect]))
+                pos += self._expect
+                self._expect = None
+                self.frames_decoded += 1
+        finally:
+            if pos and (pos == len(buffer) or pos >= _COMPACT_THRESHOLD):
+                del buffer[:pos]
+                pos = 0
+            self._pos = pos
         return out
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered towards an incomplete frame."""
-        return len(self._buffer)
+        return len(self._buffer) - self._pos
 
 
 # ----------------------------------------------------------------------
@@ -137,6 +158,23 @@ def register_wire_type(cls: type) -> type:
     _REGISTRY[cls.__name__] = cls
     _REGISTERED_TYPES[cls] = cls.__name__
     return cls
+
+
+def registered_wire_types() -> dict[str, type]:
+    """Snapshot of the wire registry (name -> class).  The equivalence
+    tests sweep this so a newly registered dataclass cannot silently
+    miss codec coverage."""
+    return dict(_REGISTRY)
+
+
+def lookup_wire_type(name: str) -> type | None:
+    """The registered class for ``name`` (None when unknown)."""
+    return _REGISTRY.get(name)
+
+
+def wire_type_name(cls: type) -> str | None:
+    """The registry name of ``cls`` (None when not a wire type)."""
+    return _REGISTERED_TYPES.get(cls)
 
 
 def _enc(value: Any) -> Any:

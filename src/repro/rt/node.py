@@ -144,6 +144,8 @@ class LiveNode:
         log_dir: str | Path,
         config: RingConfig | None = None,
         max_frame: int | None = None,
+        wire: str = "json",
+        flush_after: float | None = None,
     ) -> None:
         self.proc_id = proc_id
         self.config = config if config is not None else default_ring_config()
@@ -153,7 +155,13 @@ class LiveNode:
         if max_frame is not None:
             kwargs["max_frame"] = max_frame
         self.network = LiveNetwork(
-            proc_id, peers, self.scheduler, on_ctl=self._on_ctl, **kwargs
+            proc_id,
+            peers,
+            self.scheduler,
+            on_ctl=self._on_ctl,
+            wire=wire,
+            flush_after=flush_after,
+            **kwargs,
         )
         self.log_dir = Path(log_dir)
         self.log_dir.mkdir(parents=True, exist_ok=True)
@@ -239,6 +247,20 @@ class LiveNode:
             "formations": member.formations_initiated,
             "tokens_processed": member.tokens_processed,
             "duplicates_suppressed": member.duplicates_suppressed,
+            "token": {
+                "forwards": member.token_forwards,
+                "entries_sent": member.token_entries_sent,
+                "entries_max": member.token_entries_max,
+                "resyncs": member.token_resyncs,
+                "entries_appended": member.token_entries_appended,
+                "append_batches": member.token_append_batches,
+                "append_max": member.token_append_max,
+                "entries_per_batch": (
+                    member.token_entries_appended / member.token_append_batches
+                    if member.token_append_batches
+                    else 0.0
+                ),
+            },
             "transport": self.network.stats(),
         }
 
@@ -332,7 +354,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=None,
         help="frame size ceiling in bytes (default 1 MiB)",
     )
+    parser.add_argument(
+        "--wire",
+        choices=("json", "binary"),
+        default="json",
+        help="outbound wire codec (default json; inbound is auto-"
+        "detected per frame, so mixed clusters interoperate)",
+    )
+    parser.add_argument(
+        "--flush-interval",
+        type=float,
+        default=-1.0,
+        help="batching window in seconds for outbound frames; 0 "
+        "coalesces same-loop-turn sends without added latency, "
+        "negative means auto (binary: 0, json: off)",
+    )
     return parser
+
+
+def resolve_flush_after(wire: str, flush_interval: float) -> float | None:
+    """The CLI's auto rule: a negative interval picks the codec's
+    default (binary batches within the loop turn; json stays on the
+    byte-identical legacy one-frame-per-message wire)."""
+    if flush_interval >= 0:
+        return flush_interval
+    return 0.0 if wire == "binary" else None
 
 
 async def amain(argv: list[str] | None = None) -> int:
@@ -346,6 +392,8 @@ async def amain(argv: list[str] | None = None) -> int:
         args.log_dir,
         config=default_ring_config(args.delta),
         max_frame=args.max_frame,
+        wire=args.wire,
+        flush_after=resolve_flush_after(args.wire, args.flush_interval),
     )
     await node.start()
     try:

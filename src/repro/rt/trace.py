@@ -28,6 +28,7 @@ for: live runs are verified against the same specs as simulated ones.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from dataclasses import dataclass, field
@@ -240,3 +241,44 @@ def verify_log_dir(
     paths = sorted(Path(log_dir).glob("*.events.jsonl"))
     events = load_event_logs(paths)
     return verify_events(events, processors, initial_view, expect_at)
+
+
+def content_digest(events: Sequence[dict[str, Any]]) -> str:
+    """A timing-independent digest of *what* a live run did.
+
+    Live executions are wall-clock scheduled, so two runs of the same
+    seeded scenario never produce byte-identical logs — but they must
+    agree on the TO client contract: which values were broadcast, and
+    the exact multiset each node delivered (``brcv``, value + origin).
+    The digest hashes exactly that, canonically ordered and stripped of
+    timestamps/sequence numbers, so a json-wire run and a binary-wire
+    run of one scenario must collide iff the codecs are equivalent end
+    to end (encode → wire → decode → protocol → event log).
+
+    VS-internal traffic (``gprcv``) is deliberately excluded: its
+    state-exchange Summary payloads depend on where view formation cut
+    each run's timeline, so they differ between two runs of *one* codec
+    and cannot witness codec equivalence.
+    """
+    bcast: list[Any] = []
+    brcv: dict[str, list[Any]] = {}
+    for entry in events:
+        name, args = entry["ev"], entry["args"]
+        if name == "bcast":
+            value, _p = args
+            bcast.append(encode_value(value))
+        elif name == "brcv":
+            value, origin, dst = args
+            brcv.setdefault(dst, []).append(encode_value((value, origin)))
+    doc = {
+        "bcast": sorted(bcast, key=repr),
+        "brcv": {p: sorted(brcv[p], key=repr) for p in sorted(brcv)},
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def content_digest_for_dir(log_dir: str | Path) -> str:
+    """The content digest of every event log under ``log_dir``."""
+    paths = sorted(Path(log_dir).glob("*.events.jsonl"))
+    return content_digest(load_event_logs(paths))

@@ -40,12 +40,17 @@ from repro.net.status import FailureOracle
 from repro.rt.clock import LiveScheduler
 from repro.rt.framing import (
     MAX_FRAME,
-    FrameDecoder,
     FrameError,
-    decode_message,
     encode_frame,
     encode_message,
     register_wire_type,
+)
+from repro.rt.wire import (
+    ReaderStats,
+    WireReader,
+    WireWriter,
+    WriterStats,
+    make_wire,
 )
 
 #: Reserved sender id for the cluster driver's control connections.
@@ -69,9 +74,14 @@ COUNTER_KEYS = (
 @register_wire_type
 @dataclass(frozen=True)
 class Hello:
-    """Connection handshake: who is speaking on this stream."""
+    """Connection handshake: who is speaking on this stream, and which
+    codec they will frame after this record.  The Hello itself always
+    rides as a legacy json frame so any peer can read it; ``wire`` is
+    informational (receivers auto-detect per frame from the header) and
+    defaults to json so old peers decode cleanly."""
 
     src: str
+    wire: str = "json"
 
 
 @register_wire_type
@@ -98,6 +108,9 @@ class _Peer:
     port: int
     writer: asyncio.StreamWriter | None = None
     task: asyncio.Task | None = field(default=None, repr=False)
+    #: Codec + batching over the current outbound stream (bound by
+    #: LiveNetwork.__init__, reattached on every reconnect).
+    sender: WireWriter | None = field(default=None, repr=False)
 
 
 class LiveNetwork:
@@ -120,6 +133,19 @@ class LiveNetwork:
         Frame ceiling for both directions.
     reconnect_delay:
         Initial outbound reconnect backoff (doubles up to 8x).
+    wire:
+        Codec for everything this node sends (``"json"`` or
+        ``"binary"``); inbound frames are auto-detected per frame, so
+        mixed-codec clusters interoperate.
+    flush_after:
+        Batching window in seconds for outbound protocol frames.
+        ``None`` disables batching (every message is its own frame —
+        with the json codec this is byte-identical to the legacy wire);
+        ``0.0`` coalesces messages sent within the same event-loop turn
+        without adding latency.
+    flush_max_bytes:
+        Flush the batch queue early once it holds this many payload
+        bytes (clamped to half the frame ceiling).
     """
 
     def __init__(
@@ -130,6 +156,9 @@ class LiveNetwork:
         on_ctl: CtlHandler | None = None,
         max_frame: int = MAX_FRAME,
         reconnect_delay: float = 0.05,
+        wire: str = "json",
+        flush_after: float | None = None,
+        flush_max_bytes: int = 1 << 16,
     ) -> None:
         if proc_id not in peers:
             raise ValueError(f"own id {proc_id!r} missing from the peer map")
@@ -147,6 +176,15 @@ class LiveNetwork:
         self._on_ctl = on_ctl
         self.max_frame = max_frame
         self._reconnect_delay = reconnect_delay
+        self.wire_name = wire
+        self.flush_after = flush_after
+        self.flush_max_bytes = flush_max_bytes
+        # One aggregate per codec name, shared by every connection's
+        # writer/reader (all access is on the loop thread).
+        self.tx_stats: dict[str, WriterStats] = {}
+        self.rx_stats: dict[str, ReaderStats] = {}
+        for peer in self._peers.values():
+            peer.sender = self._make_sender(batching=True)
         self._node: Any = None
         self._server: asyncio.AbstractServer | None = None
         self._inbound: dict[str, asyncio.StreamWriter] = {}
@@ -160,6 +198,47 @@ class LiveNetwork:
         self._m_received = None
         self._m_blocked = None
         self._m_connected = None
+        self._m_wire: Any = None
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _tx_stats_for(self, codec_name: str) -> WriterStats:
+        stats = self.tx_stats.get(codec_name)
+        if stats is None:
+            stats = self.tx_stats[codec_name] = WriterStats()
+        return stats
+
+    def _make_sender(self, batching: bool) -> WireWriter:
+        """A codec writer for one outbound direction.  ``batching``
+        is off for reply writers: control replies must hit the wire
+        before the requester's timeout, not a flush window later."""
+        wire = make_wire(self.wire_name)
+        return WireWriter(
+            wire,
+            max_frame=self.max_frame,
+            flush_after=self.flush_after if batching else None,
+            flush_max_bytes=self.flush_max_bytes,
+            schedule=self.simulator.schedule,
+            stats=self._tx_stats_for(wire.name),
+        )
+
+    def _frame_sink(self, writer: asyncio.StreamWriter) -> Callable[[bytes], None]:
+        """The byte sink a WireWriter flushes into: write the frame and
+        keep the transport counters truthful about the wire."""
+
+        def sink(frame: bytes) -> None:
+            try:
+                writer.write(frame)
+            except OSError:
+                self.counters["disconnected_drops"] += 1
+                return
+            self.counters["frames_sent"] += 1
+            self.counters["bytes_sent"] += len(frame)
+            if self._m_sent is not None:
+                self._m_sent.inc()
+
+        return sink
 
     # ------------------------------------------------------------------
     def attach_obs(self, obs: Any) -> None:
@@ -185,6 +264,53 @@ class LiveNetwork:
             "rt_peers_connected", "outbound streams currently established",
             labels=("proc",),
         ).labels(proc)
+        # Wire-level families, synced from the per-codec aggregates on
+        # every stats()/snapshot pass (zero hot-path cost).
+        self._m_wire = {
+            "frames": metrics.gauge(
+                "rt_wire_frames", "frames on the wire, by direction and codec",
+                labels=("proc", "dir", "codec"),
+            ),
+            "bytes": metrics.gauge(
+                "rt_wire_bytes", "bytes on the wire, by direction and codec",
+                labels=("proc", "dir", "codec"),
+            ),
+            "entries": metrics.gauge(
+                "rt_wire_entries",
+                "message payloads carried, by direction and codec",
+                labels=("proc", "dir", "codec"),
+            ),
+            "flushes": metrics.gauge(
+                "rt_wire_flushes", "batch-queue flushes, by codec",
+                labels=("proc", "codec"),
+            ),
+            "seconds": metrics.gauge(
+                "rt_wire_codec_seconds",
+                "cumulative encode/decode wall seconds, by codec",
+                labels=("proc", "op", "codec"),
+            ),
+        }
+
+    def _sync_wire_metrics(self) -> None:
+        """Publish the per-codec wire aggregates into the registry."""
+        if self._m_wire is None:
+            return
+        proc = str(self.proc_id)
+        for codec, tx in sorted(self.tx_stats.items()):
+            self._m_wire["frames"].labels(proc, "out", codec).set(tx.frames)
+            self._m_wire["bytes"].labels(proc, "out", codec).set(tx.bytes_on_wire)
+            self._m_wire["entries"].labels(proc, "out", codec).set(tx.entries)
+            self._m_wire["flushes"].labels(proc, codec).set(tx.flushes)
+            self._m_wire["seconds"].labels(proc, "encode", codec).set(
+                tx.encode_seconds
+            )
+        for codec, rx in sorted(self.rx_stats.items()):
+            self._m_wire["frames"].labels(proc, "in", codec).set(rx.frames)
+            self._m_wire["bytes"].labels(proc, "in", codec).set(rx.bytes_on_wire)
+            self._m_wire["entries"].labels(proc, "in", codec).set(rx.entries)
+            self._m_wire["seconds"].labels(proc, "decode", codec).set(
+                rx.decode_seconds
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -226,6 +352,8 @@ class LiveNetwork:
         for peer in self._peers.values():
             if peer.task is not None:
                 peer.task.cancel()
+            if peer.sender is not None:
+                peer.sender.detach()
             if peer.writer is not None:
                 peer.writer.close()
                 peer.writer = None
@@ -250,7 +378,15 @@ class LiveNetwork:
                 delay = min(delay * 2, 8 * self._reconnect_delay)
                 continue
             delay = self._reconnect_delay
-            writer.write(encode_frame(encode_message(Hello(src=self.proc_id))))
+            # The Hello always rides the legacy json wire (it is what
+            # tells the peer which codec the rest of the stream uses).
+            writer.write(
+                encode_frame(
+                    encode_message(Hello(src=self.proc_id, wire=self.wire_name))
+                )
+            )
+            assert peer.sender is not None
+            peer.sender.attach(self._frame_sink(writer))
             peer.writer = writer
             self.counters["connects"] += 1
             if self._m_connected is not None:
@@ -264,6 +400,7 @@ class LiveNetwork:
                 pass
             finally:
                 peer.writer = None
+                peer.sender.detach()
                 if self._m_connected is not None:
                     self._m_connected.dec()
                 writer.close()
@@ -286,19 +423,10 @@ class LiveNetwork:
                 self._m_blocked.labels(str(self.proc_id), "out").inc()
             return
         peer = self._peers.get(dst)
-        if peer is None or peer.writer is None:
+        if peer is None or peer.sender is None or not peer.sender.connected:
             self.counters["disconnected_drops"] += 1
             return
-        frame = encode_frame(encode_message(message, self.max_frame), self.max_frame)
-        try:
-            peer.writer.write(frame)
-        except OSError:
-            self.counters["disconnected_drops"] += 1
-            return
-        self.counters["frames_sent"] += 1
-        self.counters["bytes_sent"] += len(frame)
-        if self._m_sent is not None:
-            self._m_sent.inc()
+        peer.sender.send(message)
 
     def broadcast(self, src: str, message: Any, include_self: bool = False) -> None:
         for dst in self.processors:
@@ -337,24 +465,26 @@ class LiveNetwork:
     async def _serve(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        decoder = FrameDecoder(self.max_frame)
+        wire_reader = WireReader(self.max_frame, stats=self.rx_stats)
+        # Replies share the connection's lifetime; no batching so a
+        # control reply never sits behind a flush window.
+        replier: Callable[[Ctl], None] | None = None
         src: str | None = None
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
                     break
+                self.counters["bytes_received"] += len(data)
                 try:
-                    payloads = decoder.feed(data)
+                    messages = wire_reader.feed(data)
                 except FrameError:
+                    # A framing or payload error desyncs any stateful
+                    # codec on this stream; drop the connection and let
+                    # the peer's reconnect start clean.
                     self.counters["frame_errors"] += 1
                     break
-                for payload in payloads:
-                    try:
-                        message = decode_message(payload)
-                    except FrameError:
-                        self.counters["frame_errors"] += 1
-                        continue
+                for message in messages:
                     if isinstance(message, Hello):
                         src = message.src
                         self._inbound[src] = writer
@@ -363,12 +493,13 @@ class LiveNetwork:
                         self.counters["frame_errors"] += 1
                         continue
                     self.counters["frames_received"] += 1
-                    self.counters["bytes_received"] += len(payload)
                     if self._m_received is not None:
                         self._m_received.inc()
                     if isinstance(message, Ctl):
                         if self._on_ctl is not None:
-                            await self._on_ctl(src, message, self._replier(writer))
+                            if replier is None:
+                                replier = self._replier(writer)
+                            await self._on_ctl(src, message, replier)
                         continue
                     self._dispatch(src, message)
         except (OSError, asyncio.CancelledError):
@@ -379,13 +510,11 @@ class LiveNetwork:
             writer.close()
 
     def _replier(self, writer: asyncio.StreamWriter) -> Callable[[Ctl], None]:
+        sender = self._make_sender(batching=False)
+        sender.attach(self._frame_sink(writer))
+
         def reply(ctl: Ctl) -> None:
-            try:
-                writer.write(
-                    encode_frame(encode_message(ctl, self.max_frame), self.max_frame)
-                )
-            except OSError:
-                pass
+            sender.send_now(ctl)
 
         return reply
 
@@ -400,8 +529,15 @@ class LiveNetwork:
             self._node.on_message(src, message)
 
     # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush every peer's batch queue immediately."""
+        for peer in self._peers.values():
+            if peer.sender is not None:
+                peer.sender.flush()
+
     def stats(self) -> dict[str, Any]:
         """Transport counters plus connection state (diagnostics)."""
+        self._sync_wire_metrics()
         return {
             **self.counters,
             "messages_sent": self.messages_sent,
@@ -410,4 +546,16 @@ class LiveNetwork:
                 1 for peer in self._peers.values() if peer.writer is not None
             ),
             "blocked": sorted(self.blocked),
+            "wire": {
+                "codec": self.wire_name,
+                "flush_after": self.flush_after,
+                "tx": {
+                    codec: s.to_dict()
+                    for codec, s in sorted(self.tx_stats.items())
+                },
+                "rx": {
+                    codec: s.to_dict()
+                    for codec, s in sorted(self.rx_stats.items())
+                },
+            },
         }

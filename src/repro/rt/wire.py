@@ -1,0 +1,856 @@
+"""Compact binary wire codec and frame/payload batching (E25).
+
+:mod:`repro.rt.framing` defines the live runtime's *legacy* wire: a
+4-byte length prefix around a tagged-JSON payload.  That format is kept
+fully supported — it is the fallback codec and the offline trace
+vocabulary — but it pays for self-description on every frame.  This
+module adds the hot-path alternative:
+
+**Framed header.**  Binary-era frames open with a struct-packed header
+``(magic, version, codec id, flags, length)`` instead of a bare length.
+The magic byte (0xA5) can never open a legacy frame (a legacy length
+prefix below 16 MiB starts with 0x00), so :class:`WireDecoder` tells
+the two formats apart per frame and a stream may mix them — which is
+exactly how the handshake works: every connection opens with a legacy
+:class:`~repro.rt.transport.Hello` naming the sender's codec, and the
+frames after it speak whatever the header says.
+
+**Compact value encoding.**  :class:`BinaryEncoder` writes the codec's
+value shapes (scalars, tuples/lists/frozensets/dicts, ``View``,
+``BOTTOM``, and every dataclass in the :func:`~repro.rt.framing.
+register_wire_type` registry) as tagged bytes: varint ints, packed
+doubles, length-prefixed UTF-8, positional dataclass fields.  It is the
+msgpack idea specialised to the registry — no field names on the wire,
+because both ends share the registry.
+
+**In-band interning.**  Repeated strings — member ids, label origins,
+metric names, wire-type names — are interned per connection: the first
+occurrence rides as a definition (``SDEF``), every later one as a
+varint reference (``SREF``).  The table is negotiated purely in-band
+(the definitions *are* the negotiation) and resets with the connection,
+so reconnects can never desynchronise it.
+
+**Batching.**  :class:`WireWriter` coalesces multiple message payloads
+into one frame (``FLAG_BATCH``: varint count + length-prefixed
+payloads) under a size/time-bounded flush, so a burst of gpsnd traffic
+or control-plane sends costs one header and one socket write instead
+of one each.
+
+Determinism: encoding any value is a pure function of the value and
+the encoder's table state; sets sort by the canonical JSON encoding of
+their elements (the same order the legacy codec uses), so both codecs
+serialise one value identically on every process and hash seed.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any
+
+from repro.core.types import BOTTOM, Bottom, View
+from repro.rt.framing import (
+    MAX_FRAME,
+    FrameError,
+    decode_message,
+    encode_frame,
+    encode_message,
+    encode_value,
+    lookup_wire_type,
+    wire_type_name,
+)
+
+#: First header byte of a binary-era frame.  A legacy frame's first
+#: byte is the top byte of a 32-bit length, i.e. 0x00 for any frame
+#: under 16 MiB — far above every supported ceiling — so one byte of
+#: lookahead separates the two formats.
+WIRE_MAGIC = 0xA5
+#: Wire protocol version carried in every binary-era header.
+WIRE_VERSION = 1
+
+#: Codec identifiers carried in the frame header.
+CODEC_JSON = 0
+CODEC_BINARY = 1
+
+#: Header flag: the payload is a batch (varint count, then that many
+#: varint-length-prefixed message payloads).
+FLAG_BATCH = 0x01
+
+#: magic, version, codec id, flags, payload length.
+_WIRE_HEADER = struct.Struct(">BBBBI")
+_LEGACY_HEADER = struct.Struct(">I")
+_DOUBLE = struct.Struct(">d")
+
+#: Interned strings longer than this ride inline (interning a huge
+#: payload string would bloat the table for little reuse).
+_MAX_INTERN_LEN = 255
+#: Per-connection interning table ceiling; once full, new strings ride
+#: inline.  4096 labels cover every registry name, member id and metric
+#: name a cluster produces many times over.
+_MAX_INTERN_TABLE = 4096
+
+#: Wire format names accepted by the node/cluster CLIs.
+WIRE_NAMES = ("json", "binary")
+
+
+class WireFrame:
+    """One decoded frame: which codec, which flags, which bytes."""
+
+    __slots__ = ("codec", "flags", "payload")
+
+    def __init__(self, codec: int, flags: int, payload: bytes) -> None:
+        self.codec = codec
+        self.flags = flags
+        self.payload = payload
+
+
+def encode_wire_frame(
+    payload: bytes,
+    codec: int,
+    flags: int = 0,
+    max_frame: int = MAX_FRAME,
+) -> bytes:
+    """Wrap ``payload`` in a binary-era header; reject oversized."""
+    if len(payload) > max_frame:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte ceiling"
+        )
+    return (
+        _WIRE_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, codec, flags, len(payload))
+        + payload
+    )
+
+
+class WireDecoder:
+    """Incremental reassembly of a mixed legacy/binary frame stream.
+
+    The same offset-cursor technique as :class:`~repro.rt.framing.
+    FrameDecoder` (one compaction per feed, never per frame), plus one
+    byte of lookahead to pick the header format.  Legacy frames come
+    back as ``WireFrame(CODEC_JSON, 0, payload)``.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._pos = 0
+        #: (codec, flags, remaining length) of the frame being read.
+        self._expect: tuple[int, int, int] | None = None
+        self.frames_decoded = 0
+        self.bytes_fed = 0
+
+    def _parse_header(self, buffer: bytearray, pos: int) -> tuple[int, tuple[int, int, int]] | None:
+        """Parse one header at ``pos``; None when more bytes are needed.
+        Returns (bytes consumed, (codec, flags, length))."""
+        if buffer[pos] != WIRE_MAGIC:
+            if len(buffer) - pos < _LEGACY_HEADER.size:
+                return None
+            (length,) = _LEGACY_HEADER.unpack_from(buffer, pos)
+            if length > self.max_frame:
+                raise FrameError(
+                    f"incoming frame declares {length} bytes, above the "
+                    f"{self.max_frame}-byte ceiling"
+                )
+            return _LEGACY_HEADER.size, (CODEC_JSON, 0, length)
+        if len(buffer) - pos < _WIRE_HEADER.size:
+            return None
+        _magic, version, codec, flags, length = _WIRE_HEADER.unpack_from(
+            buffer, pos
+        )
+        if version != WIRE_VERSION:
+            raise FrameError(f"unsupported wire version {version}")
+        if length > self.max_frame:
+            raise FrameError(
+                f"incoming frame declares {length} bytes, above the "
+                f"{self.max_frame}-byte ceiling"
+            )
+        return _WIRE_HEADER.size, (codec, flags, length)
+
+    def feed(self, data: bytes) -> list[WireFrame]:
+        """Absorb ``data``; return every frame completed by it."""
+        self.bytes_fed += len(data)
+        buffer = self._buffer
+        buffer.extend(data)
+        pos = self._pos
+        out: list[WireFrame] = []
+        try:
+            while True:
+                if self._expect is None:
+                    if len(buffer) - pos < 1:
+                        break
+                    parsed = self._parse_header(buffer, pos)
+                    if parsed is None:
+                        break
+                    consumed, self._expect = parsed
+                    pos += consumed
+                codec, flags, length = self._expect
+                if len(buffer) - pos < length:
+                    break
+                out.append(
+                    WireFrame(codec, flags, bytes(buffer[pos : pos + length]))
+                )
+                pos += length
+                self._expect = None
+                self.frames_decoded += 1
+        finally:
+            if pos and (pos == len(buffer) or pos >= 1 << 16):
+                del buffer[:pos]
+                pos = 0
+            self._pos = pos
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buffer) - self._pos
+
+
+# ----------------------------------------------------------------------
+# Batch payloads
+# ----------------------------------------------------------------------
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise FrameError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def pack_batch(payloads: Sequence[bytes]) -> bytes:
+    """Concatenate message payloads into one batch frame payload."""
+    out = bytearray()
+    _write_uvarint(out, len(payloads))
+    for payload in payloads:
+        _write_uvarint(out, len(payload))
+        out += payload
+    return bytes(out)
+
+
+def unpack_batch(payload: bytes) -> list[bytes]:
+    """Inverse of :func:`pack_batch`."""
+    count, pos = _read_uvarint(payload, 0)
+    out: list[bytes] = []
+    for _ in range(count):
+        length, pos = _read_uvarint(payload, pos)
+        if pos + length > len(payload):
+            raise FrameError("truncated batch entry")
+        out.append(payload[pos : pos + length])
+        pos += length
+    if pos != len(payload):
+        raise FrameError(f"{len(payload) - pos} trailing bytes after batch")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Binary value encoding
+# ----------------------------------------------------------------------
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_BOTTOM = 0x03
+_T_INT = 0x04
+_T_FLOAT = 0x05
+_T_STR = 0x06  # inline: varint byte length + UTF-8
+_T_SDEF = 0x07  # like _T_STR, and both sides append it to the table
+_T_SREF = 0x08  # varint table index
+_T_LIST = 0x09
+_T_TUPLE = 0x0A
+_T_FROZENSET = 0x0B
+_T_DICT = 0x0C
+_T_VIEW = 0x0D
+_T_MESSAGE = 0x0E  # type name (str value) + varint arity + fields
+
+
+def _canonical_set_order(values: Any) -> list[Any]:
+    """Set elements in the legacy codec's order (sorted by the repr of
+    their canonical JSON encoding) — hash-seed independent, and it
+    keeps both codecs byte-deterministic for the same value."""
+    return sorted(values, key=lambda v: repr(encode_value(v)))
+
+
+class BinaryEncoder:
+    """Stateful (per-connection) compact encoder.
+
+    One instance per outbound stream: the interning table it builds is
+    mirrored by the peer's :class:`BinaryDecoder` through the ``SDEF``
+    records inside the byte stream itself.  :meth:`encode` is atomic
+    with respect to the table — a failed encode rolls back any strings
+    it interned, so the table never drifts ahead of the bytes actually
+    put on the wire.
+    """
+
+    def __init__(self, max_table: int = _MAX_INTERN_TABLE) -> None:
+        self._table: dict[str, int] = {}
+        self._max_table = max_table
+
+    def reset(self) -> None:
+        """Forget the interning table (new connection, fresh peer)."""
+        self._table.clear()
+
+    @property
+    def table_size(self) -> int:
+        return len(self._table)
+
+    def encode(self, message: Any, max_frame: int = MAX_FRAME) -> bytes:
+        out = bytearray()
+        added: list[str] = []
+        try:
+            self._enc(message, out, added)
+        except FrameError:
+            for key in added:
+                del self._table[key]
+            raise
+        if len(out) > max_frame:
+            for key in added:
+                del self._table[key]
+            raise FrameError(
+                f"encoded message of {len(out)} bytes exceeds the "
+                f"{max_frame}-byte frame ceiling"
+            )
+        return bytes(out)
+
+    def _enc_str(self, value: str, out: bytearray, added: list[str]) -> None:
+        index = self._table.get(value)
+        if index is not None:
+            out.append(_T_SREF)
+            _write_uvarint(out, index)
+            return
+        raw = value.encode("utf-8")
+        if len(raw) <= _MAX_INTERN_LEN and len(self._table) < self._max_table:
+            self._table[value] = len(self._table)
+            added.append(value)
+            out.append(_T_SDEF)
+        else:
+            out.append(_T_STR)
+        _write_uvarint(out, len(raw))
+        out += raw
+
+    def _enc(self, value: Any, out: bytearray, added: list[str]) -> None:
+        if value is None:
+            out.append(_T_NONE)
+        elif value is True:
+            out.append(_T_TRUE)
+        elif value is False:
+            out.append(_T_FALSE)
+        elif isinstance(value, str):
+            self._enc_str(value, out, added)
+        elif isinstance(value, int) and not isinstance(value, bool):
+            out.append(_T_INT)
+            # Generalised zigzag: sign in the low bit, magnitude above.
+            _write_uvarint(
+                out, (value << 1) if value >= 0 else ((-value << 1) - 1)
+            )
+        elif isinstance(value, float):
+            out.append(_T_FLOAT)
+            out += _DOUBLE.pack(value)
+        elif value is BOTTOM or isinstance(value, Bottom):
+            out.append(_T_BOTTOM)
+        else:
+            kind = wire_type_name(type(value))
+            if kind is not None:
+                out.append(_T_MESSAGE)
+                self._enc_str(kind, out, added)
+                field_values = [
+                    getattr(value, f.name) for f in dataclass_fields(value)
+                ]
+                _write_uvarint(out, len(field_values))
+                for field_value in field_values:
+                    self._enc(field_value, out, added)
+            elif isinstance(value, View):
+                out.append(_T_VIEW)
+                self._enc(value.id, out, added)
+                members = _canonical_set_order(value.set)
+                _write_uvarint(out, len(members))
+                for member in members:
+                    self._enc(member, out, added)
+            elif isinstance(value, tuple):
+                out.append(_T_TUPLE)
+                _write_uvarint(out, len(value))
+                for item in value:
+                    self._enc(item, out, added)
+            elif isinstance(value, list):
+                out.append(_T_LIST)
+                _write_uvarint(out, len(value))
+                for item in value:
+                    self._enc(item, out, added)
+            elif isinstance(value, (set, frozenset)):
+                out.append(_T_FROZENSET)
+                elements = _canonical_set_order(value)
+                _write_uvarint(out, len(elements))
+                for element in elements:
+                    self._enc(element, out, added)
+            elif isinstance(value, dict):
+                out.append(_T_DICT)
+                _write_uvarint(out, len(value))
+                for key, item in value.items():
+                    self._enc(key, out, added)
+                    self._enc(item, out, added)
+            else:
+                raise FrameError(
+                    f"cannot encode value of type {type(value).__name__}: "
+                    f"{value!r}"
+                )
+
+
+class BinaryDecoder:
+    """Stateful (per-connection) inverse of :class:`BinaryEncoder`.
+
+    The interning table is rebuilt purely from the ``SDEF`` records in
+    the byte stream, in stream order — feed it the frames of one
+    connection in the order they arrived and it stays in lockstep with
+    the sender's table.
+    """
+
+    def __init__(self) -> None:
+        self._table: list[str] = []
+
+    def reset(self) -> None:
+        self._table.clear()
+
+    @property
+    def table_size(self) -> int:
+        return len(self._table)
+
+    def decode(self, payload: bytes) -> Any:
+        try:
+            value, pos = self._dec(payload, 0)
+        except (IndexError, struct.error, UnicodeDecodeError) as exc:
+            raise FrameError(f"undecodable binary payload: {exc}") from exc
+        if pos != len(payload):
+            raise FrameError(
+                f"{len(payload) - pos} trailing bytes after binary payload"
+            )
+        return value
+
+    def _dec_str(self, data: bytes, pos: int, define: bool) -> tuple[str, int]:
+        length, pos = _read_uvarint(data, pos)
+        if pos + length > len(data):
+            raise FrameError("truncated string payload")
+        text = data[pos : pos + length].decode("utf-8")
+        if define:
+            self._table.append(text)
+        return text, pos + length
+
+    def _dec(self, data: bytes, pos: int) -> tuple[Any, int]:
+        if pos >= len(data):
+            raise FrameError("truncated binary payload")
+        tag = data[pos]
+        pos += 1
+        if tag == _T_NONE:
+            return None, pos
+        if tag == _T_TRUE:
+            return True, pos
+        if tag == _T_FALSE:
+            return False, pos
+        if tag == _T_BOTTOM:
+            return BOTTOM, pos
+        if tag == _T_INT:
+            raw, pos = _read_uvarint(data, pos)
+            return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1), pos
+        if tag == _T_FLOAT:
+            if pos + _DOUBLE.size > len(data):
+                raise FrameError("truncated float payload")
+            (value,) = _DOUBLE.unpack_from(data, pos)
+            return value, pos + _DOUBLE.size
+        if tag in (_T_STR, _T_SDEF):
+            return self._dec_str(data, pos, define=tag == _T_SDEF)
+        if tag == _T_SREF:
+            index, pos = _read_uvarint(data, pos)
+            if index >= len(self._table):
+                raise FrameError(f"string reference {index} not defined")
+            return self._table[index], pos
+        if tag in (_T_LIST, _T_TUPLE, _T_FROZENSET):
+            count, pos = _read_uvarint(data, pos)
+            items = []
+            for _ in range(count):
+                item, pos = self._dec(data, pos)
+                items.append(item)
+            if tag == _T_LIST:
+                return items, pos
+            if tag == _T_TUPLE:
+                return tuple(items), pos
+            return frozenset(items), pos
+        if tag == _T_DICT:
+            count, pos = _read_uvarint(data, pos)
+            mapping: dict[Any, Any] = {}
+            for _ in range(count):
+                key, pos = self._dec(data, pos)
+                value, pos = self._dec(data, pos)
+                mapping[key] = value
+            return mapping, pos
+        if tag == _T_VIEW:
+            viewid, pos = self._dec(data, pos)
+            count, pos = _read_uvarint(data, pos)
+            members = []
+            for _ in range(count):
+                member, pos = self._dec(data, pos)
+                members.append(member)
+            return View(viewid, frozenset(members)), pos
+        if tag == _T_MESSAGE:
+            name, pos = self._dec(data, pos)
+            if not isinstance(name, str):
+                raise FrameError("wire-type name is not a string")
+            cls = lookup_wire_type(name)
+            if cls is None:
+                raise FrameError(f"unknown wire type {name!r}")
+            count, pos = _read_uvarint(data, pos)
+            field_values = []
+            for _ in range(count):
+                field_value, pos = self._dec(data, pos)
+                field_values.append(field_value)
+            try:
+                return cls(*field_values), pos
+            except TypeError as exc:
+                raise FrameError(
+                    f"wire type {name!r} rejected {count} fields: {exc}"
+                ) from exc
+        raise FrameError(f"unknown binary tag 0x{tag:02x}")
+
+
+# ----------------------------------------------------------------------
+# Codec objects (one per connection direction)
+# ----------------------------------------------------------------------
+class Wire:
+    """One connection direction's codec: payload bytes <-> messages."""
+
+    name: str
+    codec_id: int
+
+    def encode(self, message: Any, max_frame: int = MAX_FRAME) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, payload: bytes) -> Any:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop per-connection state (called on (re)connect)."""
+
+
+class JsonWire(Wire):
+    """The legacy tagged-JSON codec behind the common interface."""
+
+    name = "json"
+    codec_id = CODEC_JSON
+
+    def encode(self, message: Any, max_frame: int = MAX_FRAME) -> bytes:
+        return encode_message(message, max_frame)
+
+    def decode(self, payload: bytes) -> Any:
+        return decode_message(payload)
+
+
+class BinaryWire(Wire):
+    """The compact binary codec; holds both interning tables so one
+    instance can serve a connection's encode or decode side."""
+
+    name = "binary"
+    codec_id = CODEC_BINARY
+
+    def __init__(self) -> None:
+        self._encoder = BinaryEncoder()
+        self._decoder = BinaryDecoder()
+
+    def encode(self, message: Any, max_frame: int = MAX_FRAME) -> bytes:
+        return self._encoder.encode(message, max_frame)
+
+    def decode(self, payload: bytes) -> Any:
+        return self._decoder.decode(payload)
+
+    def reset(self) -> None:
+        self._encoder.reset()
+        self._decoder.reset()
+
+
+def make_wire(name: str) -> Wire:
+    """A fresh codec instance for a CLI wire name."""
+    if name == "json":
+        return JsonWire()
+    if name == "binary":
+        return BinaryWire()
+    raise ValueError(f"unknown wire format {name!r} (want one of {WIRE_NAMES})")
+
+
+def wire_for_codec(codec: int) -> Wire:
+    """A fresh codec instance for a frame-header codec id."""
+    if codec == CODEC_JSON:
+        return JsonWire()
+    if codec == CODEC_BINARY:
+        return BinaryWire()
+    raise FrameError(f"unknown codec id {codec}")
+
+
+# ----------------------------------------------------------------------
+# Batching writer
+# ----------------------------------------------------------------------
+@dataclass
+class WriterStats:
+    """What one :class:`WireWriter` put on the wire."""
+
+    frames: int = 0
+    entries: int = 0
+    batches: int = 0
+    flushes: int = 0
+    bytes_on_wire: int = 0
+    encode_seconds: float = 0.0
+
+    def merge(self, other: WriterStats) -> None:
+        self.frames += other.frames
+        self.entries += other.entries
+        self.batches += other.batches
+        self.flushes += other.flushes
+        self.bytes_on_wire += other.bytes_on_wire
+        self.encode_seconds += other.encode_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "frames": self.frames,
+            "entries": self.entries,
+            "batches": self.batches,
+            "flushes": self.flushes,
+            "bytes_on_wire": self.bytes_on_wire,
+            "encode_seconds": self.encode_seconds,
+            "entries_per_frame": (
+                self.entries / self.frames if self.frames else 0.0
+            ),
+        }
+
+
+class WireWriter:
+    """Codec + size/time-bounded batching over one outbound stream.
+
+    Messages are encoded immediately (so encode cost is attributed to
+    the sender's turn and the interning table advances in send order)
+    and the payload bytes are queued.  The queue is flushed into one
+    frame when it reaches ``flush_max_bytes``, when the ``flush_after``
+    timer (armed at the first queued payload) fires, or explicitly via
+    :meth:`send_now`/:meth:`flush`.  ``flush_after=None`` disables
+    batching: every payload is written as its own frame, and a json
+    codec degenerates to the byte-identical legacy (length-prefixed)
+    wire — the E22 fallback.
+    """
+
+    def __init__(
+        self,
+        wire: Wire,
+        max_frame: int = MAX_FRAME,
+        flush_after: float | None = None,
+        flush_max_bytes: int = 1 << 16,
+        schedule: Callable[[float, Callable[[], None]], Any] | None = None,
+        stats: WriterStats | None = None,
+    ) -> None:
+        if flush_max_bytes > max_frame // 2:
+            flush_max_bytes = max_frame // 2
+        self.wire = wire
+        self.max_frame = max_frame
+        self.flush_after = flush_after
+        self.flush_max_bytes = flush_max_bytes
+        self._schedule = schedule
+        self._write: Callable[[bytes], None] | None = None
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
+        self._timer: Any = None
+        #: May be shared between writers (one aggregate per codec at the
+        #: transport level); all access is on the event-loop thread.
+        self.stats = stats if stats is not None else WriterStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._write is not None
+
+    def set_schedule(
+        self, schedule: Callable[[float, Callable[[], None]], Any]
+    ) -> None:
+        """Late-bind the timer source (callers that construct the
+        writer before their event loop exists)."""
+        self._schedule = schedule
+
+    def attach(self, write: Callable[[bytes], None]) -> None:
+        """Bind a (re)connected stream; per-connection codec state and
+        any payloads queued for the dead stream are dropped (they were
+        encoded against the old interning table)."""
+        self._drop_pending()
+        self.wire.reset()
+        self._write = write
+
+    def detach(self) -> None:
+        self._drop_pending()
+        self._write = None
+
+    def _drop_pending(self) -> None:
+        self._pending.clear()
+        self._pending_bytes = 0
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    def send(self, message: Any) -> bool:
+        """Encode and queue (or write) one message; False when no
+        stream is attached (the message is dropped, as a disconnected
+        legacy send would be)."""
+        if self._write is None:
+            return False
+        start = time.perf_counter()
+        payload = self.wire.encode(message, self.max_frame)
+        self.stats.encode_seconds += time.perf_counter() - start
+        if self.flush_after is None or self._schedule is None:
+            self._emit([payload])
+            return True
+        if (
+            self._pending
+            and self._pending_bytes + len(payload) > self.flush_max_bytes
+        ):
+            self.flush()
+        self._pending.append(payload)
+        self._pending_bytes += len(payload)
+        if self._pending_bytes >= self.flush_max_bytes:
+            self.flush()
+        elif self._timer is None:
+            self._timer = self._schedule(self.flush_after, self.flush)
+        return True
+
+    def send_now(self, message: Any) -> bool:
+        """Send with an immediate flush (control-plane requests that
+        expect a reply must not sit in the batch queue)."""
+        ok = self.send(message)
+        self.flush()
+        return ok
+
+    def flush(self) -> None:
+        """Write everything queued as one frame."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending or self._write is None:
+            self._pending.clear()
+            self._pending_bytes = 0
+            return
+        payloads = self._pending
+        self._pending = []
+        self._pending_bytes = 0
+        self.stats.flushes += 1
+        self._emit(payloads)
+
+    def _emit(self, payloads: list[bytes]) -> None:
+        write = self._write
+        assert write is not None
+        if len(payloads) == 1 and self.wire.codec_id == CODEC_JSON:
+            # Single json payload: the byte-identical legacy frame.
+            frame = encode_frame(payloads[0], self.max_frame)
+        elif len(payloads) == 1:
+            frame = encode_wire_frame(
+                payloads[0], self.wire.codec_id, 0, self.max_frame
+            )
+        else:
+            frame = encode_wire_frame(
+                pack_batch(payloads),
+                self.wire.codec_id,
+                FLAG_BATCH,
+                self.max_frame,
+            )
+            self.stats.batches += 1
+        write(frame)
+        self.stats.frames += 1
+        self.stats.entries += len(payloads)
+        self.stats.bytes_on_wire += len(frame)
+
+
+# ----------------------------------------------------------------------
+# Reading side
+# ----------------------------------------------------------------------
+@dataclass
+class ReaderStats:
+    """What one :class:`WireReader` took off the wire."""
+
+    frames: int = 0
+    entries: int = 0
+    batches: int = 0
+    bytes_on_wire: int = 0
+    decode_seconds: float = 0.0
+
+    def merge(self, other: ReaderStats) -> None:
+        self.frames += other.frames
+        self.entries += other.entries
+        self.batches += other.batches
+        self.bytes_on_wire += other.bytes_on_wire
+        self.decode_seconds += other.decode_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "frames": self.frames,
+            "entries": self.entries,
+            "batches": self.batches,
+            "bytes_on_wire": self.bytes_on_wire,
+            "decode_seconds": self.decode_seconds,
+            "entries_per_frame": (
+                self.entries / self.frames if self.frames else 0.0
+            ),
+        }
+
+
+class WireReader:
+    """Incremental frame reassembly + per-codec payload decoding for
+    one inbound stream.  Codec state (the binary interning table) lives
+    for the stream's lifetime, exactly mirroring the sender.  Stats are
+    kept per codec name and may be shared across connections (the
+    transport hands every reader one aggregate dict)."""
+
+    def __init__(
+        self,
+        max_frame: int = MAX_FRAME,
+        stats: dict[str, ReaderStats] | None = None,
+    ) -> None:
+        self._decoder = WireDecoder(max_frame)
+        self._wires: dict[int, Wire] = {}
+        self.stats: dict[str, ReaderStats] = stats if stats is not None else {}
+
+    def _wire(self, codec: int) -> Wire:
+        wire = self._wires.get(codec)
+        if wire is None:
+            wire = wire_for_codec(codec)
+            self._wires[codec] = wire
+        return wire
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Absorb stream bytes; return every decoded message.
+
+        Raises :class:`FrameError` on any framing or payload error —
+        with stateful interning a partially-decoded stream cannot be
+        safely resumed, so the caller must drop the connection.
+        """
+        messages: list[Any] = []
+        for frame in self._decoder.feed(data):
+            wire = self._wire(frame.codec)
+            stats = self.stats.get(wire.name)
+            if stats is None:
+                stats = self.stats[wire.name] = ReaderStats()
+            stats.frames += 1
+            stats.bytes_on_wire += len(frame.payload)
+            if frame.flags & FLAG_BATCH:
+                payloads = unpack_batch(frame.payload)
+                stats.batches += 1
+            else:
+                payloads = [frame.payload]
+            start = time.perf_counter()
+            for payload in payloads:
+                messages.append(wire.decode(payload))
+            stats.decode_seconds += time.perf_counter() - start
+            stats.entries += len(payloads)
+        return messages

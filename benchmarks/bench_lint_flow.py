@@ -1,0 +1,134 @@
+"""E26 — flow-sensitive lint budget: the ASYNC family stays cheap and clean.
+
+The ASYNC rules build a control-flow graph and run dataflow fixpoints
+for every async function they analyze, which is asymptotically heavier
+than the E21 visitor rules.  This benchmark times an ASYNC-only scan
+of ``src/`` and the full gate (all rules), and fails ``--check`` if
+either exceeds the wall-clock budget or the ASYNC scan reports any
+active finding — the ISSUE-9 acceptance is *zero* findings on the
+gated tree, with every exemption a justified suppression.
+
+The budget matches E21's: 5 s absolute for the gated tree.  The flow
+layer is bounded by statements-per-function (CFG build is linear,
+the worklist converges in a few passes over loop bodies), so a breach
+means a fixpoint that stopped converging, not a slow runner.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_lint_flow.py \
+        --json BENCH_lint_flow.json --check
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Hard wall-clock budget for one scan of the gated tree (src/).
+BUDGET_SECONDS = 5.0
+
+ASYNC_RULES = ["ASYNC001", "ASYNC002", "ASYNC003", "ASYNC004", "ASYNC005"]
+
+
+def timed_scan(paths, select=None, rounds=3):
+    """Best-of-``rounds`` analysis; returns (seconds, result)."""
+    from repro.lint import analyze_paths
+
+    best = None
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = analyze_paths(paths, select=select)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def run_benchmark(rounds=3):
+    src = [REPO / "src"]
+    async_seconds, async_result = timed_scan(src, select=ASYNC_RULES, rounds=rounds)
+    full_seconds, full_result = timed_scan(src, rounds=rounds)
+    return {
+        "experiment": "E26",
+        "budget_seconds": BUDGET_SECONDS,
+        "rounds": rounds,
+        "async_only": {
+            "seconds": round(async_seconds, 4),
+            "files": async_result.files_scanned,
+            "findings": len(async_result.findings),
+            "suppressed": len(async_result.suppressed),
+            "stale_suppressions": len(async_result.stale),
+            "ms_per_file": round(
+                1000 * async_seconds / async_result.files_scanned, 3
+            ),
+        },
+        "full_gate": {
+            "seconds": round(full_seconds, 4),
+            "files": full_result.files_scanned,
+            "findings": len(full_result.findings),
+            "suppressed": len(full_result.suppressed),
+        },
+        "within_budget": (
+            async_seconds <= BUDGET_SECONDS and full_seconds <= BUDGET_SECONDS
+        ),
+        "clean": not async_result.findings and not async_result.stale,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", help="write results to this path")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            f"fail if either scan exceeds the {BUDGET_SECONDS:.0f}s budget, "
+            "or the ASYNC scan has active findings or stale suppressions"
+        ),
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    results = run_benchmark(rounds=args.rounds)
+
+    print(
+        f"E26 flow lint: ASYNC-only {results['async_only']['seconds']:.3f}s "
+        f"over {results['async_only']['files']} files "
+        f"({results['async_only']['ms_per_file']:.2f} ms/file), "
+        f"{results['async_only']['findings']} findings, "
+        f"{results['async_only']['suppressed']} suppressed; "
+        f"full gate {results['full_gate']['seconds']:.3f}s"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.check:
+        failed = False
+        if not results["within_budget"]:
+            print(
+                f"FAIL: scan over budget ({BUDGET_SECONDS:.1f}s): "
+                f"async {results['async_only']['seconds']:.3f}s, "
+                f"full {results['full_gate']['seconds']:.3f}s"
+            )
+            failed = True
+        if not results["clean"]:
+            print(
+                f"FAIL: ASYNC scan not clean: "
+                f"{results['async_only']['findings']} active findings, "
+                f"{results['async_only']['stale_suppressions']} stale "
+                "suppressions"
+            )
+            failed = True
+        if failed:
+            return 1
+        print(f"gate ok: clean and within {BUDGET_SECONDS:.1f}s budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

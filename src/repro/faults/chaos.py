@@ -311,7 +311,7 @@ def _chaos_envelope_worker(
 
     # Host wall-clock of the whole run, reported in the envelope for
     # operators; it never feeds simulation state, traces, or digests.
-    t0 = time.perf_counter()  # repro-lint: ignore[DET002]
+    t0 = time.perf_counter()  # repro-lint: ignore[DET002] -- operator wall-clock
     report = run_chaos(
         processors,
         seed=seed,
@@ -329,7 +329,7 @@ def _chaos_envelope_worker(
         stats=report.stats,
         violations=report.violations,
         coverage=report.coverage,
-        wall_s=time.perf_counter() - t0,  # repro-lint: ignore[DET002]
+        wall_s=time.perf_counter() - t0,  # repro-lint: ignore[DET002] -- operator wall-clock
     )
 
 

@@ -8,8 +8,13 @@ from __future__ import annotations
 import argparse
 from collections.abc import Sequence
 
-from repro.lint.engine import analyze_paths
-from repro.lint.report import render_json, render_rule_list, render_text
+from repro.lint.engine import analyze_paths, rule_by_id
+from repro.lint.report import (
+    render_explain,
+    render_json,
+    render_rule_list,
+    render_text,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list every rule id and summary, then exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print one rule's doc, rationale and bad/good example, then exit",
+    )
     return parser
 
 
@@ -66,6 +76,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     options = parser.parse_args(argv)
     if options.list_rules:
         print(render_rule_list())
+        return 0
+    if options.explain:
+        try:
+            rule = rule_by_id(options.explain)
+        except KeyError as exc:
+            parser.error(str(exc))  # exits 2
+            raise AssertionError("unreachable") from exc  # pragma: no cover
+        print(render_explain(rule))
         return 0
     try:
         result = analyze_paths(

@@ -8,13 +8,17 @@ findings the rules yield.
 
 Suppression comments::
 
-    self.t0 = time.perf_counter()  # repro-lint: ignore[DET002]
+    self.t0 = time.perf_counter()  # repro-lint: ignore[DET002] -- profiling layer owns the clock
     foo()  # repro-lint: ignore[DET001,IOA002]
     bar()  # repro-lint: ignore[*]
 
 A suppression silences only the named rules (or all, for ``*``) on its
 own physical line; findings are anchored to the line of the offending
-AST node, so the comment goes on that line.
+AST node, so the comment goes on that line.  Text after the bracket is
+the *justification* — it travels with the suppressed finding so
+``--show-suppressed`` audits read as prose, and CI requires one on
+every ASYNC suppression.  A suppression naming a rule that reports
+nothing on its line is *stale* and surfaces as a warning.
 
 Fixture files outside ``src`` can claim a module identity for scoped
 rules with a pragma comment anywhere in the file::
@@ -33,7 +37,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.lint.model import Finding
+from repro.lint.model import Finding, StaleSuppression
 
 _SUPPRESS_RE = re.compile(r"repro-lint:\s*ignore\[([^\]]*)\]")
 _MODULE_RE = re.compile(r"repro-lint:\s*module=([\w.]+)")
@@ -64,6 +68,8 @@ class FileContext:
     tree: ast.Module
     #: line number -> set of suppressed rule ids ("*" = all rules).
     suppressions: dict[int, frozenset[str]]
+    #: line number -> justification text after the ``ignore[...]``.
+    suppression_notes: dict[int, str]
     #: name in this module -> dotted origin ("random", "time.perf_counter").
     imports: dict[str, str]
     #: lazily populated: child node -> parent node.
@@ -74,7 +80,7 @@ class FileContext:
     def parse(cls, path: Path, display_path: str | None = None) -> FileContext:
         text = path.read_text(encoding="utf-8")
         tree = ast.parse(text, filename=str(path))
-        suppressions, module_pragma = _scan_comments(text)
+        suppressions, notes, module_pragma = _scan_comments(text)
         module = module_pragma or _module_name_for(path)
         return cls(
             path=display_path or str(path),
@@ -82,6 +88,7 @@ class FileContext:
             text=text,
             tree=tree,
             suppressions=suppressions,
+            suppression_notes=notes,
             imports=_import_map(tree),
         )
 
@@ -119,13 +126,17 @@ class FileContext:
         return self._parents.get(id(node))
 
 
-def _scan_comments(text: str) -> tuple[dict[int, frozenset[str]], str | None]:
-    """Extract suppression comments and the optional module pragma.
+def _scan_comments(
+    text: str,
+) -> tuple[dict[int, frozenset[str]], dict[int, str], str | None]:
+    """Extract suppression comments (with justification text), and the
+    optional module pragma.
 
     Uses :mod:`tokenize` so directives inside string literals are never
     mistaken for live suppressions.
     """
     suppressions: dict[int, frozenset[str]] = {}
+    notes: dict[int, str] = {}
     module_pragma: str | None = None
     try:
         tokens = tokenize.generate_tokens(io.StringIO(text).readline)
@@ -140,12 +151,15 @@ def _scan_comments(text: str) -> tuple[dict[int, frozenset[str]], str | None]:
                 if rules:
                     line = tok.start[0]
                     suppressions[line] = suppressions.get(line, frozenset()) | rules
+                    note = tok.string[match.end() :].strip().lstrip("-—: ").strip()
+                    if note:
+                        notes[line] = note
             pragma = _MODULE_RE.search(tok.string)
             if pragma:
                 module_pragma = pragma.group(1)
     except tokenize.TokenError:
         pass  # the ast parse already succeeded; comments best-effort
-    return suppressions, module_pragma
+    return suppressions, notes, module_pragma
 
 
 def _import_map(tree: ast.Module) -> dict[str, str]:
@@ -174,10 +188,18 @@ def _import_map(tree: ast.Module) -> dict[str, str]:
 # ----------------------------------------------------------------------
 class Rule(ABC):
     """One analysis rule.  Subclasses set ``id`` and ``summary`` and
-    yield findings from :meth:`check`; the engine applies suppressions."""
+    yield findings from :meth:`check`; the engine applies suppressions.
+
+    The optional ``rationale`` / ``example_bad`` / ``example_good``
+    class attributes feed ``--explain`` (the class docstring is the
+    rule's long-form description).
+    """
 
     id: str = ""
     summary: str = ""
+    rationale: str = ""
+    example_bad: str = ""
+    example_good: str = ""
 
     @abstractmethod
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -186,13 +208,15 @@ class Rule(ABC):
     def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
+        suppressed = ctx.is_suppressed(self.id, line)
         return Finding(
             path=ctx.path,
             line=line,
             col=col,
             rule=self.id,
             message=message,
-            suppressed=ctx.is_suppressed(self.id, line),
+            suppressed=suppressed,
+            note=ctx.suppression_notes.get(line, "") if suppressed else "",
         )
 
 
@@ -245,6 +269,9 @@ class LintResult:
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
+    #: suppression comments naming selected rules that reported nothing
+    #: on their line — dead directives that hide future regressions.
+    stale: list[StaleSuppression] = field(default_factory=list)
     files_scanned: int = 0
 
     @property
@@ -283,6 +310,54 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     return out
 
 
+def _parse_or_error(path: Path, shown: str) -> FileContext | Finding:
+    try:
+        return FileContext.parse(path, display_path=shown)
+    except SyntaxError as exc:
+        return Finding(
+            path=shown,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"syntax error: {exc.msg}",
+        )
+
+
+def _run_rules(ctx: FileContext, rules: Sequence[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    return findings
+
+
+def stale_suppressions(
+    ctx: FileContext, findings: Sequence[Finding], rules: Sequence[Rule]
+) -> list[StaleSuppression]:
+    """Suppression comments in ``ctx`` that silenced nothing.
+
+    A directive is stale for each *selected* rule it names that has no
+    finding on its line (rules outside the current selection are left
+    alone — running ``--select ASYNC001`` must not flag every DET
+    suppression in the tree).  A ``*`` directive is stale when the line
+    has no finding at all.
+    """
+    rule_ids = {rule.id for rule in rules}
+    hits_by_line: dict[int, set[str]] = {}
+    for finding in findings:
+        hits_by_line.setdefault(finding.line, set()).add(finding.rule)
+    out: list[StaleSuppression] = []
+    for line, named in sorted(ctx.suppressions.items()):
+        hits = hits_by_line.get(line, set())
+        if "*" in named:
+            if not hits:
+                out.append(StaleSuppression(path=ctx.path, line=line, rules=("*",)))
+            continue
+        dead = sorted((named & rule_ids) - hits)
+        if dead:
+            out.append(StaleSuppression(path=ctx.path, line=line, rules=tuple(dead)))
+    return out
+
+
 def analyze_file(
     path: Path,
     rules: Sequence[Rule] | None = None,
@@ -291,22 +366,10 @@ def analyze_file(
     """Run ``rules`` (default: all) over one file; findings carry their
     suppression flag but are *not* filtered here."""
     shown = display_path or str(path)
-    try:
-        ctx = FileContext.parse(path, display_path=shown)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                path=shown,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule=PARSE_ERROR_RULE,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    findings: list[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        findings.extend(rule.check(ctx))
-    return findings
+    parsed = _parse_or_error(path, shown)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    return _run_rules(parsed, rules if rules is not None else all_rules())
 
 
 def select_rules(
@@ -337,11 +400,18 @@ def analyze_paths(
     result = LintResult()
     for path in iter_python_files(paths):
         result.files_scanned += 1
-        for finding in analyze_file(path, rules=rules):
+        parsed = _parse_or_error(path, str(path))
+        if isinstance(parsed, Finding):
+            result.findings.append(parsed)
+            continue
+        file_findings = _run_rules(parsed, rules)
+        result.stale.extend(stale_suppressions(parsed, file_findings, rules))
+        for finding in file_findings:
             if finding.suppressed:
                 result.suppressed.append(finding)
             else:
                 result.findings.append(finding)
     result.findings.sort()
     result.suppressed.sort()
+    result.stale.sort()
     return result

@@ -1,0 +1,46 @@
+"""Flow-sensitive analysis layer for repro-lint.
+
+The stateless AST rules (DET/IOA/SNAP/TYP families) see one node at a
+time; the ASYNC concurrency family needs to see *paths* — what happens
+between a check and an act, whether a lock is held across a suspension
+point, whether a release is reachable from an acquire on every exit.
+This package supplies the machinery:
+
+- :mod:`repro.lint.flow.cfg` — a per-function control-flow graph
+  builder over stdlib :mod:`ast`, with await/async-for/async-with
+  suspension points marked on nodes, try/except/finally edges, loop
+  back edges, and lexical (async) ``with`` lock-held sets;
+- :mod:`repro.lint.flow.dataflow` — a small forward worklist engine
+  plus the concrete fact extractors the ASYNC rules share (reaching
+  definitions, ``self._*`` attribute read/write/guard facts).
+
+Everything here is pure stdlib and deterministic: node ids are
+allocated in syntactic order, successor lists preserve insertion
+order, and analyses iterate in reverse post-order — the same scan of
+the same file always yields the same facts.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow.cfg import Cfg, CfgNode, build_cfg, stmt_contains_await
+from repro.lint.flow.dataflow import (
+    ForwardAnalysis,
+    guard_reads,
+    reaching_definitions,
+    run_forward,
+    self_attr_reads,
+    self_attr_writes,
+)
+
+__all__ = [
+    "Cfg",
+    "CfgNode",
+    "build_cfg",
+    "ForwardAnalysis",
+    "guard_reads",
+    "reaching_definitions",
+    "run_forward",
+    "self_attr_reads",
+    "self_attr_writes",
+    "stmt_contains_await",
+]

@@ -20,6 +20,9 @@ class Finding:
     rule: str
     message: str
     suppressed: bool = False
+    #: justification text from the suppression comment (suppressed
+    #: findings only) — what ``--show-suppressed`` audits read.
+    note: str = ""
 
     def format(self) -> str:
         """Render in the conventional ``path:line:col: RULE message`` shape."""
@@ -34,4 +37,31 @@ class Finding:
             "rule": self.rule,
             "message": self.message,
             "suppressed": self.suppressed,
+            "note": self.note,
         }
+
+
+@dataclass(frozen=True, order=True)
+class StaleSuppression:
+    """A ``repro-lint: ignore[...]`` directive that silenced nothing.
+
+    Stale directives are warnings, not findings: they do not fail the
+    gate on their own, but they hide future regressions (the code they
+    excused was fixed or moved, and the comment now pre-forgives
+    whatever lands on that line next).
+    """
+
+    path: str
+    line: int
+    #: the named rule ids with no finding on the line ("*" for blanket).
+    rules: tuple[str, ...]
+
+    def format(self) -> str:
+        named = ",".join(self.rules)
+        return (
+            f"{self.path}:{self.line}: warning: stale suppression "
+            f"ignore[{named}] — no such finding on this line; remove it"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "rules": list(self.rules)}

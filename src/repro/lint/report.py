@@ -7,35 +7,42 @@ enforces on the code it scans.
 
 from __future__ import annotations
 
+import inspect
 import json
 
-from repro.lint.engine import LintResult, all_rules
+from repro.lint.engine import LintResult, Rule, all_rules
 
 
 def render_text(result: LintResult, show_suppressed: bool = False) -> str:
     """Human-readable ``path:line:col: RULE message`` lines + summary."""
     lines = [finding.format() for finding in result.findings]
     if show_suppressed:
-        lines.extend(
-            f"{finding.format()} (suppressed)" for finding in result.suppressed
-        )
+        for finding in result.suppressed:
+            tail = f" -- {finding.note}" if finding.note else ""
+            lines.append(f"{finding.format()} (suppressed{tail})")
+    lines.extend(stale.format() for stale in result.stale)
     total = len(result.findings)
     noun = "finding" if total == 1 else "findings"
-    lines.append(
+    summary = (
         f"{total} {noun} ({len(result.suppressed)} suppressed) "
         f"in {result.files_scanned} files"
     )
+    if result.stale:
+        summary += f", {len(result.stale)} stale suppression warnings"
+    lines.append(summary)
     return "\n".join(lines)
 
 
 def render_json(result: LintResult) -> str:
-    """Machine-readable report (schema version 1)."""
+    """Machine-readable report (schema version 2: adds per-finding
+    ``note`` and the top-level ``stale`` warning list)."""
     payload = {
-        "version": 1,
+        "version": 2,
         "files_scanned": result.files_scanned,
         "counts": result.counts,
         "findings": [finding.to_json() for finding in result.findings],
         "suppressed": [finding.to_json() for finding in result.suppressed],
+        "stale": [stale.to_json() for stale in result.stale],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
 
@@ -43,3 +50,23 @@ def render_json(result: LintResult) -> str:
 def render_rule_list() -> str:
     """``--list-rules`` output: one ``ID  summary`` line per rule."""
     return "\n".join(f"{rule.id}  {rule.summary}" for rule in all_rules())
+
+
+def render_explain(rule: Rule) -> str:
+    """``--explain RULE`` output: the rule's doc, rationale, and a
+    minimal bad/good example pair."""
+    lines = [f"{rule.id} — {rule.summary}", ""]
+    doc = inspect.getdoc(rule)
+    if doc:
+        lines.extend([doc, ""])
+    if rule.rationale:
+        lines.extend(["Why it matters:", f"  {rule.rationale}", ""])
+    if rule.example_bad:
+        lines.append("Flagged:")
+        lines.extend(f"    {ln}" for ln in rule.example_bad.splitlines())
+        lines.append("")
+    if rule.example_good:
+        lines.append("Clean:")
+        lines.extend(f"    {ln}" for ln in rule.example_good.splitlines())
+        lines.append("")
+    return "\n".join(lines).rstrip()

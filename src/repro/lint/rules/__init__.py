@@ -7,11 +7,22 @@ Rule families:
 - ``IOA00x`` — I/O-automaton discipline for the paper's
   precondition/effect transcriptions (Figs. 3, 6, 8-10);
 - ``SNAP001`` — snapshot/pickle safety for derived-cache attributes;
-- ``TYP001`` — typing discipline backing the CI ``mypy`` strict gate.
+- ``TYP001`` — typing discipline backing the CI ``mypy`` strict gate;
+- ``ASYNC00x`` — flow-sensitive async-concurrency hazards over the live
+  runtime (check-then-act across an await, dropped task handles,
+  blocking calls on the loop, swallowed cancellation, unreleased
+  resources), built on :mod:`repro.lint.flow`.
 """
 
 from __future__ import annotations
 
+from repro.lint.rules.async_concurrency import (
+    BlockingCallInAsyncRule,
+    CheckThenActAcrossAwaitRule,
+    DroppedTaskHandleRule,
+    SwallowedCancellationRule,
+    UnreleasedResourceRule,
+)
 from repro.lint.rules.determinism import (
     EnvironReadRule,
     IdentityOrderingRule,
@@ -38,10 +49,20 @@ ALL_RULE_CLASSES = (
     SignatureCoverageRule,
     DerivedCacheSnapshotRule,
     UntypedDefRule,
+    CheckThenActAcrossAwaitRule,
+    DroppedTaskHandleRule,
+    BlockingCallInAsyncRule,
+    SwallowedCancellationRule,
+    UnreleasedResourceRule,
 )
 
 __all__ = [
     "ALL_RULE_CLASSES",
+    "CheckThenActAcrossAwaitRule",
+    "DroppedTaskHandleRule",
+    "BlockingCallInAsyncRule",
+    "SwallowedCancellationRule",
+    "UnreleasedResourceRule",
     "UnseededRandomRule",
     "WallClockRule",
     "UnsortedSetIterationRule",

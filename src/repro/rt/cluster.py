@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import os
 import random
@@ -132,7 +133,11 @@ class NodeClient:
                 for message in reader.feed(data):
                     if isinstance(message, Ctl):
                         self._replies.put_nowait(message)
-        except (OSError, asyncio.CancelledError):
+        except asyncio.CancelledError:
+            # close() cancels this task and awaits it; swallowing the
+            # cancellation here would make that await hang forever.
+            raise
+        except OSError:
             pass
 
     def send_nowait(self, ctl: Ctl) -> None:
@@ -206,8 +211,12 @@ class LiveCluster:
         env = dict(os.environ)
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
         for p in self.processors:
-            out = open(self.log_dir / f"{p}.stdout.log", "wb")
-            self.procs[p] = subprocess.Popen(
+            # Spawn-time only (one short create per node, before any
+            # traffic flows), so blocking the loop here is harmless.
+            out = open(  # repro-lint: ignore[ASYNC003] -- spawn-time create, loop idle
+                self.log_dir / f"{p}.stdout.log", "wb"
+            )
+            popen = subprocess.Popen(
                 [
                     sys.executable,
                     "-m",
@@ -227,6 +236,10 @@ class LiveCluster:
                 stderr=subprocess.STDOUT,
                 env=env,
             )
+            # Popen dup'd the descriptor into the child; keeping ours
+            # open leaks one fd per node per run.
+            out.close()
+            self.procs[p] = popen
         self._mark("spawned", nodes=len(self.processors))
         # Record the timing parameters the nodes were launched with, so
         # the post-run report instantiates the Section 8 bounds with
@@ -298,13 +311,18 @@ class LiveCluster:
             self._mark("metrics_stream", interval=self.metrics_interval)
 
     async def stop_metrics_stream(self) -> None:
-        if self._metrics_task is not None:
-            self._metrics_task.cancel()
-            try:
-                await self._metrics_task
-            except asyncio.CancelledError:
-                pass
-            self._metrics_task = None
+        # Take the handle before suspending: clearing the slot first
+        # makes concurrent stop calls idempotent instead of racing to
+        # cancel/await the same task after the interleaved await.
+        task = self._metrics_task
+        if task is None:
+            return
+        self._metrics_task = None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
 
     # ------------------------------------------------------------------
     async def send_traffic(
@@ -373,7 +391,11 @@ class LiveCluster:
     async def kill(self, p: str) -> None:
         """SIGKILL a node (crash without cleanup; its log is a prefix)."""
         self.procs[p].send_signal(signal.SIGKILL)
-        self.procs[p].wait()
+        # Reap off the loop: wait() blocks until the kernel delivers
+        # the exit status, and the other nodes' traffic keeps flowing.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.procs[p].wait
+        )
         self.killed.add(p)
         await self.clients[p].close()
         self._mark("kill", node=p)
@@ -417,14 +439,20 @@ class LiveCluster:
             except asyncio.TimeoutError:
                 pass
             await self.clients[p].close()
+        loop = asyncio.get_running_loop()
         for p, proc in self.procs.items():
             if p in self.killed:
                 continue
             try:
-                proc.wait(timeout=5.0)
+                # Reap in an executor: a straggler that takes the full
+                # 5s would otherwise freeze every other connection's
+                # teardown (and the metrics flush) with it.
+                await loop.run_in_executor(
+                    None, functools.partial(proc.wait, timeout=5.0)
+                )
             except subprocess.TimeoutExpired:
                 proc.kill()
-                proc.wait()
+                await loop.run_in_executor(None, proc.wait)
         self._mark("stopped")
 
     # ------------------------------------------------------------------

@@ -502,7 +502,12 @@ class LiveNetwork:
                             await self._on_ctl(src, message, replier)
                         continue
                     self._dispatch(src, message)
-        except (OSError, asyncio.CancelledError):
+        except asyncio.CancelledError:
+            # Server shutdown cancels every connection handler; the
+            # finally below still runs, and the cancellation must reach
+            # the Server so close() can finish.
+            raise
+        except OSError:
             pass
         finally:
             if src is not None and self._inbound.get(src) is writer:

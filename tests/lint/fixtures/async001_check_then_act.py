@@ -1,0 +1,58 @@
+"""Fixture: ASYNC001 fires on check-then-act split across an await.
+
+The racing shapes reproduce PR 7's control-plane reply stealing: a
+condition on shared ``self`` state established before an ``await`` and
+acted on after it, with no lock spanning both.  Analyzed, never run.
+"""
+
+import asyncio
+
+
+class ReplyStealing:
+    """The PR-7 bug shape and its fixed forms, side by side."""
+
+    def __init__(self) -> None:
+        self._replies: asyncio.Queue = asyncio.Queue()
+        self._inflight: object | None = None
+        self._lock = asyncio.Lock()
+
+    async def request_races(self, msg: object) -> object:
+        if self._inflight is None:  # check ...
+            self._inflight = msg
+        reply = await self._replies.get()  # ... someone interleaves here ...
+        self._inflight = None  # lint-expect[ASYNC001]
+        return reply
+
+    async def request_locked_is_clean(self, msg: object) -> object:
+        async with self._lock:  # the PR-7 fix: one lock across check+act
+            if self._inflight is None:
+                self._inflight = msg
+            reply = await self._replies.get()
+            self._inflight = None
+            return reply
+
+    async def act_before_await_is_clean(self, msg: object) -> None:
+        if self._inflight is None:
+            self._inflight = msg  # act lands before the suspension
+        await self._replies.get()
+
+    async def recheck_after_await_is_clean(self, msg: object) -> None:
+        if self._inflight is None:
+            await asyncio.sleep(0)
+            if self._inflight is None:  # fresh check supersedes the stale one
+                self._inflight = msg
+
+    async def mutator_counts_as_act(self, key: str) -> None:
+        if self._pending:  # check on the container ...
+            await asyncio.sleep(0)
+            self._pending.pop(key)  # lint-expect[ASYNC001]
+
+    async def suppressed(self) -> None:
+        if self._inflight is None:
+            await asyncio.sleep(0)
+            self._inflight = "x"  # repro-lint: ignore[ASYNC001] -- fixture demo
+
+    async def suppressed_wrong_rule(self) -> None:
+        if self._inflight is None:
+            await asyncio.sleep(0)
+            self._inflight = "x"  # repro-lint: ignore[ASYNC002]  # lint-expect[ASYNC001]

@@ -1,0 +1,49 @@
+"""Fixture: ASYNC002 fires on dropped task handles and never-awaited
+coroutine calls.  Analyzed, never run."""
+
+import asyncio
+
+
+async def helper() -> None:
+    await asyncio.sleep(0)
+
+
+class Service:
+    async def _poll(self) -> None:
+        await asyncio.sleep(0)
+
+    async def start_dropped(self) -> None:
+        asyncio.create_task(self._poll())  # lint-expect[ASYNC002]
+
+    async def start_ensure_future_dropped(self) -> None:
+        asyncio.ensure_future(self._poll())  # lint-expect[ASYNC002]
+
+    async def start_loop_method_dropped(self) -> None:
+        loop = asyncio.get_running_loop()
+        loop.create_task(self._poll())  # lint-expect[ASYNC002]
+
+    async def handle_bound_but_unused(self) -> None:
+        task = asyncio.create_task(self._poll())  # lint-expect[ASYNC002]
+
+    async def never_awaited_method(self) -> None:
+        self._poll()  # lint-expect[ASYNC002]
+
+    async def never_awaited_free_function(self) -> None:
+        helper()  # lint-expect[ASYNC002]
+
+    async def retained_handle_is_clean(self) -> None:
+        self._poll_task = asyncio.create_task(self._poll())
+
+    async def used_handle_is_clean(self) -> None:
+        task = asyncio.create_task(self._poll())
+        task.add_done_callback(lambda _t: None)
+
+    async def awaited_call_is_clean(self) -> None:
+        await helper()
+        await self._poll()
+
+    async def suppressed(self) -> None:
+        asyncio.create_task(self._poll())  # repro-lint: ignore[ASYNC002] -- fixture demo
+
+    async def suppressed_wrong_rule(self) -> None:
+        asyncio.create_task(self._poll())  # repro-lint: ignore[ASYNC003]  # lint-expect[ASYNC002]

@@ -1,0 +1,47 @@
+"""Fixture: ASYNC003 fires on event-loop-blocking calls inside
+``async def``.  Analyzed, never run."""
+
+import asyncio
+import subprocess
+import time
+
+
+async def naps() -> None:
+    time.sleep(0.1)  # lint-expect[ASYNC003]
+
+
+async def shells_out() -> int:
+    return subprocess.run(["true"]).returncode  # lint-expect[ASYNC003]
+
+
+async def reads_file(path: str) -> bytes:
+    return open(path, "rb").read()  # lint-expect[ASYNC003]
+
+
+async def reaps(proc: subprocess.Popen) -> None:
+    proc.wait(timeout=5.0)  # lint-expect[ASYNC003]
+
+
+async def sleeps_properly() -> None:
+    await asyncio.sleep(0.1)
+
+
+async def reaps_in_executor(proc: subprocess.Popen) -> None:
+    # Passing the bound method (not calling it) is the sanctioned shape.
+    await asyncio.get_running_loop().run_in_executor(None, proc.wait)
+
+
+async def awaited_event_wait_is_clean(event: asyncio.Event) -> None:
+    await event.wait()
+
+
+def sync_code_may_block() -> None:
+    time.sleep(0.1)  # not async: out of scope
+
+
+async def suppressed() -> None:
+    time.sleep(0.1)  # repro-lint: ignore[ASYNC003] -- fixture demo
+
+
+async def suppressed_wrong_rule() -> None:
+    time.sleep(0.1)  # repro-lint: ignore[ASYNC004]  # lint-expect[ASYNC003]

@@ -1,0 +1,70 @@
+"""Fixture: ASYNC004 fires on except clauses in async code that
+swallow ``asyncio.CancelledError``.  Analyzed, never run."""
+
+import asyncio
+
+
+async def swallows_bare(reader) -> None:
+    try:
+        await reader.read()
+    except:  # lint-expect[ASYNC004]
+        pass
+
+
+async def swallows_base_exception(reader) -> None:
+    try:
+        await reader.read()
+    except BaseException:  # lint-expect[ASYNC004]
+        pass
+
+
+async def swallows_cancelled(reader) -> None:
+    try:
+        await reader.read()
+    except asyncio.CancelledError:  # lint-expect[ASYNC004]
+        pass
+
+
+async def swallows_cancelled_in_tuple(reader) -> None:
+    try:
+        await reader.read()
+    except (OSError, asyncio.CancelledError):  # lint-expect[ASYNC004]
+        pass
+
+
+async def reraises_is_clean(reader) -> None:
+    try:
+        await reader.read()
+    except asyncio.CancelledError:
+        raise
+    except OSError:
+        pass
+
+
+async def narrow_catch_is_clean(reader) -> None:
+    try:
+        await reader.read()
+    except OSError:
+        pass
+
+
+async def cancel_then_await_idiom_is_clean(task: asyncio.Task) -> None:
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        pass  # absorbing the cancellation of a task we just cancelled
+
+
+async def suppressed(reader) -> None:
+    try:
+        await reader.read()
+    except BaseException:  # repro-lint: ignore[ASYNC004] -- fixture demo
+        pass
+
+
+async def suppressed_wrong_rule(reader) -> None:
+    try:
+        await reader.read()
+    except BaseException:  # repro-lint: ignore[ASYNC005]  # lint-expect[ASYNC004]
+        pass

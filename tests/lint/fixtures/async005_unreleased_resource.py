@@ -1,0 +1,59 @@
+"""Fixture: ASYNC005 fires on acquire()/open() without a release on
+every CFG path.  Analyzed, never run."""
+
+import asyncio
+
+
+class Guarded:
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+        self._sink = None
+
+    async def leaks_on_early_return(self, flag: bool) -> None:
+        await self._lock.acquire()  # lint-expect[ASYNC005]
+        if flag:
+            return  # this path never releases
+        self._lock.release()
+
+    async def leaks_on_cancellation(self, queue: asyncio.Queue) -> None:
+        await self._lock.acquire()  # lint-expect[ASYNC005]
+        await queue.get()  # cancelled here -> the release below never runs
+        self._lock.release()
+
+    async def finally_release_is_clean(self, queue: asyncio.Queue) -> None:
+        await self._lock.acquire()
+        try:
+            await queue.get()
+        finally:
+            self._lock.release()
+
+    async def async_with_is_clean(self, queue: asyncio.Queue) -> None:
+        async with self._lock:
+            await queue.get()
+
+    async def leaks_file(self, path: str) -> bytes:
+        handle = open(path, "rb")  # lint-expect[ASYNC005]
+        data = handle.read()
+        return data
+
+    async def closed_file_is_clean(self, path: str) -> int:
+        handle = open(path, "rb")
+        size = len(handle.read())
+        handle.close()
+        return size
+
+    async def ownership_handoff_is_clean(self, path: str) -> None:
+        handle = open(path, "rb")
+        self._sink = handle  # a longer-lived owner releases it
+
+    async def suppressed(self, flag: bool) -> None:
+        await self._lock.acquire()  # repro-lint: ignore[ASYNC005] -- fixture demo
+        if flag:
+            return
+        self._lock.release()
+
+    async def suppressed_wrong_rule(self, flag: bool) -> None:
+        await self._lock.acquire()  # repro-lint: ignore[ASYNC001]  # lint-expect[ASYNC005]
+        if flag:
+            return
+        self._lock.release()

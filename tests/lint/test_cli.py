@@ -63,7 +63,7 @@ def test_json_format(capsys):
     code, out = run_main(capsys, "--format", "json", DET1)
     assert code == 1
     payload = json.loads(out)
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["counts"]["DET001"] > 0
 
 
@@ -92,3 +92,53 @@ def test_python_dash_m_entry_point():
     )
     assert proc.returncode == 1
     assert "DET001" in proc.stdout
+
+
+def test_list_rules_includes_async_family(capsys):
+    code, out = run_main(capsys, "--list-rules")
+    assert code == 0
+    for rule_id in ("ASYNC001", "ASYNC002", "ASYNC003", "ASYNC004", "ASYNC005"):
+        assert rule_id in out
+
+
+def test_explain_prints_doc_rationale_and_examples(capsys):
+    code, out = run_main(capsys, "--explain", "ASYNC001")
+    assert code == 0
+    assert out.startswith("ASYNC001 — ")
+    assert "Why it matters:" in out
+    assert "Flagged:" in out and "Clean:" in out
+    assert "async with" in out  # the good example shows the fix
+
+
+def test_explain_works_for_every_registered_rule(capsys):
+    _, listing = run_main(capsys, "--list-rules")
+    for rule_id in [line.split()[0] for line in listing.splitlines()]:
+        code, out = run_main(capsys, "--explain", rule_id)
+        assert code == 0
+        assert out.startswith(f"{rule_id} — ")
+
+
+def test_explain_unknown_rule_exits_two(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--explain", "NOPE999"])
+    assert excinfo.value.code == 2
+
+
+def test_stale_suppression_surfaces_as_warning(capsys, tmp_path):
+    target = tmp_path / "stale.py"
+    target.write_text("x = 1  # repro-lint: ignore[DET001]\n")
+    code, out = run_main(capsys, str(target))
+    assert code == 0  # warnings never fail the gate on their own
+    assert "warning: stale suppression" in out
+    assert "ignore[DET001]" in out
+
+
+def test_suppression_note_shown_in_audit(capsys, tmp_path):
+    target = tmp_path / "noted.py"
+    target.write_text(
+        "import random\n"
+        "x = random.random()  # repro-lint: ignore[DET001] -- demo seed\n"
+    )
+    code, out = run_main(capsys, "--show-suppressed", str(target))
+    assert code == 0
+    assert "(suppressed -- demo seed)" in out

@@ -1,0 +1,298 @@
+"""repro.lint.flow: CFG construction and dataflow fact assertions.
+
+The CFG tests parse small functions and assert structural properties
+(edges, suspension marks, held sets, finally routing) rather than full
+graph dumps, so they stay exact without being brittle to node
+numbering.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.flow import (
+    build_cfg,
+    guard_reads,
+    reaching_definitions,
+    self_attr_reads,
+    self_attr_writes,
+    stmt_contains_await,
+)
+from repro.lint.flow.cfg import Cfg
+
+
+def cfg_of(source: str) -> Cfg:
+    tree = ast.parse(source)
+    func = next(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+def nodes_of_kind(cfg: Cfg, kind: str):
+    return [n for n in cfg.nodes if n.kind == kind]
+
+
+def node_at_line(cfg: Cfg, line: int, kind: str | None = None):
+    matches = [
+        n
+        for n in cfg.nodes
+        if n.line == line
+        and n.kind != "entry"
+        and (kind is None or n.kind == kind)
+    ]
+    assert matches, f"no CFG node at line {line}"
+    return matches[0]
+
+
+class TestCfgStructure:
+    def test_straight_line_chains_entry_to_exit(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        a, b = node_at_line(cfg, 2), node_at_line(cfg, 3)
+        assert cfg.node(cfg.entry).succs == [a.index]
+        assert a.succs == [b.index]
+        assert b.succs == [cfg.exit]
+
+    def test_branch_joins_both_arms(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"  # line 2
+            "        a = 1\n"  # line 3
+            "    else:\n"
+            "        b = 2\n"  # line 5
+            "    c = 3\n"  # line 6
+        )
+        test = node_at_line(cfg, 2)
+        assert test.kind == "test"
+        then_arm, else_arm = node_at_line(cfg, 3), node_at_line(cfg, 5)
+        join = node_at_line(cfg, 6)
+        assert set(test.succs) == {then_arm.index, else_arm.index}
+        assert then_arm.succs == [join.index]
+        assert else_arm.succs == [join.index]
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of("def f(x):\n    if x:\n        a = 1\n    b = 2\n")
+        test, then_arm, after = (
+            node_at_line(cfg, 2),
+            node_at_line(cfg, 3),
+            node_at_line(cfg, 4),
+        )
+        assert set(test.succs) == {then_arm.index, after.index}
+
+    def test_while_has_back_edge_and_exit(self):
+        cfg = cfg_of("def f(x):\n    while x:\n        x -= 1\n    done = 1\n")
+        test, body, after = (
+            node_at_line(cfg, 2),
+            node_at_line(cfg, 3),
+            node_at_line(cfg, 4),
+        )
+        assert body.index in test.succs and after.index in test.succs
+        assert test.index in body.succs  # back edge
+
+    def test_break_exits_loop_continue_returns_to_head(self):
+        cfg = cfg_of(
+            "def f(items):\n"
+            "    for i in items:\n"  # line 2
+            "        if i:\n"  # line 3
+            "            break\n"  # line 4
+            "        continue\n"  # line 5
+            "    done = 1\n"  # line 6
+        )
+        head = node_at_line(cfg, 2)
+        brk, cont, after = (
+            node_at_line(cfg, 4),
+            node_at_line(cfg, 5),
+            node_at_line(cfg, 6),
+        )
+        assert after.index in brk.succs  # break -> loop exit
+        assert cont.succs == [head.index]  # continue -> next iteration
+
+    def test_try_body_edges_to_handler_and_finally_runs_on_all_paths(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"  # line 3
+            "    except ValueError:\n"  # line 4
+            "        handled = 1\n"  # line 5
+            "    finally:\n"
+            "        cleanup()\n"  # line 7
+            "    after = 1\n"  # line 8
+        )
+        risky = node_at_line(cfg, 3)
+        handler_head = next(n for n in nodes_of_kind(cfg, "except"))
+        finally_marker = next(n for n in nodes_of_kind(cfg, "finally"))
+        handled = node_at_line(cfg, 5, kind="stmt")
+        cleanup = node_at_line(cfg, 7, kind="stmt")
+        after = node_at_line(cfg, 8)
+        # The risky statement may raise into the handler or the finally.
+        assert handler_head.index in risky.succs
+        assert finally_marker.index in risky.succs
+        # Both completions funnel through the finally suite to `after`.
+        assert finally_marker.index in risky.succs
+        assert finally_marker.index in handled.succs
+        assert cleanup.index in cfg.node(finally_marker.index).succs
+        assert after.index in cleanup.succs
+        assert cleanup.in_finally
+
+    def test_return_routes_through_finally_to_exit(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"  # line 3
+            "    finally:\n"
+            "        cleanup()\n"  # line 5
+        )
+        ret = node_at_line(cfg, 3)
+        cleanup = node_at_line(cfg, 5, kind="stmt")
+        finally_marker = next(n for n in nodes_of_kind(cfg, "finally"))
+        assert ret.succs == [finally_marker.index]  # not straight to exit
+        assert cfg.exit in cleanup.succs
+
+    def test_break_inside_try_with_outer_finally_builds_correctly(self):
+        # Regression: a break whose loop sits *inside* a try/finally
+        # used to be routed through the finally as an abrupt transfer
+        # pending a loop frame that had already closed (IndexError).
+        # The finally around the loop never intercepts the break; the
+        # loop's normal exit then funnels through the finally.
+        cfg = cfg_of(
+            "def f(items):\n"
+            "    try:\n"
+            "        for i in items:\n"  # line 3
+            "            break\n"  # line 4
+            "        tail = 1\n"  # line 5: break lands here, not in finally
+            "    finally:\n"
+            "        cleanup()\n"  # line 7
+        )
+        brk = node_at_line(cfg, 4)
+        tail = node_at_line(cfg, 5)
+        cleanup = node_at_line(cfg, 7, kind="stmt")
+        assert tail.index in brk.succs  # break -> statement after the loop
+        assert cfg.exit in cleanup.succs
+
+    def test_nested_async_def_is_opaque(self):
+        cfg = cfg_of(
+            "async def outer():\n"
+            "    async def inner():\n"  # line 2: one opaque node
+            "        await thing()\n"
+            "    x = 1\n"  # line 4
+        )
+        inner = node_at_line(cfg, 2)
+        assert inner.kind == "stmt"
+        assert not inner.suspends  # inner's await is not outer's
+        assert not stmt_contains_await(inner.stmt)
+
+    def test_async_comprehension_suspends_plain_does_not(self):
+        cfg = cfg_of(
+            "async def f(agen, items):\n"
+            "    a = [x async for x in agen]\n"  # line 2
+            "    b = [y for y in items]\n"  # line 3
+        )
+        assert node_at_line(cfg, 2).suspends
+        assert not node_at_line(cfg, 3).suspends
+
+    def test_with_tracks_held_locks_lexically(self):
+        cfg = cfg_of(
+            "async def f(self):\n"
+            "    async with self._lock:\n"  # line 2
+            "        inside = 1\n"  # line 3
+            "    outside = 1\n"  # line 4
+        )
+        enter = node_at_line(cfg, 2)
+        assert enter.kind == "with" and enter.suspends
+        assert node_at_line(cfg, 3).held == frozenset({"self._lock"})
+        assert node_at_line(cfg, 4).held == frozenset()
+
+    def test_await_statement_marks_suspension(self):
+        cfg = cfg_of("async def f(q):\n    v = await q.get()\n    w = 1\n")
+        assert node_at_line(cfg, 2).suspends
+        assert not node_at_line(cfg, 3).suspends
+
+    def test_reverse_postorder_starts_at_entry_and_covers_all(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    while x:\n"
+            "        if x > 1:\n"
+            "            x -= 1\n"
+            "        else:\n"
+            "            break\n"
+            "    return x\n"
+        )
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+        assert sorted(order) == sorted(n.index for n in cfg.nodes)
+
+    def test_reachable_stops_through_blockers(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n    c = 3\n")
+        a, b, c = (node_at_line(cfg, i) for i in (2, 3, 4))
+        assert c.index in cfg.reachable(a.index)
+        assert c.index not in cfg.reachable(a.index, frozenset({b.index}))
+        assert cfg.exit not in cfg.reachable(a.index, frozenset({b.index}))
+
+
+class TestDataflowFacts:
+    def test_reaching_definitions_kill_and_merge(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    y = 1\n"  # line 2
+            "    if x:\n"
+            "        y = 2\n"  # line 4
+            "    z = y\n"  # line 5
+        )
+        facts = reaching_definitions(cfg)
+        at_use = facts[node_at_line(cfg, 5).index]
+        y_defs = {line for (name, idx) in at_use if name == "y"
+                  for line in [cfg.node(idx).line]}
+        assert y_defs == {2, 4}  # both branches' definitions merge
+        assert ("x", -1) in at_use  # parameters reach as index -1
+
+    def test_reaching_definitions_loop_fixpoint(self):
+        cfg = cfg_of(
+            "def f(n):\n"
+            "    i = 0\n"  # line 2
+            "    while i < n:\n"
+            "        i = i + 1\n"  # line 4
+            "    return i\n"  # line 5
+        )
+        facts = reaching_definitions(cfg)
+        at_return = facts[node_at_line(cfg, 5).index]
+        i_lines = {cfg.node(idx).line for (name, idx) in at_return if name == "i"}
+        assert i_lines == {2, 4}  # zero-trip and looped definitions
+
+    def test_self_attr_read_write_and_mutator_facts(self):
+        cfg = cfg_of(
+            "async def f(self, k):\n"
+            "    v = self._table\n"  # line 2: read
+            "    self._count += 1\n"  # line 3: write (augassign)
+            "    self._table[k] = v\n"  # line 4: write (subscript store)
+            "    self._pending.pop(k)\n"  # line 5: write (mutator call)
+        )
+        assert "_table" in self_attr_reads(node_at_line(cfg, 2))
+        assert "_count" in self_attr_writes(node_at_line(cfg, 3))
+        assert "_table" in self_attr_writes(node_at_line(cfg, 4))
+        assert "_pending" in self_attr_writes(node_at_line(cfg, 5))
+        # Reads don't leak into writes and vice versa.
+        assert "_table" not in self_attr_writes(node_at_line(cfg, 2))
+
+    def test_guard_reads_only_from_conditions(self):
+        cfg = cfg_of(
+            "async def f(self):\n"
+            "    if self._flag:\n"  # line 2: guard
+            "        pass\n"
+            "    v = self._flag\n"  # line 4: plain read, not a guard
+            "    assert self._other\n"  # line 5: guard
+        )
+        assert guard_reads(node_at_line(cfg, 2)) == frozenset({"_flag"})
+        assert guard_reads(node_at_line(cfg, 4)) == frozenset()
+        assert guard_reads(node_at_line(cfg, 5)) == frozenset({"_other"})
+
+    def test_test_node_exposes_only_header_not_body(self):
+        cfg = cfg_of(
+            "async def f(self):\n"
+            "    if self._a:\n"  # line 2: body write belongs elsewhere
+            "        self._b = 1\n"  # line 3
+        )
+        test = node_at_line(cfg, 2)
+        assert self_attr_writes(test) == frozenset()
+        assert self_attr_writes(node_at_line(cfg, 3)) == frozenset({"_b"})

@@ -46,8 +46,10 @@ def test_text_report_show_suppressed():
 def test_json_report_schema_and_roundtrip():
     result = fixture_result()
     payload = json.loads(render_json(result))
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["files_scanned"] == 1
+    assert "stale" in payload  # v2: stale-suppression warning list
+    assert all("note" in e for e in payload["suppressed"])  # v2: notes
     assert payload["counts"] == {"DET001": len(result.findings)}
     assert len(payload["findings"]) == len(result.findings)
     for entry, finding in zip(payload["findings"], result.findings):

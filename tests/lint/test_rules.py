@@ -30,6 +30,11 @@ FIXTURE_RULES = {
     "ioa003_signature_coverage.py": "IOA003",
     "snap001_derived_cache.py": "SNAP001",
     "typ001_untyped_defs.py": "TYP001",
+    "async001_check_then_act.py": "ASYNC001",
+    "async002_dropped_handle.py": "ASYNC002",
+    "async003_blocking_call.py": "ASYNC003",
+    "async004_swallowed_cancel.py": "ASYNC004",
+    "async005_unreleased_resource.py": "ASYNC005",
 }
 
 

@@ -1,0 +1,158 @@
+"""Regression tests for the concurrency fixes the ASYNC lint rules
+surfaced in the live runtime (this PR's cleanup of repro.rt).
+
+Each test pins the *behavioral* contract the fix restored, not the
+lint finding: cancellation propagates out of reader loops (ASYNC004),
+concurrent metrics-stream stops are idempotent (ASYNC001), spawned
+node log descriptors do not leak (ASYNC005), and process reaping no
+longer stalls the event loop (ASYNC003).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+from repro.rt.clock import LiveScheduler
+from repro.rt.cluster import LiveCluster, NodeClient, free_port
+from repro.rt.transport import LiveNetwork
+
+
+class HangingReader:
+    """A stream reader whose read() never completes (idle connection)."""
+
+    async def read(self, n: int) -> bytes:
+        await asyncio.sleep(3600)
+        return b""
+
+
+class NullWriter:
+    """Just enough asyncio.StreamWriter surface for _serve's finally."""
+
+    def close(self) -> None:
+        pass
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCancellationPropagates:
+    def test_node_client_read_loop_is_cancellable(self):
+        """ASYNC004 fix: close() cancels _read_loop and the task must
+        actually end *cancelled* — the old handler swallowed the
+        CancelledError, so an `await task` after cancel() could report
+        a normal exit (and cleanup code keyed on task.cancelled() lied).
+        """
+
+        async def scenario():
+            client = NodeClient("p1", "127.0.0.1", free_port())
+            client._reader = HangingReader()
+            task = asyncio.get_running_loop().create_task(client._read_loop())
+            await asyncio.sleep(0.01)  # let the loop reach its await
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            assert task.cancelled(), "cancellation was swallowed by _read_loop"
+
+        run(scenario())
+
+    def test_transport_serve_is_cancellable(self):
+        """ASYNC004 fix: server shutdown cancels every connection
+        handler; _serve must re-raise so close() sees the handlers die
+        (and its finally still runs the writer cleanup)."""
+
+        async def scenario():
+            port = free_port()
+            net = LiveNetwork(
+                "p1",
+                {"p1": ("127.0.0.1", port)},
+                LiveScheduler(asyncio.get_running_loop()),
+            )
+            task = asyncio.get_running_loop().create_task(
+                net._serve(HangingReader(), NullWriter())
+            )
+            await asyncio.sleep(0.01)
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            assert task.cancelled(), "cancellation was swallowed by _serve"
+
+        run(scenario())
+
+
+class TestMetricsStreamStop:
+    def test_concurrent_stops_are_idempotent(self, tmp_path):
+        """ASYNC001 fix: the task handle is taken *before* the await,
+        so two racing stop calls cannot both cancel/await the same
+        task — the second sees the cleared slot and returns."""
+
+        async def scenario():
+            cluster = LiveCluster(2, tmp_path)
+            poll = asyncio.get_running_loop().create_task(asyncio.sleep(3600))
+            cluster._metrics_task = poll
+            await asyncio.gather(
+                cluster.stop_metrics_stream(),
+                cluster.stop_metrics_stream(),
+                cluster.stop_metrics_stream(),
+            )
+            assert cluster._metrics_task is None
+            assert poll.cancelled()
+
+        run(scenario())
+
+
+class TestSpawnAndReap:
+    def test_spawn_closes_log_fds_and_kill_reaps_off_loop(self, tmp_path):
+        """ASYNC005/ASYNC003 fixes: after spawn, the parent holds no
+        descriptor for any node's stdout log (Popen dup'd it into the
+        child), and kill() reaps without freezing the event loop — a
+        heartbeat task keeps ticking while the reap runs."""
+
+        async def scenario():
+            cluster = LiveCluster(2, tmp_path, wire="json")
+            await cluster.spawn()
+            try:
+                held = []
+                for fd in os.listdir("/proc/self/fd"):
+                    try:
+                        target = os.readlink(f"/proc/self/fd/{fd}")
+                    except OSError:
+                        continue
+                    if target.endswith(".stdout.log"):
+                        held.append(target)
+                assert not held, f"leaked node log fds: {held}"
+
+                ticks = 0
+
+                async def heartbeat():
+                    nonlocal ticks
+                    while True:
+                        ticks += 1
+                        await asyncio.sleep(0.002)
+
+                beat = asyncio.get_running_loop().create_task(heartbeat())
+                for p in tuple(cluster.procs):
+                    # kill() closes the node's control client; these were
+                    # never connected, and close() on a fresh client is a
+                    # no-op — exactly the teardown-before-connect path.
+                    cluster.clients[p] = NodeClient(
+                        p, "127.0.0.1", cluster.ports[p]
+                    )
+                    await cluster.kill(p)
+                beat.cancel()
+                assert ticks > 0, "event loop was starved during reap"
+                for proc in cluster.procs.values():
+                    assert proc.returncode is not None, "kill() did not reap"
+            finally:
+                for proc in cluster.procs.values():
+                    if proc.returncode is None:
+                        proc.send_signal(signal.SIGKILL)
+                        proc.wait()
+
+        run(scenario())

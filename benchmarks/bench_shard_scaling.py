@@ -1,0 +1,281 @@
+"""E27 — sharded scaling: aggregate throughput vs shard count.
+
+The sharding claim (docs/SHARDING.md) is architectural: shards are
+independent VStoTO groups with no shared token, no shared view and no
+cross-group messages, so aggregate throughput grows linearly with the
+shard count.  This bench measures that claim on both substrates:
+
+- **sim** (the gated half) — open-loop DES sweeps at ``n_groups`` in
+  {1, 4, 16, 64} via :func:`repro.shard.sim.build_workloads`, each
+  group offered the same fixed rate.  Throughput is measured on the
+  *virtual* clock (aggregate deliveries over the measurement horizon),
+  so the number is deterministic and host-independent: the scaling
+  ratio ``tput(N) / (N * tput(1))`` is exactly the per-group delivery
+  completion, and any cross-group coupling an implementation change
+  introduced would show up as a sub-linear ratio.  The gate is
+  ``scaling(16) >= 0.7`` with every sweep spec-conformant per shard
+  (OnlineVSMonitor + TO trace membership) and cross-shard clean.
+- **live** (advisory wall-clock) — real ``repro.rt`` clusters at
+  ``shards`` in {1, 2, 4} on 3 nodes, including a partition episode at
+  2 shards.  ``shards=1`` runs the legacy unsharded episode (that *is*
+  the 1-shard deployment — the wire path is byte-identical by design);
+  ``shards>=2`` run the sharded episode with driver-side routing.
+  Every live run must be spec-conformant and delivery-complete, and
+  the partition run must heal and verify; wall-clock deliveries/sec
+  are reported but never gated (CI hosts share cores across the node
+  processes, so live "scaling" measures the host, not the service).
+
+Usage::
+
+    python benchmarks/bench_shard_scaling.py --profile smoke \\
+        --json BENCH_shard_scaling.json \\
+        --check benchmarks/BENCH_shard_scaling.json
+
+The regression gate compares the deterministic sim numbers (scaling
+ratios and delivery counts), not live wall-clock throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+from repro.rt.cluster import run_cluster, run_sharded_cluster
+from repro.shard.sim import build_workloads, run_group_workloads, sweep_summary
+
+#: Sim sweeps share one open-loop operating point: each group is
+#: offered 0.2 ops per virtual-time unit over a 300-unit measurement
+#: window after a 100-unit settle (60 ops/group), so the aggregate
+#: offered load grows linearly with the group count by construction.
+SIM_POINT = {"rate_per_group": 0.2, "horizon": 400.0, "settle": 100.0}
+
+PROFILES = {
+    "smoke": {
+        "sim_sizes": (1, 4, 16),
+        "live_sizes": (1, 2),
+        "live": {"nodes": 3, "sends": 24, "delta": 0.05, "send_interval": 0.02},
+    },
+    "full": {
+        "sim_sizes": (1, 4, 16, 64),
+        "live_sizes": (1, 2, 4),
+        "live": {"nodes": 3, "sends": 40, "delta": 0.05, "send_interval": 0.02},
+    },
+}
+
+#: The sim size the scaling floor is judged at (present in every
+#: profile) and the floor itself.
+GATED_SIM_SIZE = 16
+SCALING_FLOOR = 0.7
+
+
+def sim_case(n_groups: int, workers: int) -> dict:
+    """One open-loop DES sweep: every group run to the horizon (fanned
+    out over ``workers`` processes — the merge order and the group
+    seeds make the result identical at any worker count), then the
+    per-shard verdicts and the cross-shard order check."""
+    t0 = time.perf_counter()
+    ring, submitted, workloads = build_workloads(n_groups, seed=0, **SIM_POINT)
+    envelopes = run_group_workloads(workloads, workers=workers)
+    summary = sweep_summary(ring, submitted, envelopes)
+    wall = time.perf_counter() - t0
+    span = SIM_POINT["horizon"] - SIM_POINT["settle"]
+    return {
+        "n_groups": n_groups,
+        "ops_offered": sum(len(w.ops) for w in workloads),
+        "deliveries": summary["deliveries"],
+        "tput_virtual": round(summary["deliveries"] / span, 3),
+        "last_delivery": round(summary["last_delivery"], 2),
+        "ok": summary["ok"],
+        "cross_shard": summary["cross_shard"],
+        "wall_s": round(wall, 2),
+    }
+
+
+def live_case(shards: int, *, nodes: int, sends: int, delta: float,
+              send_interval: float, partition: bool = False) -> dict:
+    """One live episode.  ``shards=1`` is the legacy unsharded episode
+    (the byte-identical 1-shard deployment); ``shards>=2`` the sharded
+    one with driver-side consistent-hash routing."""
+    if shards == 1 and not partition:
+        report = asyncio.run(
+            run_cluster(
+                nodes=nodes,
+                sends=sends,
+                delta=delta,
+                send_interval=send_interval,
+                seed=0,
+            )
+        )
+        cross_ok = True
+    else:
+        report = asyncio.run(
+            run_sharded_cluster(
+                nodes=nodes,
+                shards=shards,
+                sends=sends,
+                partition=partition,
+                delta=delta,
+                send_interval=send_interval,
+                seed=0,
+            )
+        )
+        cross_ok = bool(report["cross_shard"]["ok"])
+    return {
+        "shards": shards,
+        "partition": partition,
+        "sends": report["sends"],
+        "deliveries": report["deliveries"],
+        "deliveries_per_sec": round(report["throughput"], 1),
+        "ok": report["ok"],
+        "delivered_complete": report["delivered_complete"],
+        "cross_shard_ok": cross_ok,
+        "violations": len(report["violations"]),
+        "wall_s": round(report["wall_seconds"], 2),
+    }
+
+
+def collect(profile: str, workers: int) -> dict:
+    spec = PROFILES[profile]
+    sim: dict[str, dict] = {}
+    for n in spec["sim_sizes"]:
+        sim[f"n{n}"] = sim_case(n, workers)
+    base = sim["n1"]["tput_virtual"]
+    scaling = {
+        f"n{n}": round(
+            sim[f"n{n}"]["tput_virtual"] / (n * base), 3
+        ) if base > 0 else 0.0
+        for n in spec["sim_sizes"]
+    }
+    live: dict[str, dict] = {}
+    for shards in spec["live_sizes"]:
+        live[f"s{shards}"] = live_case(shards, **spec["live"])
+    live["s2/partition"] = live_case(2, partition=True, **spec["live"])
+    results = {
+        "experiment": "E27",
+        "profile": profile,
+        "workers": workers,
+        "sim_point": SIM_POINT,
+        "sim": {"sweeps": sim, "scaling": scaling},
+        "live": live,
+    }
+    results["failures"] = gate(results)
+    results["ok"] = not results["failures"]
+    return results
+
+
+def gate(results: dict) -> list[str]:
+    """Every way an E27 run can fail, as human-readable reasons."""
+    failures = []
+    for size, sweep in results["sim"]["sweeps"].items():
+        if not sweep["ok"]:
+            failures.append(
+                f"sim {size}: a shard's trace is not spec-conformant or "
+                "the cross-shard order check failed "
+                f"({sweep['cross_shard']['reason'] or 'per-shard verdict'})"
+            )
+    gated = f"n{GATED_SIM_SIZE}"
+    ratio = results["sim"]["scaling"].get(gated)
+    if ratio is not None and ratio < SCALING_FLOOR:
+        failures.append(
+            f"sim {gated}: scaling {ratio} below the {SCALING_FLOOR} floor "
+            "(cross-group coupling is eating the aggregate)"
+        )
+    for tag, run in results["live"].items():
+        if run["violations"] or not run["ok"]:
+            failures.append(f"live {tag}: capture is not spec-conformant")
+        if not run["delivered_complete"]:
+            failures.append(f"live {tag}: delivery did not complete")
+        if not run["cross_shard_ok"]:
+            failures.append(f"live {tag}: cross-shard order check failed")
+    return failures
+
+
+#: gated metric path -> (direction, tolerance); "min" means a value
+#: below baseline * (1 - tolerance) fails.  Only the deterministic
+#: virtual-time sim numbers are gated — live wall-clock throughput is
+#: host noise.  Tolerances are tight because the sim numbers are
+#: exactly reproducible at a fixed seed.
+GATES = {
+    ("sim", "scaling", "n16"): ("min", 0.02),
+    ("sim", "sweeps", "n1", "deliveries"): ("min", 0.01),
+    ("sim", "sweeps", "n4", "deliveries"): ("min", 0.01),
+    ("sim", "sweeps", "n16", "deliveries"): ("min", 0.01),
+}
+
+
+def _lookup(doc: dict, path: tuple) -> float | None:
+    node = doc
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check_against(current: dict, baseline: dict) -> list[str]:
+    failures = list(current["failures"])
+    for path, (direction, tolerance) in GATES.items():
+        base = _lookup(baseline, path)
+        value = _lookup(current, path)
+        if base is None or value is None:
+            continue
+        floor = base * (1 - tolerance)
+        if direction == "min" and value < floor:
+            failures.append(
+                f"{'/'.join(path)} regressed: {value} < {floor:.3f} "
+                f"(baseline {base}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=PROFILES, default="smoke")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the sim fan-out (results are identical at "
+        "any worker count; only wall_s moves)",
+    )
+    parser.add_argument("--json", help="write results to this path")
+    parser.add_argument(
+        "--check", help="baseline JSON to gate regressions against"
+    )
+    args = parser.parse_args(argv)
+    results = collect(args.profile, args.workers)
+    print(json.dumps(results, indent=2))
+    failures = results["failures"]
+    if args.check:
+        if os.path.exists(args.check):
+            with open(args.check) as fh:
+                baseline = json.load(fh)
+            failures = check_against(results, baseline)
+        else:
+            print(f"no baseline at {args.check}; skipping gate")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+    if failures:
+        for reason in failures:
+            print(f"E27 FAIL: {reason}", file=sys.stderr)
+        return 1
+    gated = f"n{GATED_SIM_SIZE}"
+    print(
+        "E27 OK: sim scaling at {n} groups = {ratio}x ideal "
+        "({tput} vs {base} deliveries/vt), every shard spec-conformant, "
+        "live runs (incl. 2-shard partition) verified and complete".format(
+            n=GATED_SIM_SIZE,
+            ratio=results["sim"]["scaling"][gated],
+            tput=results["sim"]["sweeps"][gated]["tput_virtual"],
+            base=results["sim"]["sweeps"]["n1"]["tput_virtual"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,12 @@ SKIP_DIRS = {".git", ".claude", "__pycache__", "node_modules", ".pytest_cache", 
 SKIP_FILES = {"SNIPPETS.md", "ISSUE.md"}
 
 #: Markdown files whose tagged snippets are executed (relative to root).
-EXECUTABLE_DOCS = ("README.md", "docs/TUTORIAL.md", "docs/ARCHITECTURE.md")
+EXECUTABLE_DOCS = (
+    "README.md",
+    "docs/TUTORIAL.md",
+    "docs/ARCHITECTURE.md",
+    "docs/SHARDING.md",
+)
 
 #: Inline markdown link: [text](target) with an optional "title".
 _LINK = re.compile(r"\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")

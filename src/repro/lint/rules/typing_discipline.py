@@ -31,6 +31,7 @@ STRICT_PACKAGES = (
     "repro.rt",
     "repro.parallel",
     "repro.scenarios",
+    "repro.shard",
 )
 
 

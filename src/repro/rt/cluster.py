@@ -51,6 +51,14 @@ from repro.rt.node import initial_view_for, resolve_flush_after
 from repro.rt.trace import VerifyReport, load_event_logs, verify_events
 from repro.rt.transport import DRIVER_ID, Ctl, Hello
 from repro.rt.wire import WireReader, WireWriter, make_wire
+from repro.shard.live import (
+    delivered_order_from_logs,
+    encode_live_op,
+    verify_shard_logs,
+)
+from repro.shard.router import ShardRouter
+from repro.shard.routing import HashRing, group_names, point_for_key
+from repro.shard.verify import ShardOp, check_cross_shard_order
 
 
 def free_port() -> int:
@@ -175,9 +183,11 @@ class LiveCluster:
         send_interval: float = 0.02,
         metrics_interval: float = 0.25,
         wire: str = "json",
+        shards: int = 1,
     ) -> None:
         if nodes < 2:
             raise ValueError("need at least 2 nodes")
+        self.shards = max(1, shards)
         self.processors: tuple[str, ...] = tuple(
             f"p{i + 1}" for i in range(nodes)
         )
@@ -231,7 +241,8 @@ class LiveCluster:
                     str(self.delta),
                     "--wire",
                     self.wire,
-                ],
+                ]
+                + (["--shards", str(self.shards)] if self.shards > 1 else []),
                 stdout=out,
                 stderr=subprocess.STDOUT,
                 env=env,
@@ -681,6 +692,319 @@ async def run_cluster(
     return out
 
 
+class _LiveShardBackend:
+    """Router backend for one group: fire a control-plane send at the
+    next alive node (round-robin shared across groups)."""
+
+    def __init__(self, group: str, load: LiveShardLoad) -> None:
+        self._group = group
+        self._load = load
+
+    @property
+    def group(self) -> str:
+        return self._group
+
+    def submit(self, key: str, value: Any) -> None:
+        self._load.dispatch(key, self._group, value)
+
+
+class LiveShardLoad:
+    """Driver-side sharded client load.
+
+    The same :class:`~repro.shard.router.ShardRouter` that fronts the
+    simulated service fronts the live cluster here: keys route through
+    the consistent-hash ring, each group holds a bounded in-flight
+    window, and completions are inferred from polled per-group
+    delivered counts (the most-advanced node's count for a group is the
+    number of operations that group has totally ordered and delivered).
+    """
+
+    def __init__(
+        self, cluster: LiveCluster, ring: HashRing, window: int | None = 64
+    ) -> None:
+        self.cluster = cluster
+        self.ring = ring
+        self.router = ShardRouter(ring, window=window)
+        self.submitted: dict[str, list[ShardOp]] = {}
+        self.routed: dict[str, int] = {g: 0 for g in ring.groups}
+        self._completed: dict[str, int] = {g: 0 for g in ring.groups}
+        self._poll_task: asyncio.Task[None] | None = None
+        for group in ring.groups:
+            self.router.add_backend(group, _LiveShardBackend(group, self))
+
+    # -- router-facing --------------------------------------------------
+    def dispatch(self, key: str, group: str, value: Any) -> None:
+        """Send one routed operation to the key's session node.  Every
+        operation on a key enters the cluster at one fixed node, so
+        TO's per-sender FIFO makes the key's delivered order equal its
+        submission order even across partitions (the cross-shard
+        checker's premise)."""
+        targets = self.cluster.alive()
+        target = targets[point_for_key(key) % len(targets)]
+        self.cluster.clients[target].send_nowait(
+            Ctl("send", {"g": group, "v": value})
+        )
+        self.routed[group] += 1
+
+    # -- client-facing --------------------------------------------------
+    def submit(self, key: str, op_seq: int, payload: str) -> str:
+        """Route one operation; returns the owning group.  A full
+        window queues it in the router (dispatched on completion)."""
+        value = encode_live_op(key, op_seq, payload)
+        self.submitted.setdefault(key, []).append((key, op_seq, payload))
+        return self.router.submit(key, value)
+
+    def expected_per_group(self) -> dict[str, int]:
+        """How many operations each group owns (the completeness bar)."""
+        counts = {g: 0 for g in self.ring.groups}
+        for key, ops in self.submitted.items():
+            counts[self.ring.owner_of(key)] += len(ops)
+        return counts
+
+    def pending_total(self) -> int:
+        return sum(self.router.pending(g) for g in self.ring.groups)
+
+    # -- completion feedback --------------------------------------------
+    def absorb_stats(self, data: Any) -> None:
+        """Feed one node's stats reply into the completion loop."""
+        groups = data.get("groups") if isinstance(data, dict) else None
+        if not isinstance(groups, dict):
+            return
+        for group, gstats in groups.items():
+            if group not in self._completed or not isinstance(gstats, dict):
+                continue
+            delivered = int(gstats.get("delivered", 0))
+            if delivered > self._completed[group]:
+                free = min(
+                    delivered - self._completed[group],
+                    self.router.inflight(group),
+                )
+                if free > 0:
+                    self.router.complete(group, free)
+                self._completed[group] = delivered
+
+    async def _poll_loop(self, interval: float) -> None:
+        while True:
+            for p in self.cluster.alive():
+                try:
+                    reply = await self.cluster.clients[p].request(
+                        Ctl("stats"), timeout=5.0
+                    )
+                    self.cluster._harvest(reply)
+                    self.absorb_stats(reply.data)
+                except (asyncio.TimeoutError, OSError, AssertionError):
+                    continue
+            await asyncio.sleep(interval)
+
+    def start_completion_poller(self, interval: float) -> None:
+        if self._poll_task is None:
+            self._poll_task = asyncio.get_running_loop().create_task(
+                self._poll_loop(interval)
+            )
+
+    async def stop_completion_poller(self) -> None:
+        task = self._poll_task
+        if task is None:
+            return
+        self._poll_task = None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    async def drain(self, timeout: float, interval: float) -> bool:
+        """Wait until no request is in flight or queued anywhere."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while asyncio.get_running_loop().time() < deadline:
+            if self.pending_total() == 0:
+                return True
+            await asyncio.sleep(interval)
+        return self.pending_total() == 0
+
+
+async def await_sharded_delivery(
+    cluster: LiveCluster, load: LiveShardLoad, timeout: float
+) -> bool:
+    """Poll until every alive node delivered every group's expected
+    operation count (per-group completeness)."""
+    expected = load.expected_per_group()
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        complete = True
+        for p in cluster.alive():
+            try:
+                reply = await cluster.clients[p].request(Ctl("stats"), timeout=5.0)
+                cluster._harvest(reply)
+                load.absorb_stats(reply.data)
+                groups = (
+                    reply.data.get("groups", {})
+                    if isinstance(reply.data, dict)
+                    else {}
+                )
+                for g, want in expected.items():
+                    got = int(groups.get(g, {}).get("delivered", 0))
+                    if got < want:
+                        complete = False
+            except (asyncio.TimeoutError, KeyError, TypeError, OSError):
+                complete = False
+        if complete:
+            cluster._mark("delivery_complete", per_group=expected)
+            return True
+        await asyncio.sleep(5 * cluster.delta)
+    cluster._mark("delivery_timeout")
+    return False
+
+
+def verify_sharded(
+    log_dir: str | Path,
+    processors: Sequence[str],
+    groups: Sequence[str],
+    submitted: dict[str, list[ShardOp]],
+    ring: HashRing,
+    expect_at: Sequence[str],
+) -> dict[str, Any]:
+    """Per-group live verification plus the cross-shard invariant.
+
+    Each group's event logs are a complete single-group capture, so the
+    standard live checkers run once per group; the groups' delivered
+    orders then feed :func:`~repro.shard.verify.check_cross_shard_order`.
+    """
+    per_group: dict[str, VerifyReport] = {}
+    orders: dict[str, list[ShardOp]] = {}
+    for group in groups:
+        per_group[group] = verify_shard_logs(
+            log_dir, group, processors, expect_at=expect_at
+        )
+        orders[group] = delivered_order_from_logs(log_dir, group)
+    cross = check_cross_shard_order(submitted, orders, ring)
+    ok = all(r.ok for r in per_group.values()) and cross.ok
+    return {
+        "ok": ok,
+        "groups": {g: per_group[g].to_dict() for g in groups},
+        "cross_shard": cross.to_dict(),
+        "deliveries": sum(r.deliveries for r in per_group.values()),
+        "sends": sum(r.sends for r in per_group.values()),
+        "violations": [
+            f"{g}: {v}" for g in groups for v in per_group[g].violations
+        ],
+        "delivered_complete": all(
+            r.delivered_complete for r in per_group.values()
+        ),
+    }
+
+
+async def run_sharded_cluster(
+    nodes: int,
+    shards: int,
+    sends: int,
+    partition: bool = False,
+    log_dir: str | Path | None = None,
+    delta: float = 0.05,
+    send_interval: float = 0.02,
+    window: int | None = 64,
+    seed: int = 0,
+    partition_hold: float | None = None,
+    settle: float | None = None,
+    metrics_interval: float = 0.25,
+    wire: str = "json",
+) -> dict[str, Any]:
+    """One sharded live episode: ``nodes`` processes each hosting
+    ``shards`` group runtimes, driver-side consistent-hash routing with
+    per-group windows, optional mid-run partition, then per-group
+    verification and the cross-shard order check."""
+    owns_dir = log_dir is None
+    if owns_dir:
+        log_dir = tempfile.mkdtemp(prefix="repro-rt-shard-")
+    cluster = LiveCluster(
+        nodes,
+        log_dir,
+        delta=delta,
+        send_interval=send_interval,
+        metrics_interval=metrics_interval,
+        wire=wire,
+        shards=shards,
+    )
+    names = group_names(shards)
+    ring = HashRing(names, seed=seed)
+    load = LiveShardLoad(cluster, ring, window=window)
+    hold = partition_hold if partition_hold is not None else 50 * delta
+    settle_time = settle if settle is not None else 40 * delta
+    keys = [f"k{i}" for i in range(max(4, 4 * shards))]
+
+    async def send_ops(indices: Sequence[int]) -> None:
+        for i in indices:
+            load.submit(keys[i % len(keys)], i, f"v{i}")
+            await asyncio.sleep(send_interval)
+
+    started = time.time()
+    await cluster.spawn()
+    try:
+        await cluster.go()
+        load.start_completion_poller(max(0.05, 5 * delta))
+        indices = list(range(sends))
+        if partition:
+            half = len(indices) // 2
+            await send_ops(indices[:half])
+            window_spec = single_partition_window(cluster.alive(), 0.0, hold)
+            await cluster.apply_partition(window_spec)
+            await send_ops(indices[half:])
+            await asyncio.sleep(hold)
+            await cluster.heal()
+        else:
+            await send_ops(indices)
+        drained = await load.drain(
+            timeout=max(30.0, 600 * delta), interval=5 * delta
+        )
+        await asyncio.sleep(settle_time)
+        complete = await await_sharded_delivery(
+            cluster, load, timeout=max(30.0, 600 * delta)
+        )
+        wire_stats = await cluster.collect_wire_stats()
+    finally:
+        await load.stop_completion_poller()
+        await cluster.stop()
+    wall = time.time() - started
+    report = verify_sharded(
+        cluster.log_dir,
+        cluster.processors,
+        names,
+        load.submitted,
+        ring,
+        expect_at=cluster.alive(),
+    )
+    # Sharded nodes run without lifecycle tracing (spans would alias
+    # across groups), so only the timeline and metrics stream persist.
+    (cluster.log_dir / "cluster.timeline.json").write_text(
+        json.dumps(cluster.timeline, indent=2), encoding="utf-8"
+    )
+    snapshots = cluster.metrics.write_jsonl(cluster.log_dir / "metrics.jsonl")
+    report.update(
+        {
+            "experiment": "live-shard",
+            "nodes": nodes,
+            "shards": shards,
+            "requested_sends": sends,
+            "partition": partition,
+            "delta": delta,
+            "window": window,
+            "seed": seed,
+            "wire": wire_stats,
+            "router": load.router.stats(),
+            "drained": drained,
+            "polled_complete": complete,
+            "wall_seconds": wall,
+            "throughput": (
+                report["deliveries"] / wall if wall > 0 else 0.0
+            ),
+            "log_dir": str(log_dir),
+            "timeline": cluster.timeline,
+            "obs": {"metrics_snapshots": snapshots},
+        }
+    )
+    return report
+
+
 def write_obs_artifacts(cluster: LiveCluster) -> dict[str, Any]:
     """Persist the run's observability artifacts next to the event logs
     and return the summary dict embedded in the episode report.
@@ -739,6 +1063,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--nodes", type=int, default=3)
     parser.add_argument("--sends", type=int, default=50)
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="VS group runtimes per node; >1 switches to the sharded "
+        "episode (driver-side key routing, per-group verification)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="per-group in-flight window for the sharded episode "
+        "(0 disables backpressure)",
+    )
+    parser.add_argument(
         "--partition",
         action="store_true",
         help="inject a majority/minority partition mid-run, then heal",
@@ -796,8 +1134,71 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def sharded_main(args: argparse.Namespace) -> int:
+    """Run and summarise a ``--shards N`` episode."""
+    report = asyncio.run(
+        run_sharded_cluster(
+            nodes=args.nodes,
+            shards=args.shards,
+            sends=args.sends,
+            partition=args.partition,
+            log_dir=args.log_dir,
+            delta=args.delta,
+            send_interval=args.send_interval,
+            window=args.window if args.window > 0 else None,
+            seed=args.seed,
+            metrics_interval=args.metrics_interval,
+            wire=args.wire,
+        )
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2), encoding="utf-8"
+        )
+    ok = report["ok"] and report["delivered_complete"]
+    print(
+        "live-shard: nodes={nodes} shards={shards} sends={sends} "
+        "deliveries={deliveries} complete={complete} "
+        "throughput={tput:.1f}/s wall={wall:.1f}s".format(
+            nodes=report["nodes"],
+            shards=report["shards"],
+            sends=report["sends"],
+            deliveries=report["deliveries"],
+            complete=report["delivered_complete"],
+            tput=report["throughput"],
+            wall=report["wall_seconds"],
+        )
+    )
+    for group, gr in report["groups"].items():
+        print(
+            "  {g}: sends={sends} deliveries={deliveries} "
+            "views={views} ok={ok}".format(
+                g=group,
+                sends=gr["sends"],
+                deliveries=gr["deliveries"],
+                views=gr["views_installed"],
+                ok=gr["ok"],
+            )
+        )
+    cross = report["cross_shard"]
+    print(
+        "  cross-shard: ok={ok} keys={keys} ops={ops}".format(
+            ok=cross["ok"], keys=cross["keys_checked"], ops=cross["ops_checked"]
+        )
+    )
+    for violation in report["violations"]:
+        print(f"  VS violation: {violation}")
+    if not ok:
+        print("  VERDICT: FAIL")
+        return 1
+    print("  VERDICT: OK (every shard conforms; cross-shard order holds)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    if args.shards > 1:
+        return sharded_main(args)
     nodes = args.nodes
     if args.scenario is not None:
         from repro.scenarios import ScenarioSpec

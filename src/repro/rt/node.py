@@ -30,8 +30,10 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, cast
 from collections.abc import Callable
@@ -48,6 +50,8 @@ from repro.obs.live.snapshot import MetricsSnapshot
 from repro.rt.clock import LiveScheduler
 from repro.rt.trace import EventLog
 from repro.rt.transport import Ctl, LiveNetwork
+from repro.shard.live import GroupDemux, GroupNet
+from repro.shard.routing import group_names
 
 #: Callback signatures mirrored from TokenRingVS (the runtime installs
 #: its sinks on these attributes).
@@ -134,8 +138,26 @@ class LiveNodeService:
             self._tracer.on_vs_event(self.simulator.now, name, args)
 
 
+@dataclass
+class _GroupStack:
+    """One hosted group's full per-node stack (log through runtime)."""
+
+    group: str
+    log: EventLog
+    service: LiveNodeService
+    member: RingMember
+    runtime: VStoTORuntime
+
+
 class LiveNode:
-    """The assembled node: transport + ring + VStoTO + control plane."""
+    """The assembled node: transport + ring + VStoTO + control plane.
+
+    With ``shards > 1`` the node hosts that many complete group stacks
+    (ring member + VStoTO runtime + event log per group) over the one
+    transport, multiplexed by :class:`~repro.shard.live.ShardEnvelope`
+    frames; ``shards == 1`` keeps the pre-sharding wire byte-identical
+    (no envelope, member registered directly).
+    """
 
     def __init__(
         self,
@@ -146,9 +168,11 @@ class LiveNode:
         max_frame: int | None = None,
         wire: str = "json",
         flush_after: float | None = None,
+        shards: int = 1,
     ) -> None:
         self.proc_id = proc_id
         self.config = config if config is not None else default_ring_config()
+        self.shards = max(1, shards)
         loop = asyncio.get_event_loop()
         self.scheduler = LiveScheduler(loop)
         kwargs: dict[str, Any] = {}
@@ -165,25 +189,63 @@ class LiveNode:
         )
         self.log_dir = Path(log_dir)
         self.log_dir.mkdir(parents=True, exist_ok=True)
-        self.log = EventLog(self.log_dir / f"{proc_id}.events.jsonl", proc_id)
-        self.obs = Observability(metrics=True, tracing=True)
+        # Span stitching reads one lifecycle tracer per node; with many
+        # groups interleaving on one node the spans would alias, so
+        # sharded nodes keep metrics (aggregating across groups) and
+        # drop tracing.
+        self.obs = Observability(metrics=True, tracing=self.shards == 1)
         self.network.attach_obs(self.obs)
-        self.service = LiveNodeService(proc_id, self.network, self.log, self.obs)
-        self.member = RingMember(
-            proc_id, self.service, self.config, self.service.initial_view
-        )
-        self.member.attach_obs(self.obs)
-        self.service.member = self.member
-        self.network.register(self.member)
-        self.runtime = VStoTORuntime(
-            cast("TokenRingVS", self.service),
-            MajorityQuorumSystem(self.network.processors),
-            on_deliver=self._on_deliver,
-        )
+        self._stacks: dict[str, _GroupStack] = {}
+        if self.shards == 1:
+            stack = self._build_stack(None)
+            self.network.register(stack.member)
+        else:
+            names = group_names(self.shards)
+            for name in names:
+                self._build_stack(name)
+            self.network.register(
+                GroupDemux(
+                    proc_id,
+                    {g: s.member for g, s in self._stacks.items()},
+                    default=names[0],
+                )
+            )
+        first = self._stacks[min(self._stacks)]
+        self.log = first.log
+        self.service = first.service
+        self.member = first.member
+        self.runtime = first.runtime
         self.started = False
         self.sends_accepted = 0
+        self.sends_rejected = 0
         self._snapshot_seq = 0
         self._stopping: asyncio.Future[None] = loop.create_future()
+
+    def _build_stack(self, group: str | None) -> _GroupStack:
+        """Assemble one group's log/service/member/runtime.  ``None``
+        is the unsharded stack: legacy log name, bare transport."""
+        name = group if group is not None else "g0"
+        suffix = "" if group is None else f"@{group}"
+        log = EventLog(
+            self.log_dir / f"{self.proc_id}{suffix}.events.jsonl", self.proc_id
+        )
+        net = self.network if group is None else GroupNet(group, self.network)
+        service = LiveNodeService(
+            self.proc_id, cast(LiveNetwork, net), log, self.obs
+        )
+        member = RingMember(
+            self.proc_id, service, self.config, service.initial_view
+        )
+        member.attach_obs(self.obs)
+        service.member = member
+        runtime = VStoTORuntime(
+            cast("TokenRingVS", service),
+            MajorityQuorumSystem(self.network.processors),
+            on_deliver=functools.partial(self._on_deliver, log),
+        )
+        stack = _GroupStack(name, log, service, member, runtime)
+        self._stacks[name] = stack
+        return stack
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -192,8 +254,10 @@ class LiveNode:
     async def run_until_stopped(self) -> None:
         await self._stopping
 
-    def _on_deliver(self, value: Any, origin: str, dst: str) -> None:
-        self.log.record("brcv", value, origin, dst)
+    def _on_deliver(
+        self, log: EventLog, value: Any, origin: str, dst: str
+    ) -> None:
+        log.record("brcv", value, origin, dst)
 
     # ------------------------------------------------------------------
     # Control plane
@@ -205,12 +269,18 @@ class LiveNode:
             await self.network.wait_connected(timeout=10.0)
             if not self.started:
                 self.started = True
-                self.member.start()
+                for name in sorted(self._stacks):
+                    self._stacks[name].member.start()
             reply(Ctl("ok", {"op": "go", "node": self.proc_id}))
         elif ctl.op == "send":
+            group, value = self._parse_send(ctl.data)
+            stack = self._stacks.get(group)
+            if stack is None:
+                self.sends_rejected += 1
+                return
             self.sends_accepted += 1
-            self.log.record("bcast", ctl.data, self.proc_id)
-            self.runtime.broadcast(self.proc_id, ctl.data)
+            stack.log.record("bcast", value, self.proc_id)
+            stack.runtime.broadcast(self.proc_id, value)
         elif ctl.op == "block":
             self.network.block(ctl.data or ())
             reply(Ctl("ok", {"op": "block", "blocked": sorted(self.network.blocked)}))
@@ -232,18 +302,28 @@ class LiveNode:
         if not self._stopping.done():
             self._stopping.set_result(None)
 
+    def _parse_send(self, data: Any) -> tuple[str, Any]:
+        """Resolve a client send to ``(group, value)``.  Sharded nodes
+        accept the dict form ``{"g": group, "v": value}``; a bare value
+        (or any send on an unsharded node) goes to the first group."""
+        if (
+            self.shards > 1
+            and isinstance(data, dict)
+            and "g" in data
+        ):
+            return str(data["g"]), data.get("v")
+        return min(self._stacks), data
+
     # ------------------------------------------------------------------
-    def stats(self) -> dict[str, Any]:
-        """Live counters: ring, TO deliveries, transport, event log."""
-        member = self.member
+    def _stack_stats(self, stack: _GroupStack) -> dict[str, Any]:
+        """One group stack's counters (the legacy per-node shape)."""
+        member = stack.member
         view = member.view
         return {
-            "node": self.proc_id,
             "view": list(view.id) if view is not None else None,
             "view_size": len(view.set) if view is not None else 0,
-            "sends_accepted": self.sends_accepted,
-            "delivered": len(self.runtime.deliveries),
-            "events_recorded": self.log.events_recorded,
+            "delivered": len(stack.runtime.deliveries),
+            "events_recorded": stack.log.events_recorded,
             "formations": member.formations_initiated,
             "tokens_processed": member.tokens_processed,
             "duplicates_suppressed": member.duplicates_suppressed,
@@ -261,8 +341,55 @@ class LiveNode:
                     else 0.0
                 ),
             },
-            "transport": self.network.stats(),
         }
+
+    def stats(self) -> dict[str, Any]:
+        """Live counters: ring, TO deliveries, transport, event log.
+        Sharded nodes aggregate across groups and add a per-group
+        breakdown under ``"groups"``."""
+        out: dict[str, Any] = {
+            "node": self.proc_id,
+            "sends_accepted": self.sends_accepted,
+        }
+        if self.shards == 1:
+            out.update(self._stack_stats(next(iter(self._stacks.values()))))
+        else:
+            per = {
+                name: self._stack_stats(self._stacks[name])
+                for name in sorted(self._stacks)
+            }
+            first = per[min(per)]
+            token_totals = {
+                key: sum(g["token"][key] for g in per.values())
+                for key in first["token"]
+                if key != "entries_per_batch"
+            }
+            batches = token_totals["append_batches"]
+            token_totals["entries_per_batch"] = (
+                token_totals["entries_appended"] / batches if batches else 0.0
+            )
+            out.update(
+                {
+                    "shards": self.shards,
+                    "view": first["view"],
+                    "view_size": first["view_size"],
+                    "delivered": sum(g["delivered"] for g in per.values()),
+                    "events_recorded": sum(
+                        g["events_recorded"] for g in per.values()
+                    ),
+                    "formations": sum(g["formations"] for g in per.values()),
+                    "tokens_processed": sum(
+                        g["tokens_processed"] for g in per.values()
+                    ),
+                    "duplicates_suppressed": sum(
+                        g["duplicates_suppressed"] for g in per.values()
+                    ),
+                    "token": token_totals,
+                    "groups": per,
+                }
+            )
+        out["transport"] = self.network.stats()
+        return out
 
     def snapshot(self) -> dict[str, Any]:
         """One typed metrics snapshot frame: the full registry plus a
@@ -292,7 +419,8 @@ class LiveNode:
         path.write_text(json.dumps(report, indent=2), encoding="utf-8")
 
     async def close(self) -> None:
-        self.log.close()
+        for name in sorted(self._stacks):
+            self._stacks[name].log.close()
         await self.network.close()
 
 
@@ -362,6 +490,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "detected per frame, so mixed clusters interoperate)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of VS group runtimes to host on this node "
+        "(default 1: the unsharded byte-identical wire)",
+    )
+    parser.add_argument(
         "--flush-interval",
         type=float,
         default=-1.0,
@@ -394,6 +529,7 @@ async def amain(argv: list[str] | None = None) -> int:
         max_frame=args.max_frame,
         wire=args.wire,
         flush_after=resolve_flush_after(args.wire, args.flush_interval),
+        shards=args.shards,
     )
     await node.start()
     try:

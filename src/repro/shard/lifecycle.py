@@ -1,0 +1,212 @@
+"""Shard lifecycle: spawn, drain and retire VS groups.
+
+A shard moves through a small state machine::
+
+    spawn(g)            activate(g)
+    ---------> SPAWNING ----------> ACTIVE
+                                      |
+                                      | retire(g)
+                                      v
+                    RETIRED <----- DRAINING
+                        finish_retire(g)
+
+- **SPAWNING** — the group's runtime is being built (live: node
+  processes arm the group's ring members); it owns no keys yet.
+- **ACTIVE** — the group is on the routing ring and owns its arcs.
+- **DRAINING** — the group left the ring (``retire``): new requests
+  for its former keys route to their new owners, while requests it
+  already accepted finish in place (the router's in-flight window is
+  the drain set).
+- **RETIRED** — the drain completed (router idle for the group); the
+  runtime can be torn down.
+
+Every transition swaps a whole :class:`~repro.shard.routing.HashRing`
+(rings are immutable values), so the key remap induced by a transition
+is itself a deterministic value: :func:`plan_handoff` computes exactly
+which keys move and between which groups, and two planners given the
+same rings and key universe produce identical plans — the property
+``tests/shard/test_lifecycle.py`` pins.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+from collections.abc import Iterable
+
+from repro.shard.routing import HashRing
+
+if TYPE_CHECKING:
+    from repro.shard.router import ShardRouter
+
+
+class ShardState(enum.Enum):
+    """Lifecycle states of one shard (group)."""
+
+    SPAWNING = "spawning"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    RETIRED = "retired"
+
+
+@dataclass(frozen=True)
+class Handoff:
+    """The key movement a ring change induces over a key universe.
+
+    ``moves`` maps each moved key to ``(source_group, target_group)``;
+    ``arcs`` quotes the circle ranges that changed hands (descriptive —
+    per-key routing is authoritative).
+    """
+
+    moves: dict[str, tuple[str, str]] = field(default_factory=dict)
+    arcs: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def keys_moved(self) -> int:
+        return len(self.moves)
+
+    def sources(self) -> tuple[str, ...]:
+        return tuple(sorted({src for src, _ in self.moves.values()}))
+
+    def targets(self) -> tuple[str, ...]:
+        return tuple(sorted({dst for _, dst in self.moves.values()}))
+
+
+def plan_handoff(
+    old_ring: HashRing, new_ring: HashRing, keys: Iterable[str]
+) -> Handoff:
+    """The deterministic remap plan from ``old_ring`` to ``new_ring``
+    over ``keys``: which keys change owner, and the arcs owned by the
+    groups that appear in or leave the ring."""
+    moves = old_ring.moved_keys(new_ring, keys)
+    changed = set(new_ring.groups).symmetric_difference(old_ring.groups)
+    arcs: list[tuple[int, int]] = []
+    for group in sorted(changed):
+        ring = new_ring if group in new_ring.groups else old_ring
+        arcs.extend(ring.arcs_for(group))
+    return Handoff(moves=dict(sorted(moves.items())), arcs=tuple(sorted(arcs)))
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One audited transition (what, who, ring size after)."""
+
+    action: str
+    group: str
+    groups_after: tuple[str, ...]
+
+
+class ShardDirectory:
+    """The authority on which shards exist, their states, and the
+    current routing ring.
+
+    Parameters
+    ----------
+    ring:
+        The initial ring; every group on it starts ACTIVE.
+    router:
+        Optional :class:`~repro.shard.router.ShardRouter` to keep in
+        sync: ring swaps propagate via ``router.set_ring`` (rerouting
+        queued requests), and ``finish_retire`` refuses while the
+        router still holds work for the group.
+    """
+
+    def __init__(
+        self, ring: HashRing, router: ShardRouter | None = None
+    ) -> None:
+        self.ring = ring
+        self.router = router
+        self.states: dict[str, ShardState] = {
+            g: ShardState.ACTIVE for g in ring.groups
+        }
+        self.events: list[LifecycleEvent] = []
+
+    # ------------------------------------------------------------------
+    def _log(self, action: str, group: str) -> None:
+        self.events.append(
+            LifecycleEvent(action, group, self.ring.groups)
+        )
+
+    def state(self, group: str) -> ShardState:
+        return self.states[group]
+
+    def active_groups(self) -> tuple[str, ...]:
+        return tuple(
+            g
+            for g in sorted(self.states)
+            if self.states[g] is ShardState.ACTIVE
+        )
+
+    def _expect(self, group: str, *allowed: ShardState) -> None:
+        state = self.states.get(group)
+        if state not in allowed:
+            want = "/".join(s.value for s in allowed)
+            have = "absent" if state is None else state.value
+            raise ValueError(
+                f"shard {group!r} must be {want} for this transition, is {have}"
+            )
+
+    def _swap_ring(self, ring: HashRing) -> int:
+        self.ring = ring
+        if self.router is not None:
+            return self.router.set_ring(ring)
+        return 0
+
+    # ------------------------------------------------------------------
+    def spawn(self, group: str) -> None:
+        """Register a new shard; it owns no keys until :meth:`activate`."""
+        if group in self.states and self.states[group] is not ShardState.RETIRED:
+            raise ValueError(f"shard {group!r} already exists")
+        self.states[group] = ShardState.SPAWNING
+        self._log("spawn", group)
+
+    def activate(
+        self, group: str, keys: Iterable[str] = ()
+    ) -> Handoff:
+        """Put a SPAWNING shard on the ring.  Returns the handoff plan
+        over ``keys`` (the keys that now route to the new shard)."""
+        self._expect(group, ShardState.SPAWNING)
+        old = self.ring
+        new = old.with_group(group)
+        plan = plan_handoff(old, new, keys)
+        self.states[group] = ShardState.ACTIVE
+        self._swap_ring(new)
+        self._log("activate", group)
+        return plan
+
+    def retire(self, group: str, keys: Iterable[str] = ()) -> Handoff:
+        """Take an ACTIVE shard off the ring (DRAINING).  New requests
+        for its keys route to the survivors per the returned plan;
+        accepted requests drain in place."""
+        self._expect(group, ShardState.ACTIVE)
+        old = self.ring
+        new = old.without_group(group)
+        plan = plan_handoff(old, new, keys)
+        self.states[group] = ShardState.DRAINING
+        self._swap_ring(new)
+        self._log("retire", group)
+        return plan
+
+    def finish_retire(self, group: str) -> None:
+        """Complete a drain: requires the router (when attached) to hold
+        no in-flight or queued work for the group.  An empty group — one
+        that never accepted a request — retires immediately."""
+        self._expect(group, ShardState.DRAINING)
+        if self.router is not None and not self.router.idle(group):
+            raise ValueError(
+                f"shard {group!r} still draining: "
+                f"{self.router.pending(group)} requests pending"
+            )
+        self.states[group] = ShardState.RETIRED
+        self._log("finish_retire", group)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Stable JSON shape: the ring plus every shard's state."""
+        return {
+            "ring": self.ring.to_dict(),
+            "states": {
+                g: self.states[g].value for g in sorted(self.states)
+            },
+        }

@@ -1,0 +1,194 @@
+"""The live substrate adapter: many VS groups over one ``repro.rt``
+transport.
+
+A live node process (:mod:`repro.rt.node`) owns exactly one
+:class:`~repro.rt.transport.LiveNetwork` — one listen socket, one
+outbound stream per peer.  To host ``--shards N`` group runtimes on
+that single transport, every outbound protocol message is wrapped in a
+:class:`ShardEnvelope` naming its group, and the transport's single
+registered endpoint becomes a :class:`GroupDemux` that unwraps inbound
+envelopes and hands the inner message to the right group's ring
+member.  Each group sees a private :class:`GroupNet` — the full
+``Network`` surface (send/broadcast/multicast, simulator, oracle) —
+so :class:`~repro.membership.ring.RingMember` and the VStoTO runtime
+run per group completely unmodified.
+
+With ``shards == 1`` none of this is engaged: the node registers its
+ring member directly and no envelope ever rides the wire, keeping the
+single-group wire byte-identical to the pre-sharding runtime (the
+codec-equivalence golden digests stay valid).
+
+Client operations on the live wire are **strings** — ``key#seq#payload``
+(:func:`encode_live_op`) — because broadcast values must stay hashable
+after a JSON wire round trip; :func:`parse_live_op` recovers the
+``(key, op_seq, payload)`` tuple the cross-shard checker consumes.
+
+Verification is per group: each group's event logs are its own files
+(``<node>@<group>.events.jsonl``), so :func:`verify_shard_logs` replays
+one group's capture through the standard live checkers
+(:func:`~repro.rt.trace.verify_events`) exactly as an unsharded run
+would, and :func:`delivered_order_from_logs` recovers the group's total
+order for the cross-shard invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+from collections.abc import Iterable, Mapping
+
+from repro.core.types import View
+from repro.rt.framing import register_wire_type
+from repro.rt.trace import VerifyReport, load_event_logs, verify_events
+from repro.shard.verify import ShardOp
+
+#: Separator inside a live operation string (keys must not contain it).
+OP_SEP = "#"
+
+
+@register_wire_type
+@dataclass(frozen=True)
+class ShardEnvelope:
+    """One group's protocol message on the shared transport."""
+
+    g: str
+    msg: Any = None
+
+
+class GroupNet:
+    """The per-group ``Network`` facade over one shared live transport.
+
+    Outbound messages are wrapped in a :class:`ShardEnvelope`;
+    identity, processor set, clock and failure oracle delegate to the
+    underlying :class:`~repro.rt.transport.LiveNetwork`, so one group's
+    ring member cannot tell it shares the node with others.
+    """
+
+    def __init__(self, group: str, network: Any) -> None:
+        self.group = group
+        self.network = network
+        self.proc_id: str = network.proc_id
+        self.processors: tuple[str, ...] = network.processors
+        self.simulator = network.simulator
+        self.oracle = network.oracle
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        self.network.send(src, dst, ShardEnvelope(self.group, message))
+
+    def broadcast(
+        self, src: str, message: Any, include_self: bool = False
+    ) -> None:
+        self.network.broadcast(
+            src, ShardEnvelope(self.group, message), include_self
+        )
+
+    def multicast(self, src: str, dests: Iterable[str], message: Any) -> None:
+        for dst in dests:
+            if dst != src:
+                self.send(src, dst, message)
+
+
+class GroupDemux:
+    """The transport endpoint of a node hosting many groups.
+
+    Unwraps inbound :class:`ShardEnvelope` frames and dispatches the
+    inner message to the named group's handler.  Bare (non-envelope)
+    protocol messages — a peer running unsharded — go to the default
+    group; envelopes for groups this node does not host are counted and
+    dropped (a config skew, not a protocol condition).
+    """
+
+    def __init__(
+        self, proc_id: str, handlers: Mapping[str, Any], default: str
+    ) -> None:
+        if default not in handlers:
+            raise ValueError(f"default group {default!r} has no handler")
+        self.proc_id = proc_id
+        self.handlers = dict(handlers)
+        self.default = default
+        self.unknown_group_drops = 0
+
+    def on_message(self, src: str, message: Any) -> None:
+        if isinstance(message, ShardEnvelope):
+            handler = self.handlers.get(message.g)
+            if handler is None:
+                self.unknown_group_drops += 1
+                return
+            handler.on_message(src, message.msg)
+        else:
+            self.handlers[self.default].on_message(src, message)
+
+
+# ----------------------------------------------------------------------
+# Live operation values
+
+
+def encode_live_op(key: str, op_seq: int, payload: str) -> str:
+    """The wire spelling of one client operation: a plain string (it
+    must survive a JSON wire round trip hashable)."""
+    if OP_SEP in key:
+        raise ValueError(f"keys must not contain {OP_SEP!r}: {key!r}")
+    return f"{key}{OP_SEP}{op_seq}{OP_SEP}{payload}"
+
+
+def parse_live_op(value: Any) -> ShardOp | None:
+    """Recover ``(key, op_seq, payload)`` from a wire value, or None
+    for traffic that is not a shard operation."""
+    if not isinstance(value, str):
+        return None
+    parts = value.split(OP_SEP, 2)
+    if len(parts) != 3 or not parts[1].isdigit():
+        return None
+    return (parts[0], int(parts[1]), parts[2])
+
+
+# ----------------------------------------------------------------------
+# Per-group capture verification
+
+
+def shard_initial_view(processors: Iterable[str]) -> View:
+    """Every group's initial view v0: whole node set, id ``(0, min)``
+    — the same hybrid base case the unsharded node uses."""
+    procs = tuple(sorted(processors))
+    return View((0, min(procs)), frozenset(procs))
+
+
+def shard_log_paths(log_dir: str | Path, group: str) -> list[Path]:
+    """This group's event logs (one per node) under ``log_dir``."""
+    return sorted(Path(log_dir).glob(f"*@{group}.events.jsonl"))
+
+
+def verify_shard_logs(
+    log_dir: str | Path,
+    group: str,
+    processors: Iterable[str],
+    expect_at: Iterable[str] | None = None,
+) -> VerifyReport:
+    """Verify one group's capture with the standard live checkers —
+    the group is a complete VS/TO instance, so nothing new is needed."""
+    events = load_event_logs(shard_log_paths(log_dir, group))
+    return verify_events(
+        events, processors, shard_initial_view(processors), expect_at
+    )
+
+
+def delivered_order_from_logs(
+    log_dir: str | Path, group: str
+) -> list[ShardOp]:
+    """The group's delivered total order of operations, recovered from
+    its event logs: the longest single-node ``brcv`` sequence (per-group
+    TO conformance proves all nodes agree on a common prefix)."""
+    per_node: dict[str, list[ShardOp]] = {}
+    for entry in load_event_logs(shard_log_paths(log_dir, group)):
+        if entry["ev"] != "brcv":
+            continue
+        value, _origin, dst = entry["args"]
+        op = parse_live_op(value)
+        if op is not None:
+            per_node.setdefault(str(dst), []).append(op)
+    best: list[ShardOp] = []
+    for node in sorted(per_node):
+        if len(per_node[node]) > len(best):
+            best = per_node[node]
+    return best

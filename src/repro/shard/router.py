@@ -1,0 +1,272 @@
+"""The client-facing shard router: key-routed fan-out with per-group
+backpressure.
+
+A request enters with a key; the :class:`~repro.shard.routing.HashRing`
+names the owning group; the router hands the request to that group's
+backend **unless the group already has a full in-flight window**, in
+which case the request queues (FIFO, never dropped).  Completions —
+signalled by the backend when the group delivers the request back to
+its origin — free window slots and promote queued requests in order.
+
+The window is the flow-control contract that makes many slow shards
+compose into one responsive service: a shard stuck behind a partition
+only ever holds its own window's worth of traffic plus its own queue;
+the other shards' windows keep cycling (the isolation property
+``tests/shard/test_sim_service.py`` asserts under a seeded one-shard
+partition).
+
+Queue depths, in-flight counts and routed/queued totals are published
+per group through :mod:`repro.obs` when a hub is attached, in the same
+pre-bound-child style the rest of the tree uses (no hub: one ``is
+None`` branch per event).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping
+from typing import Any, Protocol
+
+from repro.shard.routing import HashRing
+
+
+class ShardBackend(Protocol):
+    """What the router needs from a per-group runtime."""
+
+    @property
+    def group(self) -> str:
+        """The group name this backend serves."""
+        ...
+
+    def submit(self, key: str, value: Any) -> None:
+        """Hand one client request to the group (must not block)."""
+        ...
+
+
+class _GroupChannel:
+    """Window + queue state for one group."""
+
+    __slots__ = ("inflight", "queue", "routed", "queued", "queue_peak")
+
+    def __init__(self) -> None:
+        self.inflight = 0
+        self.queue: deque[tuple[str, Any]] = deque()
+        self.routed = 0
+        self.queued = 0
+        self.queue_peak = 0
+
+
+class ShardRouter:
+    """Fan client requests out to per-group backends.
+
+    Parameters
+    ----------
+    ring:
+        The routing table (replaceable at runtime via :meth:`set_ring`
+        — the lifecycle layer's handoff path).
+    backends:
+        ``group -> backend`` for every ring group.  Backends may be
+        registered later (:meth:`add_backend`) but a request routed to
+        a group with no backend is an error, never a silent drop.
+    window:
+        In-flight ceiling per group; ``None`` disables backpressure
+        (requests always dispatch immediately).
+    obs:
+        Optional :class:`repro.obs.Observability` hub for the queue
+        metrics.
+    """
+
+    def __init__(
+        self,
+        ring: HashRing,
+        backends: Mapping[str, ShardBackend] | None = None,
+        window: int | None = 32,
+        obs: Any = None,
+    ) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1 or None, got {window}")
+        self.ring = ring
+        self.window = window
+        self._backends: dict[str, ShardBackend] = {}
+        self._channels: dict[str, _GroupChannel] = {}
+        # Observability slots (bound by attach_obs; `is None` guarded).
+        self._m_routed: Any = None
+        self._m_queued: Any = None
+        self._m_inflight: Any = None
+        self._m_depth: Any = None
+        if backends:
+            for group, backend in backends.items():
+                self.add_backend(group, backend)
+        if obs is not None:
+            self.attach_obs(obs)
+
+    # ------------------------------------------------------------------
+    def attach_obs(self, obs: Any) -> None:
+        """Bind per-group routing metrics: requests routed/queued
+        (counters) and the live in-flight/queue-depth gauges."""
+        if obs is None or obs.metrics is None:
+            return
+        metrics = obs.metrics
+        self._m_routed = metrics.counter(
+            "shard_routed_total",
+            "client requests dispatched to a group backend",
+            labels=("group",),
+        )
+        self._m_queued = metrics.counter(
+            "shard_queued_total",
+            "client requests parked behind a full window",
+            labels=("group",),
+        )
+        self._m_inflight = metrics.gauge(
+            "shard_inflight",
+            "requests dispatched and not yet completed, per group",
+            labels=("group",),
+        )
+        self._m_depth = metrics.gauge(
+            "shard_queue_depth",
+            "requests waiting behind the window, per group",
+            labels=("group",),
+        )
+
+    def _publish(self, group: str, channel: _GroupChannel) -> None:
+        if self._m_inflight is not None:
+            self._m_inflight.labels(group).set(channel.inflight)
+            self._m_depth.labels(group).set(len(channel.queue))
+
+    # ------------------------------------------------------------------
+    def add_backend(self, group: str, backend: ShardBackend) -> None:
+        if group in self._backends:
+            raise ValueError(f"group {group!r} already has a backend")
+        self._backends[group] = backend
+        self._channels.setdefault(group, _GroupChannel())
+
+    def remove_backend(self, group: str) -> ShardBackend:
+        """Detach a retired group's backend (its channel must be idle)."""
+        if not self.idle(group):
+            raise ValueError(
+                f"group {group!r} still has in-flight or queued requests"
+            )
+        backend = self._backends.pop(group)
+        self._channels.pop(group, None)
+        return backend
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        return tuple(sorted(self._backends))
+
+    # ------------------------------------------------------------------
+    def submit(self, key: str, value: Any) -> str:
+        """Route one request; returns the owning group.  Full window:
+        the request queues (never dropped, never reordered within its
+        group)."""
+        group = self.ring.owner_of(key)
+        channel = self._channels.get(group)
+        if channel is None or group not in self._backends:
+            raise KeyError(f"no backend for group {group!r} (key {key!r})")
+        if self.window is not None and channel.inflight >= self.window:
+            channel.queue.append((key, value))
+            channel.queued += 1
+            channel.queue_peak = max(channel.queue_peak, len(channel.queue))
+            if self._m_queued is not None:
+                self._m_queued.labels(group).inc()
+            self._publish(group, channel)
+        else:
+            self._dispatch(group, channel, key, value)
+        return group
+
+    def _dispatch(
+        self, group: str, channel: _GroupChannel, key: str, value: Any
+    ) -> None:
+        channel.inflight += 1
+        channel.routed += 1
+        if self._m_routed is not None:
+            self._m_routed.labels(group).inc()
+        self._publish(group, channel)
+        self._backends[group].submit(key, value)
+
+    def complete(self, group: str, n: int = 1) -> None:
+        """A backend reports ``n`` requests finished: free window slots
+        and promote queued requests in FIFO order."""
+        channel = self._channels.get(group)
+        if channel is None:
+            raise KeyError(f"unknown group {group!r}")
+        if n < 0 or n > channel.inflight:
+            raise ValueError(
+                f"complete({group!r}, {n}): only {channel.inflight} in flight"
+            )
+        channel.inflight -= n
+        self._publish(group, channel)
+        while channel.queue and (
+            self.window is None or channel.inflight < self.window
+        ):
+            key, value = channel.queue.popleft()
+            self._dispatch(group, channel, key, value)
+
+    # ------------------------------------------------------------------
+    def set_ring(self, ring: HashRing) -> int:
+        """Swap the routing table; queued (not-yet-dispatched) requests
+        whose owner changed are rerouted through the new table.  Returns
+        how many requests moved.  In-flight requests stay where they
+        are — they complete in the group that accepted them (the
+        lifecycle drain contract)."""
+        self.ring = ring
+        moved = 0
+        for group in sorted(self._channels):
+            channel = self._channels[group]
+            if not channel.queue:
+                continue
+            keep: deque[tuple[str, Any]] = deque()
+            movers: list[tuple[str, Any]] = []
+            for key, value in channel.queue:
+                if ring.owner_of(key) != group:
+                    movers.append((key, value))
+                else:
+                    keep.append((key, value))
+            if not movers:
+                continue
+            channel.queue = keep
+            self._publish(group, channel)
+            for key, value in movers:
+                moved += 1
+                self.submit(key, value)
+        return moved
+
+    # ------------------------------------------------------------------
+    def inflight(self, group: str) -> int:
+        return self._channels[group].inflight
+
+    def queue_depth(self, group: str) -> int:
+        return len(self._channels[group].queue)
+
+    def pending(self, group: str) -> int:
+        """In-flight plus queued — zero iff the group is quiescent."""
+        channel = self._channels[group]
+        return channel.inflight + len(channel.queue)
+
+    def idle(self, group: str) -> bool:
+        channel = self._channels.get(group)
+        return channel is None or (
+            channel.inflight == 0 and not channel.queue
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Per-group routing counters plus totals."""
+        per_group = {
+            group: {
+                "routed": channel.routed,
+                "queued": channel.queued,
+                "inflight": channel.inflight,
+                "queue_depth": len(channel.queue),
+                "queue_peak": channel.queue_peak,
+            }
+            for group, channel in sorted(self._channels.items())
+        }
+        return {
+            "window": self.window,
+            "groups": per_group,
+            "routed_total": sum(c.routed for c in self._channels.values()),
+            "queued_total": sum(c.queued for c in self._channels.values()),
+            "pending_total": sum(
+                c.inflight + len(c.queue) for c in self._channels.values()
+            ),
+        }

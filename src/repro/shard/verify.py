@@ -1,0 +1,199 @@
+"""Verification of a sharded run: per-shard specs plus the cross-shard
+key-order invariant.
+
+**Per shard** nothing new is needed — each group is one paper-faithful
+VStoTO instance, so the existing checkers apply verbatim, once per
+group: :class:`~repro.core.monitor.OnlineVSMonitor` (VS conformance,
+online) and :func:`~repro.core.to_spec.check_to_trace` (TO-machine
+trace membership, offline).  :class:`ShardVerdict` is one group's
+combined verdict.
+
+**Across shards** the service promises exactly one thing: every key
+maps to one owning group, and the operations on a key are ordered by
+that group's total order.  :func:`check_cross_shard_order` decides it
+from three ingredients — the client's per-key submission sequences, the
+per-group delivered orders, and the routing ring:
+
+1. *placement* — every delivered operation on key ``k`` appears in (and
+   only in) the group that owns ``k``;
+2. *integrity* — the operations delivered for ``k`` are exactly a
+   prefix-set of what the client submitted for ``k`` (nothing invented);
+3. *order* — their relative order inside the owning group's total order
+   equals the client's submission order for ``k``.
+
+The order clause is sound because both substrates pin every key to one
+*session location* (``SimShardGroup.origin_for`` in the DES, the
+driver's per-key node affinity in the live cluster): all of a key's
+operations share one TO sender, and the TO specification preserves
+per-sender FIFO, so the owning shard's total order cannot reorder them
+— not even across partitions.
+
+There is deliberately **no** cross-key, cross-shard ordering claim:
+two keys on different shards are causally independent, which is the
+freedom that makes the aggregate scale (see docs/SHARDING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.core.to_spec import check_to_trace
+from repro.ioa.actions import Action
+from repro.shard.routing import HashRing
+
+#: The client operation shape both substrates broadcast: a tuple
+#: ``(key, op_seq, payload)``.  ``op_seq`` is the client's global
+#: submission counter — it makes every operation value unique (so TO
+#: traces never alias) and encodes the per-key submission order.
+ShardOp = tuple[str, int, Any]
+
+
+def make_op(key: str, op_seq: int, payload: Any) -> ShardOp:
+    """Build the canonical operation value (hashable, codec-friendly)."""
+    return (key, op_seq, payload)
+
+
+def op_key(value: Any) -> str | None:
+    """The key of an operation value, or None for foreign traffic."""
+    if (
+        isinstance(value, tuple)
+        and len(value) == 3
+        and isinstance(value[0], str)
+        and isinstance(value[1], int)
+    ):
+        return value[0]
+    return None
+
+
+@dataclass
+class ShardVerdict:
+    """One group's verification outcome."""
+
+    group: str
+    processors: tuple[Any, ...] = ()
+    vs_events_checked: int = 0
+    vs_violations: list[str] = field(default_factory=list)
+    to_ok: bool = True
+    to_reason: str = ""
+    deliveries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.vs_violations and self.to_ok
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "group": self.group,
+            "processors": [str(p) for p in self.processors],
+            "vs_events_checked": self.vs_events_checked,
+            "vs_violations": list(self.vs_violations),
+            "to_ok": self.to_ok,
+            "to_reason": self.to_reason,
+            "deliveries": self.deliveries,
+            "ok": self.ok,
+        }
+
+
+def verdict_for_group(
+    group: str,
+    processors: Sequence[Any],
+    to_actions: Sequence[Action],
+    vs_violations: Sequence[str],
+    vs_events_checked: int = 0,
+) -> ShardVerdict:
+    """Assemble one group's verdict: TO-machine membership of its
+    ``bcast``/``brcv`` actions plus the VS monitor's findings."""
+    report = check_to_trace(to_actions, processors)
+    return ShardVerdict(
+        group=group,
+        processors=tuple(processors),
+        vs_events_checked=vs_events_checked,
+        vs_violations=list(vs_violations),
+        to_ok=report.ok,
+        to_reason=report.reason,
+        deliveries=sum(1 for a in to_actions if a.name == "brcv"),
+    )
+
+
+@dataclass
+class CrossShardReport:
+    """Outcome of the cross-shard key-order check."""
+
+    ok: bool = True
+    reason: str = ""
+    keys_checked: int = 0
+    ops_checked: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "reason": self.reason,
+            "keys_checked": self.keys_checked,
+            "ops_checked": self.ops_checked,
+        }
+
+
+def check_cross_shard_order(
+    submitted: Mapping[str, Sequence[ShardOp]],
+    group_orders: Mapping[str, Sequence[ShardOp]],
+    ring: HashRing,
+) -> CrossShardReport:
+    """Decide the cross-shard invariant.
+
+    Parameters
+    ----------
+    submitted:
+        Per key, the client's operations in submission order.
+    group_orders:
+        Per group, the shard's delivered total order of operations (any
+        single location's delivery sequence will do — per-shard TO
+        conformance already proved all locations agree on a common
+        prefix order).
+    ring:
+        The routing table in force (for placement).
+    """
+    report = CrossShardReport()
+    # Placement + integrity: walk every group's order once.
+    seen_per_key: dict[str, list[ShardOp]] = {}
+    for group in sorted(group_orders):
+        for op in group_orders[group]:
+            key = op_key(op)
+            if key is None:
+                report.ok = False
+                report.reason = (
+                    f"group {group!r} delivered a non-operation value {op!r}"
+                )
+                return report
+            owner = ring.owner_of(key)
+            if owner != group:
+                report.ok = False
+                report.reason = (
+                    f"operation on key {key!r} delivered in group {group!r} "
+                    f"but the ring owns it to {owner!r}"
+                )
+                return report
+            seen_per_key.setdefault(key, []).append(op)
+            report.ops_checked += 1
+    # Order: each key's delivered subsequence must equal a subsequence
+    # of the client's submission sequence in the same relative order
+    # (deliveries may trail submissions; they may never reorder them).
+    for key in sorted(seen_per_key):
+        delivered = seen_per_key[key]
+        client = list(submitted.get(key, ()))
+        cursor = 0
+        for op in delivered:
+            while cursor < len(client) and client[cursor] != op:
+                cursor += 1
+            if cursor == len(client):
+                report.ok = False
+                report.reason = (
+                    f"key {key!r}: delivered order "
+                    f"{[o[1] for o in delivered]} is not a subsequence of "
+                    f"the submission order {[o[1] for o in client]}"
+                )
+                return report
+            cursor += 1
+        report.keys_checked += 1
+    return report

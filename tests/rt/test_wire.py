@@ -25,6 +25,7 @@ from repro.rt.framing import (
     registered_wire_types,
 )
 from repro.rt.transport import Ctl, Hello
+from repro.shard.live import ShardEnvelope
 from repro.rt.wire import (
     CODEC_BINARY,
     CODEC_JSON,
@@ -72,6 +73,9 @@ SAMPLES: dict[str, object] = {
     ),
     "Hello": Hello(src="driver", wire="binary"),
     "Ctl": Ctl("stats", {"nested": [(1, 2), frozenset({"a", "b"}), BOTTOM]}),
+    "ShardEnvelope": ShardEnvelope(
+        "g1", Sequenced(3, Probe("p2", (1, "p1")))
+    ),
 }
 
 EDGE_VALUES = [

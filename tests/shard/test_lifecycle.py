@@ -1,0 +1,159 @@
+"""Shard lifecycle: the spawn/drain/retire state machine, deterministic
+handoff planning, and the router-coupled drain contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard.lifecycle import (
+    Handoff,
+    ShardDirectory,
+    ShardState,
+    plan_handoff,
+)
+from repro.shard.router import ShardRouter
+from repro.shard.routing import HashRing, group_names
+
+KEYS = [f"key-{i}" for i in range(500)]
+
+
+class RecordingBackend:
+    def __init__(self, group):
+        self._group = group
+        self.received = []
+
+    @property
+    def group(self):
+        return self._group
+
+    def submit(self, key, value):
+        self.received.append((key, value))
+
+
+class TestStateMachine:
+    def test_initial_groups_start_active(self):
+        directory = ShardDirectory(HashRing(group_names(3)))
+        assert directory.active_groups() == ("g0", "g1", "g2")
+
+    def test_full_lifecycle_path(self):
+        directory = ShardDirectory(HashRing(group_names(2)))
+        directory.spawn("g2")
+        assert directory.state("g2") is ShardState.SPAWNING
+        assert "g2" not in directory.ring
+        directory.activate("g2", KEYS)
+        assert directory.state("g2") is ShardState.ACTIVE
+        assert "g2" in directory.ring
+        directory.retire("g2", KEYS)
+        assert directory.state("g2") is ShardState.DRAINING
+        assert "g2" not in directory.ring
+        directory.finish_retire("g2")
+        assert directory.state("g2") is ShardState.RETIRED
+        assert [e.action for e in directory.events] == [
+            "spawn", "activate", "retire", "finish_retire",
+        ]
+
+    def test_invalid_transitions_raise(self):
+        directory = ShardDirectory(HashRing(group_names(2)))
+        with pytest.raises(ValueError):
+            directory.spawn("g0")  # already active
+        with pytest.raises(ValueError):
+            directory.activate("g0")  # not spawning
+        with pytest.raises(ValueError):
+            directory.finish_retire("g0")  # not draining
+        with pytest.raises(ValueError):
+            directory.retire("gx")  # absent
+
+    def test_retired_name_can_be_respawned(self):
+        directory = ShardDirectory(HashRing(group_names(2)))
+        directory.spawn("g2")
+        directory.activate("g2")
+        directory.retire("g2")
+        directory.finish_retire("g2")
+        directory.spawn("g2")
+        assert directory.state("g2") is ShardState.SPAWNING
+
+    def test_to_dict_is_stable(self):
+        directory = ShardDirectory(HashRing(group_names(2), seed=4))
+        snap = directory.to_dict()
+        assert snap["ring"]["kind"] == "hash-ring"
+        assert snap["states"] == {"g0": "active", "g1": "active"}
+
+
+class TestHandoffDeterminism:
+    def test_two_planners_agree(self):
+        old = HashRing(group_names(4), seed=0)
+        new = old.with_group("g4")
+        a = plan_handoff(old, new, KEYS)
+        b = plan_handoff(old, new, list(reversed(KEYS)))
+        assert a == b == Handoff(moves=a.moves, arcs=a.arcs)
+        assert a.targets() == ("g4",)
+
+    def test_spawn_remap_is_deterministic_and_minimal(self):
+        d1 = ShardDirectory(HashRing(group_names(4), seed=0))
+        d2 = ShardDirectory(HashRing(group_names(4), seed=0))
+        for directory in (d1, d2):
+            directory.spawn("g4")
+        p1 = d1.activate("g4", KEYS)
+        p2 = d2.activate("g4", KEYS)
+        assert p1 == p2
+        # Every move lands on the new shard; routing agrees with the plan.
+        assert all(dst == "g4" for _, dst in p1.moves.values())
+        for key in KEYS:
+            expected = p1.moves[key][1] if key in p1.moves else None
+            if expected is not None:
+                assert d1.ring.owner_of(key) == expected
+
+    def test_retire_remap_sources_only_from_the_retiree(self):
+        directory = ShardDirectory(HashRing(group_names(4), seed=0))
+        before = directory.ring.assignment(KEYS)
+        plan = directory.retire("g1", KEYS)
+        assert plan.sources() == ("g1",)
+        assert set(plan.moves) == {k for k, g in before.items() if g == "g1"}
+        for key in KEYS:
+            if key not in plan.moves:
+                assert directory.ring.owner_of(key) == before[key]
+
+
+class TestDrainContract:
+    def make(self):
+        ring = HashRing(group_names(2), seed=0)
+        backends = {g: RecordingBackend(g) for g in ring.groups}
+        router = ShardRouter(ring, backends=backends, window=1)
+        return ShardDirectory(ring, router=router), router, backends
+
+    def owned_key(self, directory, group):
+        probe = 0
+        while True:
+            key = f"{group}-k{probe}"
+            if directory.ring.owner_of(key) == group:
+                return key
+            probe += 1
+
+    def test_empty_group_retires_immediately(self):
+        directory, _, _ = self.make()
+        directory.retire("g0")
+        directory.finish_retire("g0")
+        assert directory.state("g0") is ShardState.RETIRED
+
+    def test_finish_retire_refuses_while_draining(self):
+        directory, router, _ = self.make()
+        key = self.owned_key(directory, "g0")
+        router.submit(key, "v0")
+        directory.retire("g0", [key])
+        with pytest.raises(ValueError):
+            directory.finish_retire("g0")
+        router.complete("g0")
+        directory.finish_retire("g0")
+
+    def test_retire_reroutes_queued_work_via_the_router(self):
+        directory, router, backends = self.make()
+        key = self.owned_key(directory, "g0")
+        router.submit(key, "v0")  # in flight at g0
+        router.submit(key, "v1")  # queued behind the window
+        directory.retire("g0", [key])
+        # The queued request now routes to the survivor; the in-flight
+        # one drains in place.
+        assert router.pending("g0") == 1
+        g1_values = [v for _, v in backends["g1"].received]
+        g1_queue = [v for _, v in router._channels["g1"].queue]
+        assert "v1" in g1_values + g1_queue
